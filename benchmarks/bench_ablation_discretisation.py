@@ -1,0 +1,105 @@
+"""Ablation — discretising the interval inputs.
+
+The paper: "Transformations involving information loss, such as
+discretization, were avoided and interval values were retained.  Most
+transformations performed poorly."  This ablation fits the CP-8
+decision tree on (a) raw interval attributes and (b) attributes binned
+into 5 equal-frequency buckets, and compares MCPV.
+
+Benchmark unit: the discretise-everything + refit pipeline.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core import TARGET_COLUMN, assess_scores, build_threshold_dataset
+from repro.core.reporting import render_table
+from repro.datatable import CategoricalColumn, NumericColumn
+from repro.evaluation import train_valid_split
+from repro.mining import (
+    DecisionTreeClassifier,
+    EqualFrequencyDiscretiser,
+    TreeConfig,
+)
+from repro.roads import ROAD_ATTRIBUTES
+
+CONFIG = TreeConfig(min_leaf=60, min_split=150, max_leaves=160)
+N_BINS = 5
+
+
+def _discretise_table(train, valid):
+    """Bin every interval road attribute; fit bins on train only."""
+    interval_names = [
+        a.name for a in ROAD_ATTRIBUTES if a.level.value == "interval"
+    ]
+    labels = tuple(f"bin{i}" for i in range(N_BINS)) + ("missing",)
+    for name in interval_names:
+        discretiser = EqualFrequencyDiscretiser(N_BINS).fit(
+            train.numeric(name)
+        )
+        for table_name, table in (("train", train), ("valid", valid)):
+            bins = discretiser.transform(table.numeric(name))
+            bins = np.where(bins < 0, N_BINS, bins)  # missing -> own level
+            column = CategoricalColumn.from_codes(name, bins, labels)
+            if table_name == "train":
+                train = table.with_column(column)
+            else:
+                valid = table.with_column(column)
+    return train, valid
+
+
+def _fit(train, valid, threshold):
+    model = DecisionTreeClassifier(CONFIG).fit(train, TARGET_COLUMN)
+    actual = build_threshold_dataset(valid, threshold).target_vector()
+    return assess_scores(actual, model.predict_proba(valid)), model
+
+
+def _discretised_run(paper_dataset, threshold):
+    dataset = build_threshold_dataset(
+        paper_dataset.crash_instances, threshold
+    )
+    rng = np.random.default_rng(23)
+    split = train_valid_split(
+        dataset.table, rng, 0.6, stratify_by=TARGET_COLUMN
+    )
+    binned_train, binned_valid = _discretise_table(
+        split.train, split.valid
+    )
+    return _fit(binned_train, binned_valid, threshold), split
+
+
+def test_ablation_discretisation(benchmark, paper_dataset):
+    threshold = 8
+    (binned_assessment, binned_model), split = benchmark.pedantic(
+        _discretised_run,
+        args=(paper_dataset, threshold),
+        rounds=1,
+        iterations=1,
+    )
+    raw_assessment, raw_model = _fit(split.train, split.valid, threshold)
+
+    rows = [
+        [
+            name,
+            a.mcpv,
+            a.kappa,
+            a.roc_area,
+            model.n_leaves,
+        ]
+        for name, a, model in (
+            ("interval values (paper)", raw_assessment, raw_model),
+            (f"{N_BINS}-bin discretised", binned_assessment, binned_model),
+        )
+    ]
+    text = render_table(
+        ["inputs", "MCPV", "Kappa", "ROC area", "leaves"],
+        rows,
+        title=f"Ablation: discretisation of interval inputs at CP-{threshold}",
+    )
+    emit("ablation_discretisation", text)
+
+    # Discretisation loses split resolution: the interval-value model
+    # should rank at least as well (paper: transformations performed
+    # poorly).
+    assert raw_assessment.roc_area >= binned_assessment.roc_area - 0.01
+    assert raw_assessment.mcpv >= binned_assessment.mcpv - 0.02

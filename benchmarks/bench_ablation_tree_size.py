@@ -1,0 +1,81 @@
+"""Ablation — tree size (the paper's configuration study).
+
+"During the configuration process, a series of modeling tests was
+conducted on the data to determine a suitable tree size that did not
+significantly truncate the tree."  This ablation sweeps the leaf budget
+of the CP-8 decision tree and reports where the validation MCPV stops
+improving — the point past which extra leaves only memorise.
+
+Benchmark unit: one fit at the smallest budget.
+"""
+
+from benchmarks.conftest import emit
+from repro.core import TARGET_COLUMN, assess_scores, build_threshold_dataset
+from repro.core.reporting import render_table
+from repro.evaluation import train_valid_split
+from repro.mining import DecisionTreeClassifier, TreeConfig
+
+LEAF_BUDGETS = (4, 8, 16, 32, 64, 160)
+
+
+def _fit_with_budget(split, threshold, budget):
+    config = TreeConfig(
+        min_leaf=100, min_split=250, max_leaves=budget
+    )
+    model = DecisionTreeClassifier(config).fit(split.train, TARGET_COLUMN)
+    actual = build_threshold_dataset(split.valid, threshold).target_vector()
+    assessment = assess_scores(actual, model.predict_proba(split.valid))
+    return model, assessment
+
+
+def test_ablation_tree_size(benchmark, paper_dataset):
+    import numpy as np
+
+    threshold = 8
+    dataset = build_threshold_dataset(
+        paper_dataset.crash_instances, threshold
+    )
+    rng = np.random.default_rng(31)
+    split = train_valid_split(
+        dataset.table, rng, 0.6, stratify_by=TARGET_COLUMN
+    )
+
+    benchmark.pedantic(
+        _fit_with_budget,
+        args=(split, threshold, LEAF_BUDGETS[0]),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    series = {}
+    for budget in LEAF_BUDGETS:
+        model, assessment = _fit_with_budget(split, threshold, budget)
+        rows.append(
+            [
+                budget,
+                model.n_leaves,
+                assessment.mcpv,
+                assessment.kappa,
+                assessment.roc_area,
+            ]
+        )
+        series[budget] = (model.n_leaves, assessment.mcpv)
+    text = render_table(
+        ["leaf budget", "leaves grown", "MCPV", "Kappa", "ROC area"],
+        rows,
+        title=f"Ablation: tree size at CP-{threshold}",
+    )
+    emit("ablation_tree_size", text)
+
+    # A severely truncated tree underperforms; the curve saturates well
+    # before the maximum budget (no significant truncation needed).
+    smallest_mcpv = series[LEAF_BUDGETS[0]][1]
+    best_mcpv = max(v for _n, v in series.values())
+    assert best_mcpv > smallest_mcpv - 1e-9
+    saturated = [
+        budget
+        for budget in LEAF_BUDGETS
+        if series[budget][1] >= best_mcpv - 0.01
+    ]
+    assert min(saturated) < LEAF_BUDGETS[-1]

@@ -1,0 +1,43 @@
+"""Figure 1 — distribution of annual crash counts.
+
+The paper's scatterplot shows, for each study year 2004–2007, the
+number of segments at each per-year crash count: ~1,200–1,400 segments
+at count 1, dropping exponentially, with the four year-series lying on
+top of each other.
+
+The benchmark times the per-year distribution extraction; the emitted
+series is the synthetic Figure 1 (one column per year).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.reporting import render_series
+
+
+def test_figure1(benchmark, paper_dataset):
+    annual = benchmark(paper_dataset.annual_count_distribution)
+
+    series = {
+        str(year): {
+            count: float(frequency)
+            for count, frequency in histogram.items()
+            if count <= 35
+        }
+        for year, histogram in annual.items()
+    }
+    text = render_series(
+        series,
+        x_label="year crash count",
+        title="Figure 1: segments per annual crash count, by study year",
+        decimals=0,
+    )
+    emit("figure1", text)
+
+    # Shape: exponential decay within each year...
+    for year, histogram in annual.items():
+        assert histogram[1] > 3 * histogram.get(5, 1), year
+        assert histogram[1] > 10 * histogram.get(15, 1), year
+    # ...and year-on-year stability (max/min of count-1 frequencies).
+    firsts = np.array([histogram[1] for histogram in annual.values()])
+    assert firsts.max() / firsts.min() < 1.25

@@ -1,0 +1,33 @@
+"""Figure 2 — model efficiencies of phase 1 vs phase 2 decision trees.
+
+The paper plots the MCPV statistic per threshold for both phases and
+reads off the 4–8 crash band as the efficiency peak ("the best
+combination results (near to the zero range) is between thresholds 4
+and 8 crashes").
+
+Benchmark unit: the threshold-selection rule over both phases' MCPV
+curves.  Emitted: both MCPV series plus the selection verdict.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.reporting import render_series
+
+
+def test_figure2(benchmark, study, phase1, phase2):
+    selection = benchmark(study.select_threshold, phase1, phase2)
+
+    text = render_series(
+        {
+            "phase 1 MCPV (crash + no-crash)": phase1.mcpv_series(),
+            "phase 2 MCPV (crash only)": phase2.mcpv_series(),
+        },
+        x_label="crash-prone threshold",
+        title="Figure 2: MCPV model efficiency, phase 1 vs phase 2",
+    )
+    text += "\n\nSelection: " + selection.describe()
+    emit("figure2", text)
+
+    # The paper's headline: the selected threshold falls in the 2–16
+    # band near the crash/no-crash boundary (paper: between 4 and 8).
+    assert selection.selected_threshold in (2, 4, 8, 16)
+    assert 0 not in selection.plateau

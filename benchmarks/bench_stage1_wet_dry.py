@@ -1,0 +1,33 @@
+"""Stage 1 — wet/dry crash differentiation (data understanding).
+
+The paper's CRISP-DM data-understanding phase rests on its preliminary
+study: "Attributes such as skid resistance and texture depth were found
+to have strong relationship with roads having crashes, and wet & dry
+roads were found to have differing distributions of crash with respect
+to skid resistance".  This bench regenerates that finding on the
+synthetic crash instances.
+
+Benchmark unit: the full wet/dry analysis.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.wet_dry import wet_dry_analysis
+
+
+def test_stage1_wet_dry(benchmark, paper_dataset):
+    result = benchmark(
+        wet_dry_analysis, paper_dataset.crash_instances
+    )
+
+    emit("stage1_wet_dry", result.describe())
+
+    # The stage-1 findings, as shape:
+    # 1. Wet crashes sit on lower-friction roads than dry crashes.
+    assert result.wet_mean_f60 < result.dry_mean_f60
+    # 2. The distributions differ decisively (KS and banded chi-square).
+    assert result.distributions_differ(alpha=1e-6)
+    # 3. The wet share falls monotonically-ish across friction bands.
+    shares = result.wet_share_by_band
+    assert shares[0] > shares[-1] + 0.1
+    # 4. Wet crashes are a substantial minority overall.
+    assert 0.15 < result.wet_share < 0.6

@@ -1,0 +1,68 @@
+"""Table 1 — crash-prone threshold target values (phase 2 datasets).
+
+Paper values (16,750 crash instances):
+
+    CP-2   3,548 non-prone   13,202 prone
+    CP-4   5,904             10,846
+    CP-8   8,677              8,073
+    CP-16 12,348              4,402
+    CP-32 15,471              1,279
+    CP-64 16,576                174
+
+The benchmark times the construction of all six CP-k datasets from the
+crash-instance table; the emitted table is the synthetic Table 1.
+"""
+
+from benchmarks.conftest import emit
+from repro.core import PHASE2_THRESHOLDS, build_threshold_series, table1_rows
+from repro.core.reporting import render_table
+
+PAPER_ROWS = {
+    2: (3548, 13202),
+    4: (5904, 10846),
+    8: (8677, 8073),
+    16: (12348, 4402),
+    32: (15471, 1279),
+    64: (16576, 174),
+}
+
+
+def test_table1(benchmark, paper_dataset):
+    crash_instances = paper_dataset.crash_instances
+
+    datasets = benchmark(
+        build_threshold_series, crash_instances, PHASE2_THRESHOLDS
+    )
+
+    rows = table1_rows(crash_instances)
+    text = render_table(
+        [
+            "Target label",
+            "threshold",
+            "non-crash-prone",
+            "crash-prone",
+            "total",
+            "paper non-prone",
+            "paper prone",
+        ],
+        [
+            [
+                r["target_label"],
+                f"> {r['threshold']}",
+                r["non_crash_prone_instances"],
+                r["crash_prone_instances"],
+                r["total_instance_count"],
+                PAPER_ROWS[r["threshold"]][0],
+                PAPER_ROWS[r["threshold"]][1],
+            ]
+            for r in rows
+        ],
+        title="Table 1: crash-prone threshold target values (synthetic vs paper)",
+    )
+    emit("table1", text)
+
+    # Shape assertions: monotone class drift and extreme top imbalance.
+    non_prone = [d.n_non_prone for d in datasets]
+    assert non_prone == sorted(non_prone)
+    assert datasets[-1].imbalance_ratio > 20
+    assert all(d.total == crash_instances.n_rows for d in datasets)

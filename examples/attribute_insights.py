@@ -1,0 +1,109 @@
+"""Attribute insights: the paper's future-work analysis, executed.
+
+Usage::
+
+    python examples/attribute_insights.py [--seed N]
+
+"In addition to rule sets, the full range of attribute values
+partitioned by cluster will be analyzed to develop attribute
+correlations with the cluster groups, and distinguish correlations,
+leading to new knowledge about causation of the particular road segment
+types."  This example runs that analysis on the synthetic study:
+
+1. attribute-vs-crash-count correlations (which condition measures
+   matter, echoing the paper's F60 / texture-depth finding);
+2. the decision tree's split-statistic feature importances;
+3. per-cluster attribute signatures for the lowest- and highest-crash
+   clusters of the phase-3 model.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import QDTMRSyntheticGenerator, small_config
+from repro.core import (
+    TARGET_COLUMN,
+    attribute_crash_correlations,
+    build_threshold_dataset,
+    cluster_attribute_signatures,
+    run_phase3_clustering,
+    tree_feature_importance,
+)
+from repro.core.reporting import render_table
+from repro.evaluation import train_valid_split
+from repro.mining import DecisionTreeClassifier
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=9)
+    args = parser.parse_args()
+
+    print("Generating dataset ...")
+    dataset = QDTMRSyntheticGenerator(
+        small_config(n_segments=8000, n_towns=20)
+    ).generate(seed=args.seed)
+    crash = dataset.crash_instances
+
+    # 1. attribute correlations with the crash count -------------------
+    correlations = attribute_crash_correlations(crash)
+    print("\n" + render_table(
+        ["attribute", "kind", "pearson", "spearman", "eta^2", "strength"],
+        [
+            [
+                c.attribute,
+                c.kind,
+                c.pearson,
+                c.spearman,
+                c.eta_squared,
+                c.strength,
+            ]
+            for c in correlations[:10]
+        ],
+        title="Attribute correlations with segment crash count (top 10)",
+    ))
+
+    # 2. tree feature importance ------------------------------------------
+    cp8 = build_threshold_dataset(crash, 8)
+    rng = np.random.default_rng(args.seed)
+    split = train_valid_split(cp8.table, rng, 0.6, stratify_by=TARGET_COLUMN)
+    model = DecisionTreeClassifier().fit(split.train, TARGET_COLUMN)
+    importance = tree_feature_importance(model.root)
+    print("\n" + render_table(
+        ["feature", "importance"],
+        list(importance.items())[:10],
+        title="CP-8 decision tree split importances (top 10)",
+    ))
+
+    # 3. cluster signatures ------------------------------------------------------
+    print("\nClustering for signatures ...")
+    analysis = run_phase3_clustering(crash, n_clusters=16, seed=args.seed)
+    lowest = analysis.profiles[0]
+    highest = analysis.profiles[-1]
+    signatures = cluster_attribute_signatures(
+        crash, analysis.assignment, top_per_cluster=5
+    )
+    for profile, label in (
+        (lowest, "lowest-crash cluster"),
+        (highest, "highest-crash cluster"),
+    ):
+        print(
+            f"\n{label} (cluster {profile.cluster_id}: "
+            f"median count {profile.median:g}, n={profile.n_instances}):"
+        )
+        for signature in signatures[profile.cluster_id]:
+            print("  " + signature.describe())
+
+    print(
+        "\nReading: the low-crash clusters are marked by high skid"
+        "\nresistance / texture and low distress; the high-crash cluster"
+        "\nby the opposite — the attribute-level 'new knowledge about"
+        "\ncausation' the paper's future work aims at."
+    )
+
+
+if __name__ == "__main__":
+    main()

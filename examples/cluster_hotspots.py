@@ -1,0 +1,152 @@
+"""Cluster hotspot analysis: phase 3 mapped back onto the network.
+
+Usage::
+
+    python examples/cluster_hotspots.py [--seed N] [--clusters K]
+
+Runs the paper's phase-3 clustering (simple k-means on road attributes
+of crash instances), profiles each cluster's crash-count range
+(Figure 4), then walks back through the road network to name the
+*routes* that carry the high-band clusters — the "accident hotspot"
+view road asset managers act on (cf. Anderson [7] in the paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro import QDTMRSyntheticGenerator, small_config
+from repro.core import run_phase3_clustering
+from repro.core.reporting import render_box_ranges, render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--clusters", type=int, default=24)
+    args = parser.parse_args()
+
+    print("Generating dataset ...")
+    dataset = QDTMRSyntheticGenerator(
+        small_config(n_segments=8000, n_towns=22)
+    ).generate(seed=args.seed)
+    crash = dataset.crash_instances
+
+    print(f"Clustering {crash.n_rows} crash instances "
+          f"into {args.clusters} clusters ...")
+    analysis = run_phase3_clustering(
+        crash, n_clusters=args.clusters, seed=args.seed
+    )
+
+    boxes = [
+        (
+            f"cluster {p.cluster_id:02d}",
+            p.minimum,
+            p.q1,
+            p.median,
+            p.q3,
+            p.maximum,
+        )
+        for p in analysis.profiles
+    ]
+    print("\n" + render_box_ranges(
+        boxes,
+        title="Figure 4 analogue: crash-count ranges by cluster",
+        axis_max=min(80.0, max(p.maximum for p in analysis.profiles)),
+    ))
+    print(
+        f"\nANOVA on cluster means: F={analysis.anova.f_statistic:.1f}, "
+        f"p={analysis.anova.p_value:.3g} "
+        f"(eta^2={analysis.anova.eta_squared:.2f})"
+    )
+    print(f"band mix: {analysis.band_counts()}")
+
+    # ---- map high-band clusters back onto routes ----------------------
+    high_clusters = {
+        p.cluster_id for p in analysis.profiles if p.band == "high"
+    }
+    if not high_clusters:
+        print("\nNo high-band clusters in this run; try another seed.")
+        return
+
+    segment_ids = crash.numeric("segment_id").astype(int)
+    in_high = np.isin(analysis.assignment, list(high_clusters))
+    hotspot_segments = set(segment_ids[in_high])
+
+    skeleton_by_id = {
+        s.segment_id: s for s in dataset.network.skeletons
+    }
+    route_hits: Counter = Counter()
+    route_kms: defaultdict = defaultdict(set)
+    for segment_id in hotspot_segments:
+        skeleton = skeleton_by_id.get(segment_id)
+        if skeleton is None or skeleton.route_id < 0:
+            continue
+        route_hits[skeleton.route_id] += 1
+        route_kms[skeleton.route_id].add(skeleton.chainage_km)
+
+    rows = []
+    for route_id, hits in route_hits.most_common(10):
+        route = dataset.network.routes[route_id]
+        start, end = dataset.network.route_endpoints(route)
+        rows.append(
+            [
+                f"{start.name} - {end.name}",
+                route.road_class,
+                route.terrain,
+                f"{route.length_km:.0f}",
+                hits,
+                len(route_kms[route_id]),
+            ]
+        )
+    print("\n" + render_table(
+        [
+            "route",
+            "class",
+            "terrain",
+            "length km",
+            "hotspot segments",
+            "distinct km marks",
+        ],
+        rows,
+        title="Top crash-prone routes (segments in high-band clusters)",
+    ))
+
+    # ---- the Anderson-style spatial baseline, for contrast -----------
+    from repro.roads import crash_kde, spatial_kmeans_hotspots
+
+    surface = crash_kde(dataset, bandwidth_km=40, grid_size=50)
+    kde_cells = surface.hotspot_cells(quantile=0.97)
+    spatial = spatial_kmeans_hotspots(dataset, n_clusters=10, seed=args.seed)
+    print("\n" + render_table(
+        ["hotspot", "centre (x, y) km", "crashes", "radius km", "crashes/km^2"],
+        [
+            [
+                f"spatial {c.cluster_id}",
+                f"({c.centre_x:.0f}, {c.centre_y:.0f})",
+                c.n_crashes,
+                f"{c.radius_km:.0f}",
+                f"{c.intensity:.2f}",
+            ]
+            for c in spatial[:5]
+        ],
+        title="Anderson-style spatial k-means hotspots (top 5 by intensity)",
+    ))
+    print(
+        f"KDE surface: {len(kde_cells)} grid cells above the 97th "
+        f"density percentile (bandwidth {surface.bandwidth_km:g} km)"
+    )
+
+    print(
+        "\nAsset-management readout: the spatial baseline says *where*"
+        "\ncrashes pile up (exposure); the attribute clusters say *which"
+        "\nroad state* produces them — the paper's crash-prone population"
+        "\nto prioritise for treatment."
+    )
+
+
+if __name__ == "__main__":
+    main()

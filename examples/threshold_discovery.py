@@ -1,0 +1,121 @@
+"""Threshold discovery: the paper's Tables 3 & 4 workflow in detail.
+
+Usage::
+
+    python examples/threshold_discovery.py [--paper-scale] [--seed N]
+
+Walks the full threshold sweep the way an analyst would: build each
+CP-k dataset, inspect its class balance (Table 1), fit the chi-square
+decision tree and the F-test regression tree, read all Table 2
+measures, and watch accuracy/misclassification diverge from MCPV/Kappa
+as the imbalance grows.  Finishes with the rule set of the selected
+model — the paper's reason for preferring trees.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    CrashPronenessStudy,
+    QDTMRSyntheticGenerator,
+    paper_scale_config,
+    small_config,
+    table1_rows,
+)
+from repro.core import TARGET_COLUMN, build_threshold_dataset
+from repro.core.reporting import render_table
+from repro.evaluation import train_valid_split
+from repro.mining import DecisionTreeClassifier, extract_rules, format_rules
+from repro.mining.features import FeatureSet
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args()
+
+    config = (
+        paper_scale_config()
+        if args.paper_scale
+        else small_config(n_segments=6000, n_towns=18)
+    )
+    print("Generating dataset ...")
+    dataset = QDTMRSyntheticGenerator(config).generate(seed=args.seed)
+
+    print("\n" + render_table(
+        ["label", "non-crash-prone", "crash-prone", "total"],
+        [
+            [
+                r["target_label"],
+                r["non_crash_prone_instances"],
+                r["crash_prone_instances"],
+                r["total_instance_count"],
+            ]
+            for r in table1_rows(dataset.crash_instances)
+        ],
+        title="Table 1 analogue: CP-k class balances (crash-only data)",
+    ))
+
+    study = CrashPronenessStudy(dataset, seed=args.seed, repeats=2)
+    print("\nPhase 1 sweep (crash + zero-altered no-crash) ...")
+    phase1 = study.run_phase1()
+    print("Phase 2 sweep (crash only) ...")
+    phase2 = study.run_phase2()
+
+    for phase, title in ((phase1, "Table 3 analogue"), (phase2, "Table 4 analogue")):
+        print("\n" + render_table(
+            [
+                "Target",
+                "R2",
+                "NPV",
+                "PPV",
+                "MCPV",
+                "Kappa",
+                "accuracy",
+                "misclass",
+                "leaves",
+            ],
+            [
+                [
+                    f"> {r.threshold}",
+                    r.r_squared,
+                    r.npv,
+                    r.ppv,
+                    r.mcpv,
+                    r.kappa,
+                    r.assessment.accuracy,
+                    f"{100 * r.misclassification_rate:.1f}%",
+                    r.decision_leaves,
+                ]
+                for r in phase.results
+            ],
+            title=f"{title} (phase {phase.phase})",
+        ))
+
+    selection = study.select_threshold(phase1, phase2)
+    print("\n" + selection.describe())
+
+    print(
+        "\nNote how accuracy keeps 'improving' toward the top thresholds"
+        "\nwhile MCPV and Kappa collapse — the paper's warning about"
+        "\nassessment under extreme class imbalance."
+    )
+
+    # Refit the selected model and show its rules.
+    k = selection.selected_threshold
+    cp = build_threshold_dataset(dataset.crash_instances, k)
+    rng = np.random.default_rng(args.seed)
+    split = train_valid_split(cp.table, rng, 0.6, stratify_by=TARGET_COLUMN)
+    model = DecisionTreeClassifier().fit(split.train, TARGET_COLUMN)
+    features = FeatureSet(split.train, TARGET_COLUMN)
+    rules = extract_rules(model.root, features)
+    print(f"\nTop rules of the selected CP-{k} decision tree:")
+    print(format_rules(rules, limit=8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy-installer shim: the environment's setuptools lacks the
+``wheel`` package needed for PEP 517 editable installs, so
+``pip install -e . --no-use-pep517`` goes through this file instead.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

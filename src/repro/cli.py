@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+``repro-study`` exposes the library's main workflows without writing
+Python:
+
+* ``generate`` — synthesise a dataset and write its tables as CSV;
+* ``study`` — run the three-phase crash-proneness study and print the
+  paper-style tables;
+* ``calibrate`` — re-derive the crash-process calibration;
+* ``train`` — train and save a deployable crash-proneness scorer;
+* ``score`` — score a segment CSV with a saved scorer;
+* ``wetdry`` — the stage-1 wet/dry differentiation analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import CrashPronenessStudy
+from repro.core.deployment import CrashPronenessScorer
+from repro.core.reporting import render_series, render_table
+from repro.core.wet_dry import wet_dry_analysis
+from repro.datatable import read_csv, write_csv
+from repro.roads import (
+    QDTMRSyntheticGenerator,
+    calibrate_crash_process,
+    paper_scale_config,
+    small_config,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Road crash proneness prediction (EDBT 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a dataset to CSV")
+    gen.add_argument("out_dir", type=Path)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--paper-scale", action="store_true")
+    gen.add_argument("--segments", type=int, default=6000)
+
+    study = sub.add_parser("study", help="run the three-phase study")
+    study.add_argument("--seed", type=int, default=0)
+    study.add_argument("--paper-scale", action="store_true")
+    study.add_argument("--segments", type=int, default=6000)
+    study.add_argument("--clusters", type=int, default=32)
+    study.add_argument("--repeats", type=int, default=1)
+
+    cal = sub.add_parser("calibrate", help="re-derive the calibration")
+    cal.add_argument("--probe", type=int, default=20000)
+    cal.add_argument("--iterations", type=int, default=400)
+
+    train = sub.add_parser("train", help="train and save a scorer")
+    train.add_argument("model_path", type=Path)
+    train.add_argument("--threshold", type=int, default=8)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--paper-scale", action="store_true")
+    train.add_argument("--segments", type=int, default=6000)
+
+    score = sub.add_parser("score", help="score a segment CSV")
+    score.add_argument("model_path", type=Path)
+    score.add_argument("segments_csv", type=Path)
+    score.add_argument("--top", type=int, default=20)
+
+    wet = sub.add_parser("wetdry", help="wet/dry crash differentiation")
+    wet.add_argument("--seed", type=int, default=0)
+    wet.add_argument("--segments", type=int, default=6000)
+    return parser
+
+
+def _make_dataset(args):
+    if getattr(args, "paper_scale", False):
+        config = paper_scale_config()
+    else:
+        config = small_config(n_segments=args.segments, n_towns=18)
+    return QDTMRSyntheticGenerator(config).generate(seed=args.seed)
+
+
+def _cmd_generate(args) -> int:
+    dataset = _make_dataset(args)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    write_csv(dataset.segment_table, args.out_dir / "segments.csv")
+    write_csv(dataset.crash_instances, args.out_dir / "crash_instances.csv")
+    write_csv(
+        dataset.no_crash_instances, args.out_dir / "no_crash_instances.csv"
+    )
+    print(
+        f"wrote {dataset.segment_table.n_rows} segments, "
+        f"{dataset.n_crash_instances} crash instances and "
+        f"{dataset.n_no_crash_instances} no-crash instances "
+        f"to {args.out_dir}/"
+    )
+    return 0
+
+
+def _cmd_study(args) -> int:
+    dataset = _make_dataset(args)
+    study = CrashPronenessStudy(
+        dataset, seed=args.seed, repeats=args.repeats
+    )
+    report = study.run_full_study(n_clusters=args.clusters)
+    for phase, label in ((report.phase1, "Phase 1"), (report.phase2, "Phase 2")):
+        print(render_table(
+            ["Target", "R2", "NPV", "PPV", "MCPV", "misclass", "leaves"],
+            [
+                [
+                    f"> {r.threshold}",
+                    r.r_squared,
+                    r.npv,
+                    r.ppv,
+                    r.mcpv,
+                    f"{100 * r.misclassification_rate:.1f}%",
+                    r.decision_leaves,
+                ]
+                for r in phase.results
+            ],
+            title=f"{label} tree models",
+        ))
+        print()
+    print(render_series(
+        {
+            "bayes MCPV": {
+                r.threshold: r.assessment.mcpv for r in report.bayes
+            },
+            "bayes Kappa": {
+                r.threshold: r.assessment.kappa for r in report.bayes
+            },
+        },
+        x_label="threshold",
+        title="Naive Bayes sweep (10-fold CV)",
+    ))
+    print()
+    print(report.selection.describe())
+    clustering = report.clustering
+    print(
+        f"phase 3: {clustering.n_very_low_crash_clusters} very-low-crash "
+        f"clusters of {clustering.n_clusters}; ANOVA "
+        f"p={clustering.anova.p_value:.3g}"
+    )
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    report = calibrate_crash_process(
+        n_probe=args.probe,
+        max_iterations=args.iterations,
+        free_parameters=(
+            "hurdle_intercept",
+            "count_log_mean",
+            "count_dispersion",
+        ),
+    )
+    print("\n".join(report.summary_lines()))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    dataset = _make_dataset(args)
+    scorer = CrashPronenessScorer.train(
+        dataset.crash_instances,
+        threshold=args.threshold,
+        seed=args.seed,
+        metadata={"source": "synthetic", "segments": dataset.segment_table.n_rows},
+    )
+    scorer.save(args.model_path)
+    print(f"saved {scorer.describe()} -> {args.model_path}")
+    return 0
+
+
+def _cmd_score(args) -> int:
+    scorer = CrashPronenessScorer.load(args.model_path)
+    table = read_csv(args.segments_csv)
+    ranked = scorer.treatment_list(table, top=args.top)
+    print(scorer.describe())
+    print(render_table(
+        ["rank", "segment_id", "P(crash prone)", "flag"],
+        [
+            [s.rank, s.segment_id, s.probability, "PRONE" if s.crash_prone else ""]
+            for s in ranked
+        ],
+        title=f"Top {len(ranked)} treatment candidates",
+    ))
+    print(
+        f"expected crash-prone km across the file: "
+        f"{scorer.expected_prone_km(table):.0f}"
+    )
+    return 0
+
+
+def _cmd_wetdry(args) -> int:
+    dataset = _make_dataset(args)
+    result = wet_dry_analysis(dataset.crash_instances)
+    print(result.describe())
+    verdict = (
+        "differ" if result.distributions_differ() else "do not differ"
+    )
+    print(f"\n=> wet and dry crash F60 distributions {verdict}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "study": _cmd_study,
+    "calibrate": _cmd_calibrate,
+    "train": _cmd_train,
+    "score": _cmd_score,
+    "wetdry": _cmd_wetdry,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Model assessment records and the threshold-selection rule.
+
+The paper assesses every CP-k model with the Table 2 measures, leaning
+on MCPV and Kappa under imbalance, and then applies its selection rule:
+
+    "The strategy was to select the threshold from the model assessed
+    with the highest classification rate near the crash/no crash
+    boundary as the best threshold for making the crash-proneness
+    division."
+
+:func:`select_best_threshold` implements that rule: find the metric's
+peak, widen it to a plateau (values within a tolerance of the peak),
+and return the *lowest* threshold on the plateau — "near the crash/no
+crash boundary".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evaluation import (
+    BinaryConfusion,
+    accuracy,
+    kappa,
+    mcpv,
+    misclassification_rate,
+    negative_predictive_value,
+    positive_predictive_value,
+    roc_auc,
+    sensitivity,
+    specificity,
+    weighted_precision,
+    weighted_recall,
+)
+from repro.exceptions import EvaluationError
+
+__all__ = [
+    "ClassifierAssessment",
+    "assess_scores",
+    "ThresholdSelection",
+    "select_best_threshold",
+]
+
+
+@dataclass(frozen=True)
+class ClassifierAssessment:
+    """All Table 2 classification measures for one model on one dataset."""
+
+    accuracy: float
+    misclassification_rate: float
+    sensitivity: float
+    specificity: float
+    ppv: float
+    npv: float
+    mcpv: float
+    kappa: float
+    roc_area: float
+    weighted_precision: float
+    weighted_recall: float
+    confusion: BinaryConfusion
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "misclassification_rate": self.misclassification_rate,
+            "sensitivity": self.sensitivity,
+            "specificity": self.specificity,
+            "ppv": self.ppv,
+            "npv": self.npv,
+            "mcpv": self.mcpv,
+            "kappa": self.kappa,
+            "roc_area": self.roc_area,
+            "weighted_precision": self.weighted_precision,
+            "weighted_recall": self.weighted_recall,
+        }
+
+
+def assess_scores(
+    actual: np.ndarray,
+    scores: np.ndarray,
+    threshold: float = 0.5,
+) -> ClassifierAssessment:
+    """Assess probability scores against 0/1 actuals at a cut-off."""
+    cm = BinaryConfusion.from_scores(actual, scores, threshold)
+    return ClassifierAssessment(
+        accuracy=accuracy(cm),
+        misclassification_rate=misclassification_rate(cm),
+        sensitivity=sensitivity(cm),
+        specificity=specificity(cm),
+        ppv=positive_predictive_value(cm),
+        npv=negative_predictive_value(cm),
+        mcpv=mcpv(cm),
+        kappa=kappa(cm),
+        roc_area=roc_auc(actual, scores),
+        weighted_precision=weighted_precision(cm),
+        weighted_recall=weighted_recall(cm),
+        confusion=cm,
+    )
+
+
+@dataclass(frozen=True)
+class ThresholdSelection:
+    """Outcome of the paper's threshold-selection rule."""
+
+    selected_threshold: int
+    metric: str
+    peak_value: float
+    plateau: tuple[int, ...]
+    values: dict[int, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        plateau = ", ".join(str(t) for t in self.plateau)
+        return (
+            f"{self.metric} peaks at {self.peak_value:.3f}; plateau "
+            f"thresholds {{{plateau}}}; selected {self.selected_threshold} "
+            "(lowest on the plateau, nearest the crash/no-crash boundary)"
+        )
+
+
+def select_best_threshold(
+    values: dict[int, float],
+    metric: str = "mcpv",
+    plateau_tolerance: float = 0.02,
+    exclude_degenerate: bool = True,
+) -> ThresholdSelection:
+    """Apply the paper's selection rule to per-threshold metric values.
+
+    Parameters
+    ----------
+    values:
+        threshold → metric value (NaNs are ignored).
+    metric:
+        Name recorded in the result (documentation only).
+    plateau_tolerance:
+        Values within this distance of the peak join the plateau.
+    exclude_degenerate:
+        Drop the top threshold when its value is exactly 1.0 — the
+        paper notes the CP-64 model's perfect classification "is due to
+        the low instance count and crashes referencing the same road
+        segment and is unreliable".
+    """
+    usable = {
+        k: v for k, v in values.items() if not np.isnan(v)
+    }
+    if exclude_degenerate and len(usable) > 1:
+        top = max(usable)
+        if usable[top] >= 1.0:
+            del usable[top]
+    if not usable:
+        raise EvaluationError(
+            "no usable metric values to select a threshold from"
+        )
+    peak_value = max(usable.values())
+    plateau = tuple(
+        sorted(
+            k
+            for k, v in usable.items()
+            if v >= peak_value - plateau_tolerance
+        )
+    )
+    return ThresholdSelection(
+        selected_threshold=plateau[0],
+        metric=metric,
+        peak_value=peak_value,
+        plateau=plateau,
+        values=dict(sorted(values.items())),
+    )

@@ -1,0 +1,163 @@
+"""Phase 3: cluster crash-count range analysis (Figure 4).
+
+Clusters are formed on *road attributes only*; the analysis then asks
+whether each cluster's crash counts fall in a narrow band ("low, mid or
+high") — the paper's evidence that crash counts are attribute-driven
+and that a non-crash-prone population exists.  The supporting one-way
+ANOVA on cluster means is run as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatable import DataTable
+from repro.evaluation import AnovaResult, one_way_anova
+from repro.exceptions import EvaluationError
+from repro.mining.kmeans import KMeans
+
+__all__ = [
+    "ClusterCrashProfile",
+    "ClusteringAnalysis",
+    "analyse_clusters",
+    "run_phase3_clustering",
+]
+
+#: Paper: "six very low-crash clusters with their inter-quartile ranges
+#: within the four crash count range or lower".
+LOW_CRASH_IQR_LIMIT = 4.0
+#: Paper: "an additional seven clusters have a high proportion crash
+#: counts below 10 crashes".
+MOSTLY_LOW_LIMIT = 10.0
+
+
+@dataclass(frozen=True)
+class ClusterCrashProfile:
+    """Crash-count distribution of one cluster (one Figure 4 box)."""
+
+    cluster_id: int
+    n_instances: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def is_very_low_crash(self) -> bool:
+        """IQR entirely within the 0–4 crash range."""
+        return self.q3 <= LOW_CRASH_IQR_LIMIT
+
+    @property
+    def is_mostly_below_ten(self) -> bool:
+        """Q3 under 10 but not a very-low cluster."""
+        return not self.is_very_low_crash and self.q3 < MOSTLY_LOW_LIMIT
+
+    @property
+    def band(self) -> str:
+        """'low' / 'medium' / 'high' by median count."""
+        if self.median <= LOW_CRASH_IQR_LIMIT:
+            return "low"
+        if self.median < 2 * MOSTLY_LOW_LIMIT:
+            return "medium"
+        return "high"
+
+
+@dataclass
+class ClusteringAnalysis:
+    """Full phase-3 result."""
+
+    profiles: list[ClusterCrashProfile]
+    anova: AnovaResult
+    assignment: np.ndarray
+    n_clusters: int
+
+    @property
+    def n_very_low_crash_clusters(self) -> int:
+        return sum(1 for p in self.profiles if p.is_very_low_crash)
+
+    @property
+    def n_mostly_below_ten_clusters(self) -> int:
+        return sum(1 for p in self.profiles if p.is_mostly_below_ten)
+
+    def band_counts(self) -> dict[str, int]:
+        counts = {"low": 0, "medium": 0, "high": 0}
+        for profile in self.profiles:
+            counts[profile.band] += 1
+        return counts
+
+    def supports_non_crash_prone_roads(self, minimum_clusters: int = 3) -> bool:
+        """The paper's conclusion test: several amply-packed very-low
+        clusters and an ANOVA that rejects equal means."""
+        ample = [
+            p
+            for p in self.profiles
+            if p.is_very_low_crash and p.n_instances >= 20
+        ]
+        return len(ample) >= minimum_clusters and self.anova.rejects_equal_means()
+
+
+def analyse_clusters(
+    counts: np.ndarray, assignment: np.ndarray
+) -> ClusteringAnalysis:
+    """Profile every cluster's crash-count range and run the ANOVA."""
+    counts = np.asarray(counts, dtype=np.float64)
+    assignment = np.asarray(assignment)
+    if counts.shape != assignment.shape:
+        raise EvaluationError(
+            f"counts {counts.shape} and assignment {assignment.shape} differ"
+        )
+    cluster_ids = np.unique(assignment)
+    if cluster_ids.size < 2:
+        raise EvaluationError("need at least 2 non-empty clusters")
+    profiles: list[ClusterCrashProfile] = []
+    groups: list[np.ndarray] = []
+    for cid in cluster_ids:
+        member_counts = counts[assignment == cid]
+        groups.append(member_counts)
+        q1, median, q3 = np.percentile(member_counts, [25, 50, 75])
+        profiles.append(
+            ClusterCrashProfile(
+                cluster_id=int(cid),
+                n_instances=int(member_counts.size),
+                minimum=float(member_counts.min()),
+                q1=float(q1),
+                median=float(median),
+                q3=float(q3),
+                maximum=float(member_counts.max()),
+                mean=float(member_counts.mean()),
+            )
+        )
+    anova = one_way_anova(groups)
+    profiles.sort(key=lambda p: p.mean)
+    return ClusteringAnalysis(
+        profiles=profiles,
+        anova=anova,
+        assignment=assignment,
+        n_clusters=int(cluster_ids.size),
+    )
+
+
+def run_phase3_clustering(
+    crash_instances: DataTable,
+    n_clusters: int = 32,
+    seed: int = 0,
+    count_column: str = "segment_crash_count",
+    include: list[str] | None = None,
+) -> ClusteringAnalysis:
+    """The paper's phase 3 in one call.
+
+    K-means (default 32 clusters) on the road attributes of the
+    crash-only instances, then the crash-count range analysis.
+    """
+    model = KMeans(n_clusters=n_clusters, seed=seed)
+    assignment = model.fit_predict(crash_instances, include=include)
+    counts = crash_instances.numeric(count_column)
+    return analyse_clusters(counts, assignment)

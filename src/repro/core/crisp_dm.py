@@ -1,0 +1,113 @@
+"""A minimal CRISP-DM pipeline framework.
+
+"To conform to industry-standard processes, the CRISP-DM framework was
+used to guide the study through development of its data exploration,
+data preparation, model deployment and model assessment and
+evaluation."  This module gives the study an explicit, inspectable
+backbone: named stages, ordered execution over a shared context, and a
+run log recording what each stage produced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.exceptions import ReproError
+
+__all__ = ["CrispDmStage", "StageRun", "CrispDmPipeline"]
+
+
+class CrispDmStage(Enum):
+    """The six CRISP-DM 1.0 stages."""
+
+    BUSINESS_UNDERSTANDING = "business understanding"
+    DATA_UNDERSTANDING = "data understanding"
+    DATA_PREPARATION = "data preparation"
+    MODELING = "modeling"
+    EVALUATION = "evaluation"
+    DEPLOYMENT = "deployment"
+
+
+_STAGE_ORDER = list(CrispDmStage)
+
+
+@dataclass
+class StageRun:
+    """Record of one executed stage task."""
+
+    stage: CrispDmStage
+    name: str
+    seconds: float
+    outputs: tuple[str, ...]
+
+
+@dataclass
+class CrispDmPipeline:
+    """Ordered stage tasks operating on a shared context dict.
+
+    Tasks are registered against a stage and receive the context; any
+    mapping they return is merged into it.  Execution follows CRISP-DM
+    stage order, then registration order within a stage.
+    """
+
+    tasks: list[tuple[CrispDmStage, str, Callable[[dict], dict | None]]] = field(
+        default_factory=list
+    )
+    log: list[StageRun] = field(default_factory=list)
+
+    def register(
+        self,
+        stage: CrispDmStage,
+        name: str,
+        task: Callable[[dict], dict | None],
+    ) -> "CrispDmPipeline":
+        """Add a task; returns self for chaining."""
+        self.tasks.append((stage, name, task))
+        return self
+
+    def stage_names(self, stage: CrispDmStage) -> list[str]:
+        return [name for s, name, _t in self.tasks if s is stage]
+
+    def run(self, context: dict | None = None) -> dict:
+        """Execute all tasks in CRISP-DM order over the context."""
+        if not self.tasks:
+            raise ReproError("pipeline has no registered tasks")
+        context = dict(context or {})
+        self.log = []
+        ordered = sorted(
+            enumerate(self.tasks),
+            key=lambda item: (_STAGE_ORDER.index(item[1][0]), item[0]),
+        )
+        for _idx, (stage, name, task) in ordered:
+            started = time.perf_counter()
+            produced = task(context)
+            elapsed = time.perf_counter() - started
+            outputs: tuple[str, ...] = ()
+            if produced is not None:
+                if not isinstance(produced, dict):
+                    raise ReproError(
+                        f"stage task {name!r} must return a dict or None, "
+                        f"got {type(produced).__name__}"
+                    )
+                context.update(produced)
+                outputs = tuple(produced)
+            self.log.append(StageRun(stage, name, elapsed, outputs))
+        return context
+
+    def describe(self) -> str:
+        """Human-readable plan (or run log, after execution)."""
+        lines = []
+        if self.log:
+            for run in self.log:
+                outs = ", ".join(run.outputs) if run.outputs else "-"
+                lines.append(
+                    f"[{run.stage.value}] {run.name} "
+                    f"({run.seconds:.2f}s) -> {outs}"
+                )
+        else:
+            for stage, name, _task in self.tasks:
+                lines.append(f"[{stage.value}] {name}")
+        return "\n".join(lines)

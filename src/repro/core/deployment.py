@@ -1,0 +1,196 @@
+"""Deployment: a persistable crash-proneness scorer.
+
+The paper's future work: "develop deployment to embed with a strategic
+and operational decision support system."  :class:`CrashPronenessScorer`
+packages everything such a system needs:
+
+* the fitted CP-k decision tree (and optionally the regression tree),
+* the selected threshold and its provenance (MCPV, plateau, seed),
+* validation statistics recorded at training time,
+
+with JSON save/load, segment scoring, and a ranked treatment list —
+the artefact a road authority's asset-management pipeline would consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.assessment import assess_scores
+from repro.core.thresholds import TARGET_COLUMN, build_threshold_dataset
+from repro.datatable import DataTable
+from repro.evaluation import train_valid_split
+from repro.exceptions import ReproError
+from repro.mining import DecisionTreeClassifier, TreeConfig
+
+__all__ = ["CrashPronenessScorer", "SegmentScore"]
+
+SCORER_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SegmentScore:
+    """One scored segment, ready for a treatment list."""
+
+    segment_id: int
+    probability: float
+    crash_prone: bool
+    rank: int
+
+
+@dataclass
+class CrashPronenessScorer:
+    """A trained, persistable crash-proneness model.
+
+    Build with :meth:`train` (from crash instances and a threshold) or
+    :meth:`load` (from a saved file).
+
+    Attributes
+    ----------
+    threshold:
+        The crash-count threshold the model classifies against.
+    model:
+        The fitted chi-square decision tree.
+    validation:
+        Table 2 measures recorded on the held-out validation split at
+        training time (what the system's operators audit against).
+    metadata:
+        Free-form provenance (seed, dataset description, ...).
+    """
+
+    threshold: int
+    model: DecisionTreeClassifier
+    validation: dict[str, float] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    # -- training ------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        crash_instances: DataTable,
+        threshold: int,
+        seed: int = 0,
+        train_fraction: float = 0.6,
+        tree_config: TreeConfig | None = None,
+        metadata: dict[str, object] | None = None,
+    ) -> "CrashPronenessScorer":
+        """Train a scorer at a given crash-proneness threshold."""
+        dataset = build_threshold_dataset(crash_instances, threshold)
+        rng = np.random.default_rng(seed)
+        split = train_valid_split(
+            dataset.table, rng, train_fraction, stratify_by=TARGET_COLUMN
+        )
+        if tree_config is None:
+            min_leaf = max(25, dataset.table.n_rows // 150)
+            tree_config = TreeConfig(
+                min_leaf=min_leaf,
+                min_split=max(60, int(2.5 * min_leaf)),
+                max_leaves=160,
+            )
+        model = DecisionTreeClassifier(tree_config).fit(
+            split.train, TARGET_COLUMN
+        )
+        actual = build_threshold_dataset(
+            split.valid, threshold
+        ).target_vector()
+        assessment = assess_scores(actual, model.predict_proba(split.valid))
+        return cls(
+            threshold=threshold,
+            model=model,
+            validation=assessment.as_dict(),
+            metadata=dict(metadata or {}, seed=seed),
+        )
+
+    # -- scoring -------------------------------------------------------------
+    def score(self, table: DataTable) -> np.ndarray:
+        """P(crash prone) per row of any table with the road attributes."""
+        return self.model.predict_proba(table)
+
+    def classify(self, table: DataTable, cutoff: float = 0.5) -> np.ndarray:
+        """0/1 crash-proneness flags."""
+        return self.model.predict(table, threshold=cutoff)
+
+    def treatment_list(
+        self,
+        segment_table: DataTable,
+        top: int | None = None,
+        cutoff: float = 0.5,
+    ) -> list[SegmentScore]:
+        """Segments ranked by predicted crash-proneness.
+
+        ``segment_table`` must carry ``segment_id`` plus the model's
+        input attributes.  Returns the ``top`` highest-probability
+        segments (all, if ``top`` is None), ranked descending.
+        """
+        if "segment_id" not in segment_table:
+            raise ReproError(
+                "treatment_list requires a 'segment_id' column"
+            )
+        probabilities = self.score(segment_table)
+        ids = segment_table.numeric("segment_id").astype(int)
+        order = np.argsort(-probabilities, kind="stable")
+        if top is not None:
+            order = order[:top]
+        return [
+            SegmentScore(
+                segment_id=int(ids[i]),
+                probability=float(probabilities[i]),
+                crash_prone=bool(probabilities[i] >= cutoff),
+                rank=rank + 1,
+            )
+            for rank, i in enumerate(order)
+        ]
+
+    def expected_prone_km(self, segment_table: DataTable) -> float:
+        """Expected crash-prone kilometres (sum of probabilities;
+        segments are 1 km)."""
+        return float(self.score(segment_table).sum())
+
+    # -- persistence -------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format_version": SCORER_FORMAT_VERSION,
+            "threshold": self.threshold,
+            "validation": self.validation,
+            "metadata": self.metadata,
+            "model": self.model.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrashPronenessScorer":
+        version = data.get("format_version")
+        if version != SCORER_FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported scorer format version {version!r} "
+                f"(expected {SCORER_FORMAT_VERSION})"
+            )
+        return cls(
+            threshold=data["threshold"],
+            model=DecisionTreeClassifier.from_dict(data["model"]),
+            validation=dict(data["validation"]),
+            metadata=dict(data["metadata"]),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the scorer to a JSON file."""
+        payload = json.dumps(self.to_dict(), indent=2, allow_nan=True)
+        Path(path).write_text(payload, encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CrashPronenessScorer":
+        """Read a scorer saved with :meth:`save`."""
+        text = Path(path).read_text(encoding="utf-8")
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        mcpv = self.validation.get("mcpv", float("nan"))
+        kappa = self.validation.get("kappa", float("nan"))
+        return (
+            f"CrashPronenessScorer(CP-{self.threshold}, "
+            f"{self.model.n_leaves} leaves, validation MCPV={mcpv:.3f}, "
+            f"Kappa={kappa:.3f})"
+        )

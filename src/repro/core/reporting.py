@@ -1,0 +1,130 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmark harness prints the same rows / series the paper reports;
+these helpers keep that presentation in one place: fixed-width tables
+(Tables 1, 3, 4, 5), labelled numeric series (Figures 2 and 3), count
+histograms (Figure 1) and box-range charts (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "format_cell",
+    "render_table",
+    "render_series",
+    "render_histogram",
+    "render_box_ranges",
+]
+
+
+def format_cell(value: object, decimals: int = 3) -> str:
+    """Uniform cell formatting: floats rounded, NaN shown as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    decimals: int = 3,
+) -> str:
+    """Fixed-width text table with a rule under the header."""
+    text_rows = [
+        [format_cell(cell, decimals) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Mapping[int, float]],
+    x_label: str = "threshold",
+    title: str | None = None,
+    decimals: int = 3,
+) -> str:
+    """Tabulate named series over a shared integer x-axis."""
+    xs = sorted({x for values in series.values() for x in values})
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name].get(x, float("nan")) for name in series]
+        for x in xs
+    ]
+    return render_table(headers, rows, title=title, decimals=decimals)
+
+
+def render_histogram(
+    counts: Mapping[int, int],
+    title: str | None = None,
+    max_width: int = 50,
+) -> str:
+    """Horizontal bar chart of value → frequency."""
+    lines = [title] if title else []
+    if not counts:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(counts.values())
+    for value in sorted(counts):
+        frequency = counts[value]
+        bar = "#" * max(
+            1 if frequency else 0,
+            int(round(frequency / peak * max_width)) if peak else 0,
+        )
+        lines.append(f"{value:>5}  {frequency:>7}  {bar}")
+    return "\n".join(lines)
+
+
+def render_box_ranges(
+    boxes: Sequence[tuple[str, float, float, float, float, float]],
+    title: str | None = None,
+    axis_max: float | None = None,
+    width: int = 60,
+) -> str:
+    """Text box-plot per row: (label, min, q1, median, q3, max).
+
+    Mirrors Figure 4's per-cluster crash-count ranges.
+    """
+    lines = [title] if title else []
+    if not boxes:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    top = axis_max if axis_max is not None else max(b[5] for b in boxes)
+    top = max(top, 1e-9)
+
+    def position(value: float) -> int:
+        return min(width - 1, max(0, int(round(value / top * (width - 1)))))
+
+    for label, low, q1, median, q3, high in boxes:
+        chart = [" "] * width
+        for i in range(position(low), position(high) + 1):
+            chart[i] = "-"
+        for i in range(position(q1), position(q3) + 1):
+            chart[i] = "="
+        chart[position(median)] = "O"
+        lines.append(
+            f"{label:>12} |{''.join(chart)}| "
+            f"q1={q1:g} med={median:g} q3={q3:g} max={high:g}"
+        )
+    return "\n".join(lines)

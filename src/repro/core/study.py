@@ -1,0 +1,476 @@
+"""The crash-proneness study: phases 1–3 orchestration.
+
+This is the paper's primary contribution as an executable object.
+
+* **Phase 1** — threshold sweep over the crash + zero-altered no-crash
+  table (Table 3): per threshold, an F-test regression tree (validation
+  R², leaf count) and a chi-square decision tree (NPV, PPV,
+  misclassification, leaf count) on a train/validation split.
+* **Phase 2** — the same sweep over the crash-only table (Table 4).
+* **Supporting sweeps** — naive Bayes (Table 5), logistic regression
+  and neural networks under 10-fold cross-validation, and M5 model
+  trees as an interval-target comparison.
+* **Phase 3** — 32-cluster k-means on the crash-only data at the
+  selected threshold, with the crash-count range analysis and ANOVA
+  (Figure 4).
+* **Threshold selection** — MCPV peak/plateau rule combining phases 1
+  and 2 ("the best combination results ... is between thresholds 4 and
+  8 crashes").
+
+``run_full_study`` wires all of it through the CRISP-DM pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.assessment import (
+    ClassifierAssessment,
+    ThresholdSelection,
+    assess_scores,
+    select_best_threshold,
+)
+from repro.core.clustering_analysis import (
+    ClusteringAnalysis,
+    run_phase3_clustering,
+)
+from repro.core.crisp_dm import CrispDmPipeline, CrispDmStage
+from repro.core.thresholds import (
+    PHASE1_THRESHOLDS,
+    PHASE2_THRESHOLDS,
+    TARGET_COLUMN,
+    ThresholdDataset,
+    build_threshold_dataset,
+)
+from repro.datatable import DataTable
+from repro.evaluation import cross_val_scores, r_squared, train_valid_split
+from repro.exceptions import EvaluationError
+from repro.mining import (
+    DecisionTreeClassifier,
+    LogisticRegressionClassifier,
+    M5ModelTree,
+    NaiveBayesClassifier,
+    NeuralNetworkClassifier,
+    RegressionTree,
+    TreeConfig,
+)
+from repro.roads.generator import RoadCrashDataset
+
+__all__ = [
+    "TreeModelResult",
+    "PhaseResult",
+    "SupportingModelResult",
+    "StudyReport",
+    "CrashPronenessStudy",
+]
+
+
+@dataclass(frozen=True)
+class TreeModelResult:
+    """One row of Table 3 / Table 4."""
+
+    threshold: int
+    n_non_prone: int
+    n_prone: int
+    r_squared: float
+    regression_leaves: int
+    npv: float
+    ppv: float
+    misclassification_rate: float
+    decision_leaves: int
+    assessment: ClassifierAssessment
+
+    @property
+    def mcpv(self) -> float:
+        return self.assessment.mcpv
+
+    @property
+    def kappa(self) -> float:
+        return self.assessment.kappa
+
+
+@dataclass
+class PhaseResult:
+    """All thresholds of one modelling phase."""
+
+    phase: int
+    results: list[TreeModelResult] = field(default_factory=list)
+
+    def thresholds(self) -> list[int]:
+        return [r.threshold for r in self.results]
+
+    def series(self, attribute: str) -> dict[int, float]:
+        """threshold → value of one result attribute (e.g. 'mcpv')."""
+        return {
+            r.threshold: float(getattr(r, attribute)) for r in self.results
+        }
+
+    def mcpv_series(self) -> dict[int, float]:
+        return self.series("mcpv")
+
+    def r_squared_series(self) -> dict[int, float]:
+        return self.series("r_squared")
+
+
+@dataclass(frozen=True)
+class SupportingModelResult:
+    """One row of Table 5 (or its logistic / neural analogue)."""
+
+    model: str
+    threshold: int
+    assessment: ClassifierAssessment
+
+    @property
+    def mcpv(self) -> float:
+        return self.assessment.mcpv
+
+    @property
+    def kappa(self) -> float:
+        return self.assessment.kappa
+
+
+@dataclass
+class StudyReport:
+    """The full study outcome."""
+
+    phase1: PhaseResult
+    phase2: PhaseResult
+    bayes: list[SupportingModelResult]
+    selection: ThresholdSelection
+    clustering: ClusteringAnalysis
+    pipeline_log: str
+
+
+class CrashPronenessStudy:
+    """Executable reproduction of the paper's modelling methodology.
+
+    Parameters
+    ----------
+    dataset:
+        A generated :class:`~repro.roads.generator.RoadCrashDataset`.
+    tree_config:
+        Growth parameters shared by all tree fits.  ``None`` (default)
+        auto-scales the minimum leaf size with the data: phase-2
+        instances duplicate each segment's attribute row once per
+        crash, so leaves small relative to a segment's crash count
+        would memorise individual segments across the train/validation
+        split.  The paper's own leaf counts (6–160 leaves on 16,750
+        instances) imply comparably large leaves.
+    train_fraction:
+        The train/validation split used for the tree models.
+    seed:
+        Seeds all splits and model initialisations.
+    repeats:
+        Independent train/validation repetitions per threshold; the
+        validation predictions are pooled before assessment.  1 matches
+        the paper's single split; 2–3 stabilise the synthetic tables.
+    """
+
+    def __init__(
+        self,
+        dataset: RoadCrashDataset,
+        tree_config: TreeConfig | None = None,
+        train_fraction: float = 0.6,
+        seed: int = 0,
+        repeats: int = 1,
+    ):
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.dataset = dataset
+        self.tree_config = tree_config
+        self.train_fraction = train_fraction
+        self.seed = seed
+        self.repeats = repeats
+
+    # -- shared mechanics -------------------------------------------------
+    def _config_for(self, dataset: ThresholdDataset) -> TreeConfig:
+        if self.tree_config is not None:
+            return self.tree_config
+        n_rows = dataset.table.n_rows
+        # Instance tables duplicate a segment's attribute row once per
+        # crash; a leaf smaller than ~1.3x the largest segment count
+        # could isolate a single road and "validate" on its own copies.
+        from repro.core.thresholds import CRASH_COUNT_COLUMN
+
+        max_count = float(
+            np.nanmax(dataset.table.numeric(CRASH_COUNT_COLUMN))
+        )
+        min_leaf = max(25, n_rows // 150, int(1.3 * max_count))
+        return TreeConfig(
+            min_leaf=min_leaf,
+            min_split=max(60, int(2.5 * min_leaf)),
+            max_leaves=160,
+        )
+
+    def _fit_trees_at(
+        self, dataset: ThresholdDataset, split_seed: int
+    ) -> TreeModelResult:
+        config = self._config_for(dataset)
+        pooled_actual: list[np.ndarray] = []
+        pooled_scores: list[np.ndarray] = []
+        pooled_regression: list[np.ndarray] = []
+        decision_leaves: list[int] = []
+        regression_leaves: list[int] = []
+        for repeat in range(self.repeats):
+            rng = np.random.default_rng(split_seed + 7919 * repeat)
+            split = train_valid_split(
+                dataset.table,
+                rng,
+                self.train_fraction,
+                stratify_by=TARGET_COLUMN,
+            )
+            decision = DecisionTreeClassifier(config).fit(
+                split.train, TARGET_COLUMN
+            )
+            valid_dataset = build_threshold_dataset(
+                split.valid, dataset.threshold
+            )
+            pooled_actual.append(valid_dataset.target_vector())
+            pooled_scores.append(decision.predict_proba(split.valid))
+            decision_leaves.append(decision.n_leaves)
+            regression = RegressionTree(config).fit(
+                split.train, TARGET_COLUMN
+            )
+            pooled_regression.append(regression.predict(split.valid))
+            regression_leaves.append(regression.n_leaves)
+        actual = np.concatenate(pooled_actual)
+        assessment = assess_scores(actual, np.concatenate(pooled_scores))
+        r2 = r_squared(
+            actual.astype(np.float64), np.concatenate(pooled_regression)
+        )
+        return TreeModelResult(
+            threshold=dataset.threshold,
+            n_non_prone=dataset.n_non_prone,
+            n_prone=dataset.n_prone,
+            r_squared=r2,
+            regression_leaves=int(round(np.mean(regression_leaves))),
+            npv=assessment.npv,
+            ppv=assessment.ppv,
+            misclassification_rate=assessment.misclassification_rate,
+            decision_leaves=int(round(np.mean(decision_leaves))),
+            assessment=assessment,
+        )
+
+    def _sweep(
+        self, table: DataTable, thresholds: tuple[int, ...], phase: int
+    ) -> PhaseResult:
+        result = PhaseResult(phase=phase)
+        for offset, threshold in enumerate(sorted(thresholds)):
+            dataset = build_threshold_dataset(table, threshold)
+            if min(dataset.n_non_prone, dataset.n_prone) == 0:
+                continue  # no minority class at all; nothing to model
+            result.results.append(
+                self._fit_trees_at(dataset, self.seed + 101 * offset)
+            )
+        if not result.results:
+            raise EvaluationError(
+                f"phase {phase}: no threshold produced a two-class dataset"
+            )
+        return result
+
+    # -- phases --------------------------------------------------------------
+    def run_phase1(
+        self, thresholds: tuple[int, ...] = PHASE1_THRESHOLDS
+    ) -> PhaseResult:
+        """Tree sweep over the crash + no-crash table (Table 3)."""
+        return self._sweep(
+            self.dataset.combined_instances(), thresholds, phase=1
+        )
+
+    def run_phase2(
+        self, thresholds: tuple[int, ...] = PHASE2_THRESHOLDS
+    ) -> PhaseResult:
+        """Tree sweep over the crash-only table (Table 4)."""
+        return self._sweep(self.dataset.crash_instances, thresholds, phase=2)
+
+    def run_segment_level_sweep(
+        self, thresholds: tuple[int, ...] = PHASE2_THRESHOLDS
+    ) -> PhaseResult:
+        """Extension: the phase-2 sweep with one row per *segment*.
+
+        The paper's unit of analysis is the crash instance, which
+        duplicates each segment's attribute row once per crash — the
+        very mechanism it flags at CP-64 ("crashes referencing the same
+        road segment").  This variant models the crash segments
+        directly (each road counted once), removing the duplication.
+        Class counts then reflect segments, so the extreme thresholds
+        are *even more* imbalanced, but no leaf can span copies of one
+        road across the train/validation split.
+        """
+        crash_segments = self.dataset.segment_table.filter(
+            self.dataset.segment_table.numeric("segment_crash_count") > 0
+        )
+        return self._sweep(crash_segments, thresholds, phase=4)
+
+    def run_supporting_sweep(
+        self,
+        model: str = "bayes",
+        thresholds: tuple[int, ...] = PHASE2_THRESHOLDS,
+        folds: int = 10,
+    ) -> list[SupportingModelResult]:
+        """10-fold CV sweep of a supporting classifier on crash-only data.
+
+        ``model`` is one of 'bayes', 'logistic', 'neural'.
+        """
+        factories = {
+            "bayes": lambda: NaiveBayesClassifier(),
+            "logistic": lambda: LogisticRegressionClassifier(),
+            "neural": lambda: NeuralNetworkClassifier(
+                epochs=150, seed=self.seed
+            ),
+        }
+        if model not in factories:
+            raise ValueError(
+                f"model must be one of {sorted(factories)}, got {model!r}"
+            )
+        results: list[SupportingModelResult] = []
+        for offset, threshold in enumerate(sorted(thresholds)):
+            dataset = build_threshold_dataset(
+                self.dataset.crash_instances, threshold
+            )
+            y = dataset.target_vector()
+            if min(int(y.sum()), int((1 - y).sum())) < folds:
+                continue  # cannot stratify this few minority rows
+            rng = np.random.default_rng(self.seed + 977 * offset)
+            actual, scores = cross_val_scores(
+                factories[model],
+                dataset.table,
+                TARGET_COLUMN,
+                y,
+                folds,
+                rng,
+            )
+            results.append(
+                SupportingModelResult(
+                    model=model,
+                    threshold=threshold,
+                    assessment=assess_scores(actual, scores),
+                )
+            )
+        return results
+
+    def run_m5_sweep(
+        self, thresholds: tuple[int, ...] = PHASE2_THRESHOLDS
+    ) -> dict[int, float]:
+        """M5 model-tree validation R² per threshold (interval target)."""
+        out: dict[int, float] = {}
+        for offset, threshold in enumerate(sorted(thresholds)):
+            dataset = build_threshold_dataset(
+                self.dataset.crash_instances, threshold
+            )
+            if min(dataset.n_non_prone, dataset.n_prone) == 0:
+                continue
+            rng = np.random.default_rng(self.seed + 389 * offset)
+            split = train_valid_split(
+                dataset.table, rng, self.train_fraction,
+                stratify_by=TARGET_COLUMN,
+            )
+            model = M5ModelTree().fit(split.train, TARGET_COLUMN)
+            valid = build_threshold_dataset(split.valid, threshold)
+            actual = valid.target_vector().astype(np.float64)
+            out[threshold] = r_squared(actual, model.predict(split.valid))
+        return out
+
+    def run_phase3(
+        self, threshold: int = 8, n_clusters: int = 32
+    ) -> ClusteringAnalysis:
+        """K-means crash-count range analysis at the selected threshold."""
+        del threshold  # phase 3 clusters the full crash-only data; the
+        # selected threshold names the model but does not alter inputs.
+        return run_phase3_clustering(
+            self.dataset.crash_instances,
+            n_clusters=n_clusters,
+            seed=self.seed,
+        )
+
+    # -- selection ----------------------------------------------------------
+    def select_threshold(
+        self,
+        phase1: PhaseResult,
+        phase2: PhaseResult,
+        plateau_tolerance: float = 0.02,
+    ) -> ThresholdSelection:
+        """Combine both phases' MCPV curves with the paper's rule.
+
+        For thresholds present in both phases the *minimum* of the two
+        MCPVs is used (a threshold must hold up in both datasets),
+        mirroring how the paper reads its "best combination results".
+        """
+        curve1 = phase1.mcpv_series()
+        curve2 = phase2.mcpv_series()
+        combined: dict[int, float] = {}
+        for threshold in sorted(set(curve1) | set(curve2)):
+            values = [
+                c[threshold] for c in (curve1, curve2) if threshold in c
+            ]
+            usable = [v for v in values if not np.isnan(v)]
+            combined[threshold] = min(usable) if usable else float("nan")
+        return select_best_threshold(
+            combined, metric="mcpv", plateau_tolerance=plateau_tolerance
+        )
+
+    # -- the full CRISP-DM run -------------------------------------------------
+    def run_full_study(
+        self,
+        phase1_thresholds: tuple[int, ...] = PHASE1_THRESHOLDS,
+        phase2_thresholds: tuple[int, ...] = PHASE2_THRESHOLDS,
+        n_clusters: int = 32,
+    ) -> StudyReport:
+        """Execute the complete study through the CRISP-DM pipeline."""
+        pipeline = CrispDmPipeline()
+        pipeline.register(
+            CrispDmStage.DATA_UNDERSTANDING,
+            "profile instance tables",
+            lambda ctx: {
+                "n_crash_instances": self.dataset.n_crash_instances,
+                "n_no_crash_instances": self.dataset.n_no_crash_instances,
+            },
+        )
+        pipeline.register(
+            CrispDmStage.MODELING,
+            "phase 1 tree sweep (crash + no-crash)",
+            lambda ctx: {"phase1": self.run_phase1(phase1_thresholds)},
+        )
+        pipeline.register(
+            CrispDmStage.MODELING,
+            "phase 2 tree sweep (crash only)",
+            lambda ctx: {"phase2": self.run_phase2(phase2_thresholds)},
+        )
+        pipeline.register(
+            CrispDmStage.MODELING,
+            "supporting naive Bayes sweep",
+            lambda ctx: {
+                "bayes": self.run_supporting_sweep(
+                    "bayes", phase2_thresholds
+                )
+            },
+        )
+        pipeline.register(
+            CrispDmStage.EVALUATION,
+            "threshold selection (MCPV plateau rule)",
+            lambda ctx: {
+                "selection": self.select_threshold(
+                    ctx["phase1"], ctx["phase2"]
+                )
+            },
+        )
+        pipeline.register(
+            CrispDmStage.EVALUATION,
+            "phase 3 clustering at the selected threshold",
+            lambda ctx: {
+                "clustering": self.run_phase3(
+                    ctx["selection"].selected_threshold, n_clusters
+                )
+            },
+        )
+        context = pipeline.run()
+        return StudyReport(
+            phase1=context["phase1"],
+            phase2=context["phase2"],
+            bayes=context["bayes"],
+            selection=context["selection"],
+            clustering=context["clustering"],
+            pipeline_log=pipeline.describe(),
+        )

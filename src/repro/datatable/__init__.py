@@ -1,0 +1,46 @@
+"""Columnar table substrate used by every other subpackage.
+
+Public surface::
+
+    from repro.datatable import (
+        DataTable, NumericColumn, CategoricalColumn,
+        TableSchema, ColumnSpec, Role, MeasurementLevel,
+        read_csv, write_csv,
+    )
+"""
+
+from repro.datatable.column import (
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+    column_from_values,
+)
+from repro.datatable.io import (
+    from_csv_string,
+    read_csv,
+    to_csv_string,
+    write_csv,
+)
+from repro.datatable.schema import (
+    ColumnSpec,
+    MeasurementLevel,
+    Role,
+    TableSchema,
+)
+from repro.datatable.table import DataTable
+
+__all__ = [
+    "Column",
+    "NumericColumn",
+    "CategoricalColumn",
+    "column_from_values",
+    "DataTable",
+    "TableSchema",
+    "ColumnSpec",
+    "Role",
+    "MeasurementLevel",
+    "read_csv",
+    "write_csv",
+    "to_csv_string",
+    "from_csv_string",
+]

@@ -1,0 +1,368 @@
+"""Typed columns with explicit missing-value masks.
+
+Two concrete column kinds exist:
+
+:class:`NumericColumn`
+    float64 values; missing values are stored as NaN but always queried
+    through :meth:`Column.missing_mask` so callers never test NaN
+    directly.
+
+:class:`CategoricalColumn`
+    Integer codes into a label vocabulary; code ``-1`` means missing.
+
+The paper keeps missing values as "valid data" for its tree models, so
+columns must round-trip missingness losslessly rather than imputing at
+ingest time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ColumnTypeError, SchemaError
+
+__all__ = ["Column", "NumericColumn", "CategoricalColumn", "column_from_values"]
+
+_MISSING_CODE = -1
+
+
+class Column:
+    """Abstract base for a single named, typed column of data."""
+
+    name: str
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_numeric(self) -> bool:
+        raise NotImplementedError
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean array, True where the value is missing."""
+        raise NotImplementedError
+
+    def n_missing(self) -> int:
+        return int(self.missing_mask().sum())
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """New column with rows re-ordered / subset by integer indices."""
+        raise NotImplementedError
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """New column keeping rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise SchemaError(
+                f"filter mask length {mask.shape} does not match column "
+                f"{self.name!r} of length {len(self)}"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def concat(self, other: "Column") -> "Column":
+        """New column with ``other``'s rows appended."""
+        raise NotImplementedError
+
+    def to_objects(self) -> list:
+        """Python-object view (floats / labels / None) for CSV export."""
+        raise NotImplementedError
+
+    def rename(self, name: str) -> "Column":
+        raise NotImplementedError
+
+    def equals(self, other: "Column") -> bool:
+        """Value equality including missingness and (for categoricals) labels."""
+        raise NotImplementedError
+
+
+class NumericColumn(Column):
+    """An interval-scaled column backed by a float64 array.
+
+    Parameters
+    ----------
+    name:
+        Column name.
+    values:
+        Any sequence coercible to float; ``None`` entries become missing.
+    """
+
+    def __init__(self, name: str, values: Iterable):
+        self.name = name
+        arr = np.asarray(
+            [np.nan if v is None else v for v in values], dtype=np.float64
+        )
+        if arr.ndim != 1:
+            raise SchemaError(
+                f"numeric column {name!r} requires 1-D data, got shape {arr.shape}"
+            )
+        self._values = arr
+        self._values.flags.writeable = False
+
+    @classmethod
+    def from_array(cls, name: str, array: np.ndarray) -> "NumericColumn":
+        """Wrap an existing float array without per-element conversion."""
+        col = cls.__new__(cls)
+        col.name = name
+        arr = np.asarray(array, dtype=np.float64)
+        if arr.ndim != 1:
+            raise SchemaError(
+                f"numeric column {name!r} requires 1-D data, got shape {arr.shape}"
+            )
+        col._values = arr.copy()
+        col._values.flags.writeable = False
+        return col
+
+    def __len__(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only float64 view; missing entries are NaN."""
+        return self._values
+
+    def missing_mask(self) -> np.ndarray:
+        return np.isnan(self._values)
+
+    def present_values(self) -> np.ndarray:
+        """Only the non-missing values."""
+        return self._values[~self.missing_mask()]
+
+    def take(self, indices: np.ndarray) -> "NumericColumn":
+        return NumericColumn.from_array(self.name, self._values[indices])
+
+    def concat(self, other: Column) -> "NumericColumn":
+        if not isinstance(other, NumericColumn):
+            raise ColumnTypeError(
+                f"cannot concat numeric column {self.name!r} with "
+                f"{type(other).__name__}"
+            )
+        return NumericColumn.from_array(
+            self.name, np.concatenate([self._values, other._values])
+        )
+
+    def to_objects(self) -> list:
+        return [None if np.isnan(v) else float(v) for v in self._values]
+
+    def rename(self, name: str) -> "NumericColumn":
+        return NumericColumn.from_array(name, self._values)
+
+    def equals(self, other: Column) -> bool:
+        if not isinstance(other, NumericColumn) or len(self) != len(other):
+            return False
+        a, b = self._values, other._values
+        both_nan = np.isnan(a) & np.isnan(b)
+        with np.errstate(invalid="ignore"):
+            same = (a == b) | both_nan
+        return bool(same.all())
+
+    # -- statistics ------------------------------------------------------
+    def summary(self) -> dict:
+        """Five-number-style summary over present values."""
+        present = self.present_values()
+        if present.size == 0:
+            return {
+                "count": 0, "missing": len(self), "mean": float("nan"),
+                "std": float("nan"), "min": float("nan"),
+                "median": float("nan"), "max": float("nan"),
+            }
+        return {
+            "count": int(present.size),
+            "missing": self.n_missing(),
+            "mean": float(present.mean()),
+            "std": float(present.std(ddof=1)) if present.size > 1 else 0.0,
+            "min": float(present.min()),
+            "median": float(np.median(present)),
+            "max": float(present.max()),
+        }
+
+    def __repr__(self) -> str:
+        return f"NumericColumn({self.name!r}, n={len(self)}, missing={self.n_missing()})"
+
+
+class CategoricalColumn(Column):
+    """A nominal column stored as integer codes into a label list.
+
+    Parameters
+    ----------
+    name:
+        Column name.
+    values:
+        Sequence of hashable labels; ``None`` entries become missing.
+    labels:
+        Optional explicit vocabulary.  When given, all present values
+        must belong to it; this keeps train/validation splits sharing a
+        single code space.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        values: Iterable,
+        labels: Sequence[str] | None = None,
+    ):
+        self.name = name
+        values = list(values)
+        if labels is None:
+            seen: dict[str, int] = {}
+            for v in values:
+                if v is not None and v not in seen:
+                    seen[v] = len(seen)
+            self._labels = tuple(seen)
+        else:
+            self._labels = tuple(labels)
+            if len(set(self._labels)) != len(self._labels):
+                raise SchemaError(
+                    f"categorical column {name!r} has duplicate labels"
+                )
+        index = {label: code for code, label in enumerate(self._labels)}
+        codes = np.empty(len(values), dtype=np.int64)
+        for i, v in enumerate(values):
+            if v is None:
+                codes[i] = _MISSING_CODE
+            else:
+                try:
+                    codes[i] = index[v]
+                except KeyError:
+                    raise SchemaError(
+                        f"value {v!r} not in vocabulary of column {name!r}"
+                    ) from None
+        self._codes = codes
+        self._codes.flags.writeable = False
+
+    @classmethod
+    def from_codes(
+        cls, name: str, codes: np.ndarray, labels: Sequence[str]
+    ) -> "CategoricalColumn":
+        """Wrap existing integer codes (−1 = missing) with a vocabulary."""
+        col = cls.__new__(cls)
+        col.name = name
+        col._labels = tuple(labels)
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size and (codes.max(initial=-1) >= len(col._labels)):
+            raise SchemaError(
+                f"code out of range for column {name!r} "
+                f"(max {codes.max()}, vocabulary size {len(col._labels)})"
+            )
+        if codes.size and codes.min(initial=0) < _MISSING_CODE:
+            raise SchemaError(f"negative code below missing marker in {name!r}")
+        col._codes = codes.copy()
+        col._codes.flags.writeable = False
+        return col
+
+    def __len__(self) -> int:
+        return self._codes.shape[0]
+
+    @property
+    def is_numeric(self) -> bool:
+        return False
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Read-only int64 codes; −1 marks missing."""
+        return self._codes
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self._labels
+
+    def missing_mask(self) -> np.ndarray:
+        return self._codes == _MISSING_CODE
+
+    def take(self, indices: np.ndarray) -> "CategoricalColumn":
+        return CategoricalColumn.from_codes(
+            self.name, self._codes[indices], self._labels
+        )
+
+    def concat(self, other: Column) -> "CategoricalColumn":
+        if not isinstance(other, CategoricalColumn):
+            raise ColumnTypeError(
+                f"cannot concat categorical column {self.name!r} with "
+                f"{type(other).__name__}"
+            )
+        if other._labels == self._labels:
+            return CategoricalColumn.from_codes(
+                self.name,
+                np.concatenate([self._codes, other._codes]),
+                self._labels,
+            )
+        # Re-encode the other column into a merged vocabulary.
+        merged = list(self._labels)
+        for label in other._labels:
+            if label not in merged:
+                merged.append(label)
+        remap = np.array(
+            [merged.index(lbl) for lbl in other._labels], dtype=np.int64
+        )
+        other_codes = np.where(
+            other._codes == _MISSING_CODE,
+            _MISSING_CODE,
+            remap[np.clip(other._codes, 0, None)],
+        )
+        return CategoricalColumn.from_codes(
+            self.name, np.concatenate([self._codes, other_codes]), merged
+        )
+
+    def to_objects(self) -> list:
+        return [
+            None if c == _MISSING_CODE else self._labels[c] for c in self._codes
+        ]
+
+    def rename(self, name: str) -> "CategoricalColumn":
+        return CategoricalColumn.from_codes(name, self._codes, self._labels)
+
+    def equals(self, other: Column) -> bool:
+        if not isinstance(other, CategoricalColumn) or len(self) != len(other):
+            return False
+        return self.to_objects() == other.to_objects()
+
+    # -- statistics ------------------------------------------------------
+    def value_counts(self) -> dict[str, int]:
+        """Label → count over present values, in vocabulary order."""
+        counts = np.bincount(
+            self._codes[self._codes != _MISSING_CODE],
+            minlength=len(self._labels),
+        )
+        return {label: int(n) for label, n in zip(self._labels, counts)}
+
+    def summary(self) -> dict:
+        counts = self.value_counts()
+        mode = max(counts, key=counts.get) if counts else None
+        return {
+            "count": int(len(self) - self.n_missing()),
+            "missing": self.n_missing(),
+            "levels": len(self._labels),
+            "mode": mode,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalColumn({self.name!r}, n={len(self)}, "
+            f"levels={len(self._labels)}, missing={self.n_missing()})"
+        )
+
+
+def column_from_values(name: str, values: Iterable) -> Column:
+    """Build the appropriate column type by inspecting the values.
+
+    ints / floats / None → :class:`NumericColumn`; anything else →
+    :class:`CategoricalColumn`.  Mixed numeric and string data is a
+    schema error rather than a silent coercion.
+    """
+    values = list(values)
+    kinds = {
+        type(v) for v in values if v is not None
+    }
+    numeric_kinds = {int, float, np.float64, np.int64, np.int32, np.float32, bool}
+    if not kinds or kinds <= numeric_kinds:
+        return NumericColumn(name, values)
+    if any(k in numeric_kinds for k in kinds):
+        raise SchemaError(
+            f"column {name!r} mixes numeric and non-numeric values"
+        )
+    return CategoricalColumn(name, values)

@@ -1,0 +1,99 @@
+"""CSV import / export for :class:`~repro.datatable.DataTable`.
+
+The road authority's extracts arrive as flat CSV files; this module
+provides a loss-aware round trip: missing values serialise as empty
+fields, numeric columns are detected by attempting float parsing over
+the full column, and everything else becomes categorical.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.datatable.table import DataTable
+from repro.exceptions import SchemaError
+
+__all__ = ["write_csv", "read_csv", "to_csv_string", "from_csv_string"]
+
+
+def write_csv(table: DataTable, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as UTF-8 CSV with a header row."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        _write(table, handle)
+
+
+def to_csv_string(table: DataTable) -> str:
+    """Render ``table`` as a CSV string (used by reports and tests)."""
+    buffer = io.StringIO()
+    _write(table, buffer)
+    return buffer.getvalue()
+
+
+def _write(table: DataTable, handle: TextIO) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(table.column_names)
+    object_columns = [col.to_objects() for col in table.columns()]
+    for i in range(table.n_rows):
+        writer.writerow(
+            ["" if col[i] is None else _render(col[i]) for col in object_columns]
+        )
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def read_csv(path: str | Path) -> DataTable:
+    """Read a CSV file written by :func:`write_csv` (or compatible)."""
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        return _read(handle)
+
+
+def from_csv_string(text: str) -> DataTable:
+    return _read(io.StringIO(text))
+
+
+def _read(handle: TextIO) -> DataTable:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input has no header row") from None
+    if len(set(header)) != len(header):
+        raise SchemaError(f"CSV header contains duplicate names: {header}")
+    raw_columns: list[list[str]] = [[] for _ in header]
+    for row_number, row in enumerate(reader, start=2):
+        if len(row) != len(header):
+            raise SchemaError(
+                f"CSV line {row_number} has {len(row)} fields, "
+                f"expected {len(header)}"
+            )
+        for cell, column in zip(row, raw_columns):
+            column.append(cell)
+    data = {
+        name: _parse_column(cells) for name, cells in zip(header, raw_columns)
+    }
+    return DataTable.from_columns(data)
+
+
+def _parse_column(cells: list[str]) -> list:
+    """Parse one raw string column: all-floats → numeric, else labels."""
+    parsed: list = []
+    numeric = True
+    for cell in cells:
+        if cell == "":
+            parsed.append(None)
+            continue
+        try:
+            parsed.append(float(cell))
+        except ValueError:
+            numeric = False
+            break
+    if numeric:
+        return parsed
+    return [None if cell == "" else cell for cell in cells]

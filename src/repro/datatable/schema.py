@@ -1,0 +1,184 @@
+"""Column roles and measurement levels for :class:`~repro.datatable.DataTable`.
+
+The paper configures its SAS / WEKA models by assigning each variable a
+*role* (input, target, identifier, rejected) and a *measurement level*
+(interval or nominal; binary targets are nominal with two levels).  The
+same vocabulary is used here so that model code can be written against a
+schema rather than hard-coded column lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import MissingColumnError, SchemaError
+
+__all__ = ["Role", "MeasurementLevel", "ColumnSpec", "TableSchema"]
+
+
+class Role(Enum):
+    """The modelling role a column plays."""
+
+    INPUT = "input"
+    TARGET = "target"
+    ID = "id"
+    REJECTED = "rejected"
+
+
+class MeasurementLevel(Enum):
+    """Statistical measurement level of a column.
+
+    ``INTERVAL``
+        Real-valued; differences are meaningful (skid resistance, AADT).
+    ``NOMINAL``
+        Unordered categories (surface type, road class).
+    ``BINARY``
+        A nominal column with exactly two levels; the paper's Boolean
+        crash-proneness targets are binary.
+    """
+
+    INTERVAL = "interval"
+    NOMINAL = "nominal"
+    BINARY = "binary"
+
+    @property
+    def is_categorical(self) -> bool:
+        return self in (MeasurementLevel.NOMINAL, MeasurementLevel.BINARY)
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Declared name, level and role of one column.
+
+    Parameters
+    ----------
+    name:
+        Column name as it appears in the table.
+    level:
+        Measurement level; drives which split tests / likelihoods apply.
+    role:
+        Modelling role.  Exactly one TARGET is allowed per schema.
+    description:
+        Free-text documentation carried through to reports.
+    units:
+        Physical units for interval columns (documentation only).
+    """
+
+    name: str
+    level: MeasurementLevel
+    role: Role = Role.INPUT
+    description: str = ""
+    units: str = ""
+
+    def with_role(self, role: Role) -> "ColumnSpec":
+        """Return a copy of this spec with a different role."""
+        return ColumnSpec(self.name, self.level, role, self.description, self.units)
+
+
+@dataclass
+class TableSchema:
+    """An ordered collection of :class:`ColumnSpec`.
+
+    The schema is intentionally lightweight: it does not own data, it
+    only records how each column should be treated by models and
+    reports.  ``DataTable`` instances may carry a schema but never
+    require one.
+    """
+
+    specs: list[ColumnSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.specs]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise SchemaError(f"duplicate column specs: {sorted(dupes)}")
+        targets = [s for s in self.specs if s.role is Role.TARGET]
+        if len(targets) > 1:
+            raise SchemaError(
+                "schema declares multiple targets: "
+                + ", ".join(s.name for s in targets)
+            )
+
+    # -- lookup ---------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return any(s.name == name for s in self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise MissingColumnError(name, tuple(s.name for s in self.specs))
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self.specs]
+
+    @property
+    def target(self) -> ColumnSpec | None:
+        """The single TARGET spec, or ``None`` if no target is declared."""
+        for spec in self.specs:
+            if spec.role is Role.TARGET:
+                return spec
+        return None
+
+    def inputs(self) -> list[ColumnSpec]:
+        """Specs with the INPUT role, in declaration order."""
+        return [s for s in self.specs if s.role is Role.INPUT]
+
+    def input_names(self) -> list[str]:
+        return [s.name for s in self.inputs()]
+
+    def interval_inputs(self) -> list[str]:
+        return [
+            s.name
+            for s in self.inputs()
+            if s.level is MeasurementLevel.INTERVAL
+        ]
+
+    def nominal_inputs(self) -> list[str]:
+        return [s.name for s in self.inputs() if s.level.is_categorical]
+
+    # -- construction helpers -------------------------------------------
+    def add(self, spec: ColumnSpec) -> "TableSchema":
+        """Return a new schema with ``spec`` appended."""
+        return TableSchema(self.specs + [spec])
+
+    def with_target(self, name: str) -> "TableSchema":
+        """Return a new schema in which ``name`` is the (only) target.
+
+        Any previous target is demoted to INPUT.  Raises
+        :class:`MissingColumnError` if ``name`` is not in the schema.
+        """
+        self[name]  # raise early if absent
+        new_specs = []
+        for spec in self.specs:
+            if spec.name == name:
+                new_specs.append(spec.with_role(Role.TARGET))
+            elif spec.role is Role.TARGET:
+                new_specs.append(spec.with_role(Role.INPUT))
+            else:
+                new_specs.append(spec)
+        return TableSchema(new_specs)
+
+    def reject(self, *names: str) -> "TableSchema":
+        """Return a new schema with the given columns marked REJECTED."""
+        for name in names:
+            self[name]
+        return TableSchema(
+            [
+                s.with_role(Role.REJECTED) if s.name in names else s
+                for s in self.specs
+            ]
+        )
+
+    def subset(self, names: list[str]) -> "TableSchema":
+        """Schema restricted to ``names``, preserving declaration order."""
+        wanted = set(names)
+        return TableSchema([s for s in self.specs if s.name in wanted])

@@ -1,0 +1,381 @@
+"""A small immutable columnar table.
+
+:class:`DataTable` is the data interchange type of the whole library:
+the synthetic road generator produces one, the CP-k threshold builder
+derives new ones, and every model consumes one.  It deliberately covers
+only the operations this study needs — selection, filtering, vertical
+concatenation, grouping, stratified splitting — with explicit missing
+value handling, rather than trying to be a general dataframe.
+
+Tables are immutable: every operation returns a new table that shares
+(read-only) column arrays where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.datatable.column import (
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+    column_from_values,
+)
+from repro.datatable.schema import TableSchema
+from repro.exceptions import (
+    EmptyTableError,
+    MissingColumnError,
+    SchemaError,
+)
+
+__all__ = ["DataTable"]
+
+
+class DataTable:
+    """An ordered collection of equally-long named columns.
+
+    Parameters
+    ----------
+    columns:
+        Column objects; their names must be unique and lengths equal.
+    schema:
+        Optional :class:`TableSchema` describing roles / levels.  The
+        schema's names need not cover every column (derived columns such
+        as fold indices are allowed), but any schema name that is
+        missing from the data is an error.
+    """
+
+    def __init__(
+        self, columns: Sequence[Column], schema: TableSchema | None = None
+    ):
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {dupes}")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(
+                "columns have unequal lengths: "
+                + ", ".join(f"{c.name}={len(c)}" for c in columns)
+            )
+        self._columns: dict[str, Column] = {c.name: c for c in columns}
+        self._n_rows = lengths.pop() if lengths else 0
+        if schema is not None:
+            for spec in schema:
+                if spec.name not in self._columns:
+                    raise SchemaError(
+                        f"schema declares column {spec.name!r} that is not "
+                        "present in the table"
+                    )
+        self.schema = schema
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        data: Mapping[str, Iterable],
+        schema: TableSchema | None = None,
+    ) -> "DataTable":
+        """Build a table from a mapping of name → values.
+
+        Numpy float arrays become numeric columns directly; other
+        iterables are type-inferred via
+        :func:`~repro.datatable.column.column_from_values`.
+        """
+        columns: list[Column] = []
+        for name, values in data.items():
+            if isinstance(values, Column):
+                columns.append(values.rename(name))
+            elif isinstance(values, np.ndarray) and values.dtype.kind in "fiub":
+                columns.append(NumericColumn.from_array(name, values))
+            else:
+                columns.append(column_from_values(name, values))
+        return cls(columns, schema=schema)
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Mapping[str, object]],
+        schema: TableSchema | None = None,
+    ) -> "DataTable":
+        """Build a table from a sequence of dict-like rows.
+
+        Every row must have the same keys; absent keys are an error (use
+        an explicit ``None`` for missing values).
+        """
+        if not rows:
+            return cls([], schema=schema)
+        names = list(rows[0])
+        for i, row in enumerate(rows):
+            if list(row) != names:
+                raise SchemaError(
+                    f"row {i} keys {list(row)} differ from row 0 keys {names}"
+                )
+        data = {name: [row[name] for row in rows] for name in names}
+        return cls.from_columns(data, schema=schema)
+
+    @classmethod
+    def empty(cls) -> "DataTable":
+        return cls([])
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise MissingColumnError(name, tuple(self._columns)) from None
+
+    def __getitem__(self, name: str) -> Column:
+        return self.column(name)
+
+    def numeric(self, name: str) -> np.ndarray:
+        """Float values of a numeric column (NaN where missing)."""
+        col = self.column(name)
+        if not isinstance(col, NumericColumn):
+            raise SchemaError(f"column {name!r} is not numeric")
+        return col.values
+
+    def categorical(self, name: str) -> CategoricalColumn:
+        col = self.column(name)
+        if not isinstance(col, CategoricalColumn):
+            raise SchemaError(f"column {name!r} is not categorical")
+        return col
+
+    def columns(self) -> list[Column]:
+        return list(self._columns.values())
+
+    # -- row access ----------------------------------------------------------
+    def row(self, index: int) -> dict[str, object]:
+        """One row as a plain dict (labels / floats / None)."""
+        if not -self._n_rows <= index < self._n_rows:
+            raise IndexError(
+                f"row index {index} out of range for table of {self._n_rows} rows"
+            )
+        if index < 0:
+            index += self._n_rows
+        out: dict[str, object] = {}
+        for name, col in self._columns.items():
+            if isinstance(col, NumericColumn):
+                v = col.values[index]
+                out[name] = None if np.isnan(v) else float(v)
+            else:
+                code = col.codes[index]
+                out[name] = None if code == -1 else col.labels[code]
+        return out
+
+    def to_rows(self) -> list[dict[str, object]]:
+        objects = {name: col.to_objects() for name, col in self._columns.items()}
+        return [
+            {name: objects[name][i] for name in self._columns}
+            for i in range(self._n_rows)
+        ]
+
+    # -- column-wise transformations -----------------------------------------
+    def select(self, names: Sequence[str]) -> "DataTable":
+        """Table restricted to the given columns, in the given order."""
+        cols = [self.column(n) for n in names]
+        schema = self.schema.subset(list(names)) if self.schema else None
+        return DataTable(cols, schema=schema)
+
+    def drop(self, *names: str) -> "DataTable":
+        for n in names:
+            self.column(n)
+        keep = [n for n in self._columns if n not in names]
+        return self.select(keep)
+
+    def with_column(self, column: Column) -> "DataTable":
+        """Table with ``column`` appended or replaced (by name)."""
+        if self._columns and len(column) != self._n_rows:
+            raise SchemaError(
+                f"new column {column.name!r} has {len(column)} rows, "
+                f"table has {self._n_rows}"
+            )
+        cols = [c for n, c in self._columns.items() if n != column.name]
+        cols.append(column)
+        return DataTable(cols, schema=self.schema)
+
+    def rename(self, mapping: Mapping[str, str]) -> "DataTable":
+        for old in mapping:
+            self.column(old)
+        cols = [
+            col.rename(mapping.get(name, name))
+            for name, col in self._columns.items()
+        ]
+        return DataTable(cols)
+
+    def with_schema(self, schema: TableSchema) -> "DataTable":
+        return DataTable(list(self._columns.values()), schema=schema)
+
+    # -- row-wise transformations ----------------------------------------------
+    def take(self, indices: np.ndarray) -> "DataTable":
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (
+            indices.min() < -self._n_rows or indices.max() >= self._n_rows
+        ):
+            raise IndexError(
+                f"take indices out of range for table of {self._n_rows} rows"
+            )
+        return DataTable(
+            [c.take(indices) for c in self._columns.values()], schema=self.schema
+        )
+
+    def filter(self, mask: np.ndarray) -> "DataTable":
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n_rows,):
+            raise SchemaError(
+                f"filter mask of shape {mask.shape} does not match "
+                f"{self._n_rows} rows"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def head(self, n: int = 5) -> "DataTable":
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def concat(self, other: "DataTable") -> "DataTable":
+        """Vertical concatenation; both tables must share column names."""
+        if self._n_rows == 0 and not self._columns:
+            return other
+        if list(self._columns) != list(other._columns):
+            raise SchemaError(
+                "cannot concat tables with different columns: "
+                f"{list(self._columns)} vs {list(other._columns)}"
+            )
+        cols = [
+            self._columns[name].concat(other._columns[name])
+            for name in self._columns
+        ]
+        return DataTable(cols, schema=self.schema)
+
+    def shuffle(self, rng: np.random.Generator) -> "DataTable":
+        return self.take(rng.permutation(self._n_rows))
+
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        replace: bool = False,
+    ) -> "DataTable":
+        if n > self._n_rows and not replace:
+            raise EmptyTableError(
+                f"cannot sample {n} rows without replacement from "
+                f"{self._n_rows}"
+            )
+        idx = rng.choice(self._n_rows, size=n, replace=replace)
+        return self.take(idx)
+
+    def sort_by(self, name: str, descending: bool = False) -> "DataTable":
+        """Stable sort by one column; missing values sort last."""
+        col = self.column(name)
+        if isinstance(col, NumericColumn):
+            keys = col.values.copy()
+            keys[np.isnan(keys)] = np.inf if not descending else -np.inf
+        else:
+            keys = col.codes.astype(np.float64)
+            keys[keys == -1] = np.inf if not descending else -np.inf
+        order = np.argsort(-keys if descending else keys, kind="stable")
+        return self.take(order)
+
+    # -- grouping & splitting --------------------------------------------------
+    def group_by(self, name: str) -> dict[object, "DataTable"]:
+        """Partition rows by the values of one column.
+
+        Missing values group under ``None``.  Group order follows first
+        appearance for categoricals and ascending value for numerics.
+        """
+        col = self.column(name)
+        groups: dict[object, DataTable] = {}
+        if isinstance(col, NumericColumn):
+            values = col.values
+            missing = np.isnan(values)
+            for v in np.unique(values[~missing]):
+                groups[float(v)] = self.filter(values == v)
+            if missing.any():
+                groups[None] = self.filter(missing)
+        else:
+            for code, label in enumerate(col.labels):
+                mask = col.codes == code
+                if mask.any():
+                    groups[label] = self.filter(mask)
+            missing = col.codes == -1
+            if missing.any():
+                groups[None] = self.filter(missing)
+        return groups
+
+    def split(
+        self,
+        train_fraction: float,
+        rng: np.random.Generator,
+        stratify_by: str | None = None,
+    ) -> tuple["DataTable", "DataTable"]:
+        """Random train/validation partition.
+
+        With ``stratify_by``, the split is performed within each level of
+        the named (categorical) column so both partitions keep the class
+        distribution — important for the paper's heavily imbalanced CP-k
+        targets, where a plain split can starve the minority class.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        if self._n_rows < 2:
+            raise EmptyTableError("need at least 2 rows to split")
+        if stratify_by is None:
+            perm = rng.permutation(self._n_rows)
+            cut = int(round(self._n_rows * train_fraction))
+            cut = min(max(cut, 1), self._n_rows - 1)
+            return self.take(perm[:cut]), self.take(perm[cut:])
+        col = self.categorical(stratify_by)
+        train_idx: list[np.ndarray] = []
+        valid_idx: list[np.ndarray] = []
+        for code in range(-1, len(col.labels)):
+            members = np.flatnonzero(col.codes == code)
+            if members.size == 0:
+                continue
+            members = rng.permutation(members)
+            cut = int(round(members.size * train_fraction))
+            if members.size >= 2:
+                cut = min(max(cut, 1), members.size - 1)
+            train_idx.append(members[:cut])
+            valid_idx.append(members[cut:])
+        train = np.sort(np.concatenate(train_idx))
+        valid = np.sort(np.concatenate(valid_idx)) if valid_idx else np.array([], dtype=np.int64)
+        return self.take(train), self.take(valid)
+
+    # -- summaries -------------------------------------------------------------
+    def describe(self) -> dict[str, dict]:
+        """Per-column summary statistics."""
+        return {name: col.summary() for name, col in self._columns.items()}
+
+    def equals(self, other: "DataTable") -> bool:
+        if list(self._columns) != list(other._columns):
+            return False
+        return all(
+            self._columns[n].equals(other._columns[n]) for n in self._columns
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DataTable({self._n_rows} rows × {self.n_columns} columns: "
+            f"{', '.join(self._columns)})"
+        )

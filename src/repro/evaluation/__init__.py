@@ -1,0 +1,69 @@
+"""Model assessment: Table 2 measures, MCPV, Kappa, ROC, validation
+protocols, imbalance handling and ANOVA."""
+
+from repro.evaluation.anova import AnovaResult, one_way_anova
+from repro.evaluation.confusion import BinaryConfusion
+from repro.evaluation.lift import LiftTable, lift_table
+from repro.evaluation.imbalance import (
+    class_distribution,
+    class_indices,
+    oversample_minority,
+    undersample_majority,
+)
+from repro.evaluation.metrics import (
+    accuracy,
+    kappa,
+    mcpv,
+    misclassification_rate,
+    negative_predictive_value,
+    positive_predictive_value,
+    precision,
+    r_squared,
+    recall,
+    roc_auc,
+    sensitivity,
+    specificity,
+    weighted_precision,
+    weighted_recall,
+)
+from repro.evaluation.roc import RocCurve, roc_curve
+from repro.evaluation.validation import (
+    TrainValidSplit,
+    cross_val_scores,
+    kfold_indices,
+    stratified_kfold_indices,
+    train_valid_split,
+)
+
+__all__ = [
+    "BinaryConfusion",
+    "accuracy",
+    "misclassification_rate",
+    "sensitivity",
+    "recall",
+    "specificity",
+    "positive_predictive_value",
+    "negative_predictive_value",
+    "precision",
+    "mcpv",
+    "kappa",
+    "weighted_precision",
+    "weighted_recall",
+    "r_squared",
+    "roc_auc",
+    "RocCurve",
+    "roc_curve",
+    "TrainValidSplit",
+    "train_valid_split",
+    "kfold_indices",
+    "stratified_kfold_indices",
+    "cross_val_scores",
+    "undersample_majority",
+    "oversample_minority",
+    "class_indices",
+    "class_distribution",
+    "AnovaResult",
+    "one_way_anova",
+    "LiftTable",
+    "lift_table",
+]

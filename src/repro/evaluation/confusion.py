@@ -1,0 +1,113 @@
+"""Binary confusion matrix.
+
+Every Table 2 measure is a function of the four cells; keeping the
+cells in one value object makes the metric definitions read exactly
+like the paper's formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+
+__all__ = ["BinaryConfusion"]
+
+
+@dataclass(frozen=True)
+class BinaryConfusion:
+    """Counts of a binary classification outcome.
+
+    ``tp``: actual positive, predicted positive; ``fp``: actual
+    negative, predicted positive; ``tn``/``fn`` analogous.
+    """
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    def __post_init__(self) -> None:
+        for name in ("tp", "fp", "tn", "fn"):
+            if getattr(self, name) < 0:
+                raise EvaluationError(f"confusion cell {name} is negative")
+        if self.total == 0:
+            raise EvaluationError("confusion matrix has no observations")
+
+    @classmethod
+    def from_predictions(
+        cls, actual: np.ndarray, predicted: np.ndarray
+    ) -> "BinaryConfusion":
+        """Build from 0/1 arrays of equal length."""
+        actual = np.asarray(actual)
+        predicted = np.asarray(predicted)
+        if actual.shape != predicted.shape:
+            raise EvaluationError(
+                f"actual {actual.shape} and predicted {predicted.shape} "
+                "shapes differ"
+            )
+        for name, arr in (("actual", actual), ("predicted", predicted)):
+            values = np.unique(arr)
+            if not np.isin(values, (0, 1)).all():
+                raise EvaluationError(
+                    f"{name} must be 0/1, found values {values[:5]}"
+                )
+        a = actual.astype(bool)
+        p = predicted.astype(bool)
+        return cls(
+            tp=int(np.count_nonzero(a & p)),
+            fp=int(np.count_nonzero(~a & p)),
+            tn=int(np.count_nonzero(~a & ~p)),
+            fn=int(np.count_nonzero(a & ~p)),
+        )
+
+    @classmethod
+    def from_scores(
+        cls,
+        actual: np.ndarray,
+        scores: np.ndarray,
+        threshold: float = 0.5,
+    ) -> "BinaryConfusion":
+        """Build by thresholding probability scores."""
+        scores = np.asarray(scores, dtype=np.float64)
+        return cls.from_predictions(actual, (scores >= threshold).astype(int))
+
+    # -- marginals ---------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def actual_positives(self) -> int:
+        return self.tp + self.fn
+
+    @property
+    def actual_negatives(self) -> int:
+        return self.tn + self.fp
+
+    @property
+    def predicted_positives(self) -> int:
+        return self.tp + self.fp
+
+    @property
+    def predicted_negatives(self) -> int:
+        return self.tn + self.fn
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """majority / minority actual-class ratio (∞-safe)."""
+        small = min(self.actual_positives, self.actual_negatives)
+        large = max(self.actual_positives, self.actual_negatives)
+        return float("inf") if small == 0 else large / small
+
+    def as_table(self) -> np.ndarray:
+        """2×2 array [[tp, fn], [fp, tn]] (rows = actual)."""
+        return np.array([[self.tp, self.fn], [self.fp, self.tn]])
+
+    def __str__(self) -> str:
+        return (
+            f"BinaryConfusion(tp={self.tp}, fp={self.fp}, "
+            f"tn={self.tn}, fn={self.fn})"
+        )

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` from
+misuse of numpy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table or column violates its declared schema."""
+
+
+class ColumnTypeError(SchemaError):
+    """An operation was applied to a column of the wrong measurement level."""
+
+
+class MissingColumnError(SchemaError, KeyError):
+    """A referenced column does not exist in the table."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = available
+        msg = f"column {name!r} not found"
+        if available:
+            msg += f"; available columns: {', '.join(available)}"
+        super().__init__(msg)
+
+    def __str__(self) -> str:  # KeyError would repr() the args tuple
+        return self.args[0]
+
+
+class EmptyTableError(ReproError):
+    """An operation that requires rows was applied to an empty table."""
+
+
+class NotFittedError(ReproError):
+    """``predict``/``transform`` was called before ``fit``."""
+
+    def __init__(self, model_name: str = "model"):
+        super().__init__(
+            f"{model_name} is not fitted yet; call fit() before predicting"
+        )
+
+
+class FitError(ReproError):
+    """Model fitting failed (degenerate data, no valid split, etc.)."""
+
+
+class EvaluationError(ReproError):
+    """A metric could not be computed from the given predictions."""
+
+
+class CalibrationError(ReproError):
+    """The synthetic data generator could not be calibrated to its targets."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative fit stopped at its iteration cap before converging."""

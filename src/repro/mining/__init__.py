@@ -1,0 +1,49 @@
+"""From-scratch data-mining algorithms used by the study.
+
+Production models: chi-square decision trees and F-test regression
+trees.  Supporting models: naive Bayes, logistic regression, neural
+network, M5 model tree.  Phase 3: simple k-means.
+"""
+
+from repro.mining.base import BinaryClassifier, Model, Regressor
+from repro.mining.ensemble import BaggedTreesClassifier
+from repro.mining.features import Feature, FeatureSet
+from repro.mining.kmeans import KMeans
+from repro.mining.logistic import LogisticRegressionClassifier
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.mining.neural import NeuralNetworkClassifier
+from repro.mining.preprocessing import (
+    EqualFrequencyDiscretiser,
+    MatrixEncoder,
+    standardise_matrix,
+)
+from repro.mining.tree import (
+    DecisionTreeClassifier,
+    M5ModelTree,
+    RegressionTree,
+    TreeConfig,
+    extract_rules,
+    format_rules,
+)
+
+__all__ = [
+    "Model",
+    "BinaryClassifier",
+    "Regressor",
+    "Feature",
+    "FeatureSet",
+    "MatrixEncoder",
+    "EqualFrequencyDiscretiser",
+    "standardise_matrix",
+    "DecisionTreeClassifier",
+    "RegressionTree",
+    "M5ModelTree",
+    "TreeConfig",
+    "extract_rules",
+    "format_rules",
+    "NaiveBayesClassifier",
+    "LogisticRegressionClassifier",
+    "NeuralNetworkClassifier",
+    "BaggedTreesClassifier",
+    "KMeans",
+]

@@ -1,0 +1,149 @@
+"""Naive Bayes classifier (Gaussian + categorical likelihoods).
+
+One of the paper's supporting models (Table 5): WEKA-style naive Bayes
+with Gaussian likelihoods for interval attributes and Laplace-smoothed
+multinomial likelihoods for nominal attributes.  Missing values are
+simply skipped in both training and scoring — the naive-Bayes
+equivalent of "missing as valid data", and exactly WEKA's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatable import DataTable
+from repro.exceptions import FitError
+from repro.mining.base import BinaryClassifier
+from repro.mining.features import FeatureSet
+
+__all__ = ["NaiveBayesClassifier"]
+
+_MIN_VARIANCE = 1e-9
+
+
+@dataclass
+class _GaussianLikelihood:
+    name: str
+    means: np.ndarray      # (2,)
+    variances: np.ndarray  # (2,)
+
+
+@dataclass
+class _CategoricalLikelihood:
+    name: str
+    log_probs: np.ndarray  # (2, n_levels)
+
+
+class NaiveBayesClassifier(BinaryClassifier):
+    """Binary naive Bayes.
+
+    Parameters
+    ----------
+    laplace:
+        Additive smoothing for categorical likelihoods.
+    variance_floor:
+        Minimum per-class variance for Gaussian likelihoods (guards
+        against zero-variance attributes in small or pure classes).
+    """
+
+    def __init__(self, laplace: float = 1.0, variance_floor: float = 1e-4):
+        super().__init__()
+        if laplace <= 0:
+            raise ValueError(f"laplace must be positive, got {laplace}")
+        self.laplace = laplace
+        self.variance_floor = variance_floor
+        self._log_priors: np.ndarray | None = None
+        self._likelihoods: list[object] = []
+
+    def _fit(self, features: FeatureSet) -> None:
+        y, labels = features.binary_target()
+        self.class_labels = labels
+        counts = np.array([(y == 0).sum(), (y == 1).sum()], dtype=np.float64)
+        if (counts == 0).any():
+            raise FitError(
+                "naive Bayes requires both classes in the training data"
+            )
+        self._log_priors = np.log(counts / counts.sum())
+        self._likelihoods = []
+        for feature in features.features:
+            if feature.is_numeric:
+                self._likelihoods.append(
+                    self._fit_gaussian(feature.name, feature.values, y)
+                )
+            else:
+                self._likelihoods.append(
+                    self._fit_categorical(
+                        feature.name, feature.values, feature.n_levels, y
+                    )
+                )
+
+    def _fit_gaussian(
+        self, name: str, values: np.ndarray, y: np.ndarray
+    ) -> _GaussianLikelihood:
+        means = np.zeros(2)
+        variances = np.ones(2)
+        overall = values[~np.isnan(values)]
+        overall_mean = float(overall.mean()) if overall.size else 0.0
+        for cls in (0, 1):
+            x = values[(y == cls) & ~np.isnan(values)]
+            if x.size == 0:
+                means[cls] = overall_mean
+                variances[cls] = 1.0
+            else:
+                means[cls] = float(x.mean())
+                variances[cls] = max(
+                    float(x.var()), self.variance_floor, _MIN_VARIANCE
+                )
+        return _GaussianLikelihood(name, means, variances)
+
+    def _fit_categorical(
+        self, name: str, codes: np.ndarray, n_levels: int, y: np.ndarray
+    ) -> _CategoricalLikelihood:
+        log_probs = np.zeros((2, max(n_levels, 1)))
+        for cls in (0, 1):
+            mask = (y == cls) & (codes >= 0)
+            counts = np.bincount(
+                codes[mask], minlength=max(n_levels, 1)
+            ).astype(np.float64)
+            smoothed = counts + self.laplace
+            log_probs[cls] = np.log(smoothed / smoothed.sum())
+        return _CategoricalLikelihood(name, log_probs)
+
+    # -- scoring -------------------------------------------------------------
+    def predict_proba(self, table: DataTable) -> np.ndarray:
+        self._require_fitted()
+        assert self._log_priors is not None
+        features = self._features_for(table)
+        by_name = {f.name: f for f in features.features}
+        n = features.n_rows
+        log_joint = np.tile(self._log_priors, (n, 1))  # (n, 2)
+        for likelihood in self._likelihoods:
+            feature = by_name[likelihood.name]
+            if isinstance(likelihood, _GaussianLikelihood):
+                x = feature.values.astype(np.float64)
+                present = ~np.isnan(x)
+                for cls in (0, 1):
+                    var = likelihood.variances[cls]
+                    mean = likelihood.means[cls]
+                    contrib = -0.5 * (
+                        np.log(2 * np.pi * var)
+                        + (x[present] - mean) ** 2 / var
+                    )
+                    log_joint[present, cls] += contrib
+            else:
+                codes = feature.values
+                valid = (codes >= 0) & (
+                    codes < likelihood.log_probs.shape[1]
+                )
+                rows = np.flatnonzero(valid)
+                for cls in (0, 1):
+                    log_joint[rows, cls] += likelihood.log_probs[
+                        cls, codes[rows]
+                    ]
+        # Normalise in log space.
+        peak = log_joint.max(axis=1, keepdims=True)
+        probs = np.exp(log_joint - peak)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs[:, 1]

@@ -1,0 +1,128 @@
+"""A single-hidden-layer neural network classifier.
+
+The paper's neural networks are the SAS Enterprise Miner default:
+a multilayer perceptron with one hidden layer, trained to a logistic
+output.  This implementation uses tanh hidden units, a sigmoid output,
+full-batch gradient descent with momentum and a cross-entropy loss —
+small, deterministic (seeded) and entirely numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatable import DataTable
+from repro.exceptions import FitError
+from repro.mining.base import BinaryClassifier
+from repro.mining.features import FeatureSet
+from repro.mining.preprocessing import MatrixEncoder
+
+__all__ = ["NeuralNetworkClassifier"]
+
+
+class NeuralNetworkClassifier(BinaryClassifier):
+    """MLP with one tanh hidden layer and a sigmoid output unit.
+
+    Parameters
+    ----------
+    hidden_units:
+        Width of the hidden layer.
+    learning_rate / momentum / epochs:
+        Full-batch gradient-descent schedule.
+    l2:
+        Weight decay.
+    seed:
+        Initial-weight seed; fitting is deterministic given it.
+    """
+
+    def __init__(
+        self,
+        hidden_units: int = 8,
+        learning_rate: float = 0.1,
+        momentum: float = 0.9,
+        epochs: int = 300,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if hidden_units < 1:
+            raise ValueError(f"hidden_units must be >= 1, got {hidden_units}")
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self._encoder: MatrixEncoder | None = None
+        self._w1: np.ndarray | None = None
+        self._b1: np.ndarray | None = None
+        self._w2: np.ndarray | None = None
+        self._b2: float = 0.0
+        self.loss_history: list[float] = []
+
+    def _fit(self, features: FeatureSet) -> None:
+        y, labels = features.binary_target()
+        self.class_labels = labels
+        if y.min() == y.max():
+            raise FitError("neural network requires both classes to train")
+        self._encoder = MatrixEncoder().fit(features)
+        x = self._encoder.transform(features)
+        target = y.astype(np.float64)
+        n, p = x.shape
+        rng = np.random.default_rng(self.seed)
+        scale = 1.0 / np.sqrt(p)
+        w1 = rng.normal(0.0, scale, size=(p, self.hidden_units))
+        b1 = np.zeros(self.hidden_units)
+        w2 = rng.normal(0.0, 1.0 / np.sqrt(self.hidden_units),
+                        size=self.hidden_units)
+        b2 = 0.0
+        v_w1 = np.zeros_like(w1)
+        v_b1 = np.zeros_like(b1)
+        v_w2 = np.zeros_like(w2)
+        v_b2 = 0.0
+        self.loss_history = []
+        for _epoch in range(self.epochs):
+            hidden = np.tanh(x @ w1 + b1)
+            logits = hidden @ w2 + b2
+            output = _sigmoid(logits)
+            eps = 1e-12
+            loss = -float(
+                np.mean(
+                    target * np.log(output + eps)
+                    + (1 - target) * np.log(1 - output + eps)
+                )
+            )
+            self.loss_history.append(loss)
+            delta_out = (output - target) / n
+            grad_w2 = hidden.T @ delta_out + self.l2 * w2
+            grad_b2 = float(delta_out.sum())
+            delta_hidden = np.outer(delta_out, w2) * (1.0 - hidden**2)
+            grad_w1 = x.T @ delta_hidden + self.l2 * w1
+            grad_b1 = delta_hidden.sum(axis=0)
+            v_w1 = self.momentum * v_w1 - self.learning_rate * grad_w1
+            v_b1 = self.momentum * v_b1 - self.learning_rate * grad_b1
+            v_w2 = self.momentum * v_w2 - self.learning_rate * grad_w2
+            v_b2 = self.momentum * v_b2 - self.learning_rate * grad_b2
+            w1 += v_w1
+            b1 += v_b1
+            w2 += v_w2
+            b2 += v_b2
+        self._w1, self._b1, self._w2, self._b2 = w1, b1, w2, b2
+
+    def predict_proba(self, table: DataTable) -> np.ndarray:
+        self._require_fitted()
+        assert self._encoder is not None and self._w1 is not None
+        assert self._w2 is not None and self._b1 is not None
+        features = self._features_for(table)
+        x = self._encoder.transform(features)
+        hidden = np.tanh(x @ self._w1 + self._b1)
+        return _sigmoid(hidden @ self._w2 + self._b2)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    e = np.exp(x[~pos])
+    out[~pos] = e / (1.0 + e)
+    return out

@@ -1,0 +1,46 @@
+"""Tree family: chi-square decision trees, F-test regression trees,
+M5 model trees, plus the shared growth / routing / rule machinery."""
+
+from repro.mining.tree.decision_tree import DecisionTreeClassifier
+from repro.mining.tree.growth import GrownTree, TreeConfig, grow_tree
+from repro.mining.tree.m5 import M5ModelTree
+from repro.mining.tree.regression_tree import RegressionTree
+from repro.mining.tree.rules import Rule, extract_rules, format_rules
+from repro.mining.tree.splitting import (
+    SplitCandidate,
+    best_categorical_split_chi2,
+    best_categorical_split_f,
+    best_numeric_split_chi2,
+    best_numeric_split_f,
+    chi_square_2x2,
+)
+from repro.mining.tree.structure import (
+    Branch,
+    TreeNode,
+    iter_leaves,
+    iter_nodes,
+    route_rows,
+)
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RegressionTree",
+    "M5ModelTree",
+    "TreeConfig",
+    "GrownTree",
+    "grow_tree",
+    "Rule",
+    "extract_rules",
+    "format_rules",
+    "SplitCandidate",
+    "best_numeric_split_chi2",
+    "best_numeric_split_f",
+    "best_categorical_split_chi2",
+    "best_categorical_split_f",
+    "chi_square_2x2",
+    "Branch",
+    "TreeNode",
+    "iter_nodes",
+    "iter_leaves",
+    "route_rows",
+]

@@ -1,0 +1,146 @@
+"""Chi-square decision tree on a Boolean target.
+
+The paper's primary model family: "decision trees, using the chi-square
+test on a Boolean target, with the objective of obtaining the minimum
+class classification rates as the model assessment."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatable import DataTable
+from repro.mining.base import BinaryClassifier
+from repro.mining.features import FeatureSet
+from repro.mining.tree.growth import GrownTree, TreeConfig, grow_tree
+from repro.mining.tree.structure import TreeNode, iter_leaves, route_rows
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+class DecisionTreeClassifier(BinaryClassifier):
+    """CHAID-flavoured chi-square classification tree.
+
+    Parameters
+    ----------
+    config:
+        Growth hyper-parameters (:class:`TreeConfig`); the default
+        matches the study's discovery-stage configuration.
+
+    Attributes
+    ----------
+    n_leaves / n_nodes / depth:
+        Structure of the fitted tree (Tables 3 and 4 report leaves).
+    """
+
+    def __init__(self, config: TreeConfig | None = None):
+        super().__init__()
+        self.config = config or TreeConfig()
+        self._tree: GrownTree | None = None
+
+    # -- fitting ---------------------------------------------------------
+    def _fit(self, features: FeatureSet) -> None:
+        y, labels = features.binary_target()
+        self.class_labels = labels
+        self._tree = grow_tree(features, y, self.config, mode="chi2")
+
+    # -- structure -------------------------------------------------------
+    @property
+    def root(self) -> TreeNode:
+        self._require_fitted()
+        assert self._tree is not None
+        return self._tree.root
+
+    @property
+    def n_leaves(self) -> int:
+        self._require_fitted()
+        assert self._tree is not None
+        return self._tree.n_leaves
+
+    @property
+    def n_nodes(self) -> int:
+        self._require_fitted()
+        assert self._tree is not None
+        return self._tree.n_nodes
+
+    @property
+    def depth(self) -> int:
+        self._require_fitted()
+        assert self._tree is not None
+        return self._tree.depth
+
+    # -- prediction ---------------------------------------------------------
+    def predict_proba(self, table: DataTable) -> np.ndarray:
+        features = self._features_for(table)
+        probabilities, _leaves = route_rows(self.root, features)
+        return probabilities
+
+    def apply(self, table: DataTable) -> np.ndarray:
+        """Leaf id reached by every row (for rule analysis)."""
+        features = self._features_for(table)
+        _probabilities, leaves = route_rows(self.root, features)
+        return leaves
+
+    def leaf_summary(self) -> list[dict]:
+        """One record per leaf: id, size, P(positive)."""
+        return [
+            {
+                "leaf_id": leaf.node_id,
+                "n_samples": leaf.n_samples,
+                "p_positive": leaf.prediction,
+            }
+            for leaf in iter_leaves(self.root)
+        ]
+
+    # -- persistence ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation of the fitted model."""
+        self._require_fitted()
+        assert self._tree is not None and self.class_labels is not None
+        from dataclasses import asdict
+
+        from repro.mining.tree.serialize import node_to_dict
+
+        return {
+            "model": "DecisionTreeClassifier",
+            "config": asdict(self.config),
+            "input_names": self.input_names,
+            "target_name": self.target_name,
+            "vocabularies": {
+                name: list(labels)
+                for name, labels in self._vocabularies.items()
+            },
+            "class_labels": list(self.class_labels),
+            "n_leaves": self._tree.n_leaves,
+            "n_nodes": self._tree.n_nodes,
+            "depth": self._tree.depth,
+            "tree": node_to_dict(self._tree.root),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionTreeClassifier":
+        """Rebuild a fitted model from :meth:`to_dict` output."""
+        from repro.exceptions import ReproError
+        from repro.mining.tree.serialize import node_from_dict
+
+        if data.get("model") != "DecisionTreeClassifier":
+            raise ReproError(
+                f"expected a DecisionTreeClassifier dump, got "
+                f"{data.get('model')!r}"
+            )
+        model = cls(TreeConfig(**data["config"]))
+        model._tree = GrownTree(
+            root=node_from_dict(data["tree"]),
+            n_leaves=data["n_leaves"],
+            n_nodes=data["n_nodes"],
+            depth=data["depth"],
+        )
+        model.class_labels = tuple(data["class_labels"])
+        model._input_names = list(data["input_names"])
+        model._target_name = data["target_name"]
+        model._vocabularies = {
+            name: tuple(labels)
+            for name, labels in data.get("vocabularies", {}).items()
+        }
+        model._fitted = True
+        return model

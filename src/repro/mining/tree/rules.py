@@ -1,0 +1,75 @@
+"""Rule extraction from fitted trees.
+
+The paper prefers trees because of "the potential to extract domain
+knowledge from the rules"; this module turns any fitted tree into an
+ordered rule list — one conjunctive rule per leaf — rendered with the
+original attribute names and category labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mining.features import FeatureSet
+from repro.mining.tree.structure import Branch, TreeNode
+
+__all__ = ["Rule", "extract_rules", "format_rules"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One root-to-leaf path."""
+
+    conditions: tuple[str, ...]
+    prediction: float
+    n_samples: int
+    leaf_id: int
+
+    def __str__(self) -> str:
+        clause = " AND ".join(self.conditions) if self.conditions else "TRUE"
+        return (
+            f"IF {clause} THEN prediction={self.prediction:.3f} "
+            f"(n={self.n_samples})"
+        )
+
+
+def _condition(branch: Branch, split_feature: str, labels: tuple[str, ...]) -> str:
+    return f"{split_feature} {branch.describe(labels)}"
+
+
+def extract_rules(root: TreeNode, features: FeatureSet) -> list[Rule]:
+    """All leaf rules, ordered by descending leaf support."""
+    labels_by_feature = {
+        f.name: (f.labels if not f.is_numeric else ())
+        for f in features.features
+    }
+    rules: list[Rule] = []
+    stack: list[tuple[TreeNode, tuple[str, ...]]] = [(root, ())]
+    while stack:
+        node, conditions = stack.pop()
+        if node.is_leaf:
+            rules.append(
+                Rule(conditions, node.prediction, node.n_samples, node.node_id)
+            )
+            continue
+        assert node.split is not None
+        labels = labels_by_feature.get(node.split.feature, ())
+        for branch in node.branches:
+            stack.append(
+                (
+                    branch.child,
+                    conditions
+                    + (_condition(branch, node.split.feature, labels),),
+                )
+            )
+    rules.sort(key=lambda r: -r.n_samples)
+    return rules
+
+
+def format_rules(rules: list[Rule], limit: int | None = None) -> str:
+    """Human-readable rule list (top ``limit`` rules by support)."""
+    selected = rules if limit is None else rules[:limit]
+    lines = [str(rule) for rule in selected]
+    if limit is not None and len(rules) > limit:
+        lines.append(f"... ({len(rules) - limit} more rules)")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""JSON-serialisable representations of fitted trees.
+
+The paper's future work is to "develop deployment to embed with a
+strategic and operational decision support system"; a deployable model
+must survive a process boundary.  These functions convert a fitted tree
+(structure, splits, branch arms, leaf statistics) to and from plain
+dicts of JSON-safe types, with a version tag so stored models fail
+loudly rather than mis-deserialise.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+from repro.mining.tree.splitting import SplitCandidate
+from repro.mining.tree.structure import Branch, TreeNode
+
+__all__ = [
+    "TREE_FORMAT_VERSION",
+    "node_to_dict",
+    "node_from_dict",
+]
+
+TREE_FORMAT_VERSION = 1
+
+
+def _split_to_dict(split: SplitCandidate) -> dict:
+    return {
+        "feature": split.feature,
+        "is_numeric": split.is_numeric,
+        "statistic": split.statistic,
+        "p_value": split.p_value,
+        "n_candidates": split.n_candidates,
+        "threshold": split.threshold,
+        "groups": [list(group) for group in split.groups],
+        "has_missing_branch": split.has_missing_branch,
+    }
+
+
+def _split_from_dict(data: dict) -> SplitCandidate:
+    return SplitCandidate(
+        feature=data["feature"],
+        is_numeric=data["is_numeric"],
+        statistic=data["statistic"],
+        p_value=data["p_value"],
+        n_candidates=data["n_candidates"],
+        threshold=data["threshold"],
+        groups=tuple(tuple(group) for group in data["groups"]),
+        has_missing_branch=data["has_missing_branch"],
+    )
+
+
+def _branch_to_dict(branch: Branch) -> dict:
+    return {
+        "kind": branch.kind,
+        "threshold": branch.threshold,
+        "codes": sorted(branch.codes),
+        "child": node_to_dict(branch.child, _versioned=False),
+    }
+
+
+def _branch_from_dict(data: dict) -> Branch:
+    return Branch(
+        kind=data["kind"],
+        child=node_from_dict(data["child"], _versioned=False),
+        threshold=data["threshold"],
+        codes=frozenset(data["codes"]),
+    )
+
+
+def node_to_dict(node: TreeNode, _versioned: bool = True) -> dict:
+    """Serialise a tree rooted at ``node`` to JSON-safe types."""
+    data = {
+        "node_id": node.node_id,
+        "depth": node.depth,
+        "n_samples": node.n_samples,
+        "prediction": node.prediction,
+        "split": None if node.split is None else _split_to_dict(node.split),
+        "branches": [_branch_to_dict(b) for b in node.branches],
+    }
+    if _versioned:
+        data["format_version"] = TREE_FORMAT_VERSION
+    return data
+
+
+def node_from_dict(data: dict, _versioned: bool = True) -> TreeNode:
+    """Rebuild a tree from :func:`node_to_dict` output."""
+    if _versioned:
+        version = data.get("format_version")
+        if version != TREE_FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported tree format version {version!r} "
+                f"(expected {TREE_FORMAT_VERSION})"
+            )
+    node = TreeNode(
+        node_id=data["node_id"],
+        depth=data["depth"],
+        n_samples=data["n_samples"],
+        prediction=data["prediction"],
+        split=(
+            None if data["split"] is None else _split_from_dict(data["split"])
+        ),
+        branches=[],
+    )
+    node.branches = [_branch_from_dict(b) for b in data["branches"]]
+    return node

@@ -1,0 +1,459 @@
+"""Split-search statistics for the tree family.
+
+The paper's two production tree configurations are:
+
+* decision trees "using the chi-square test on a Boolean target", and
+* regression trees "using the f-test on a target configured as
+  interval".
+
+Both tests are implemented here as vectorised scans:
+
+* numeric attributes: every boundary between adjacent distinct sorted
+  values is a candidate binary split (capped by quantile thinning);
+  the test statistic is computed for all candidates at once from
+  cumulative sums;
+* nominal attributes: levels start as their own branches and CHAID-style
+  greedy merging joins the most similar pair while the pairwise test is
+  insignificant;
+* missing values are "valid data" (paper, Section 3): rows with a
+  missing attribute form their own branch when numerous enough,
+  otherwise they are excluded from the test and routed to the largest
+  child at prediction time.
+
+Reported p-values are Bonferroni-adjusted by the number of candidate
+thresholds examined, the classical CHAID multiplicity correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "SplitCandidate",
+    "best_numeric_split_chi2",
+    "best_categorical_split_chi2",
+    "best_numeric_split_f",
+    "best_categorical_split_f",
+    "chi_square_2x2",
+    "f_statistic",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """A fully-evaluated candidate split of one node on one feature.
+
+    Attributes
+    ----------
+    feature:
+        Feature name.
+    is_numeric:
+        Numeric (threshold) or nominal (grouped levels) split.
+    threshold:
+        Split point for numeric features (x ≤ threshold goes left).
+    groups:
+        For nominal features: tuple of tuples of level codes, one inner
+        tuple per branch.
+    statistic:
+        χ² or F value of the test over present rows.
+    p_value:
+        Bonferroni-adjusted p-value (capped at 1).
+    n_candidates:
+        How many raw candidates were examined (the adjustment factor).
+    has_missing_branch:
+        Whether missing rows form their own branch.
+    """
+
+    feature: str
+    is_numeric: bool
+    statistic: float
+    p_value: float
+    n_candidates: int
+    threshold: float | None = None
+    groups: tuple[tuple[int, ...], ...] = ()
+    has_missing_branch: bool = False
+
+
+# ---------------------------------------------------------------------------
+# elementary statistics
+# ---------------------------------------------------------------------------
+
+def chi_square_2x2(
+    a: np.ndarray | float,
+    b: np.ndarray | float,
+    c: np.ndarray | float,
+    d: np.ndarray | float,
+) -> np.ndarray:
+    """Pearson χ² of 2×2 tables [[a, b], [c, d]] (vectorised, no
+    continuity correction — matching SAS's tree split search)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+    n = a + b + c + d
+    num = n * (a * d - b * c) ** 2
+    den = (a + b) * (c + d) * (a + c) * (b + d)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chi2 = np.where(den > 0, num / np.maximum(den, _EPS), 0.0)
+    return chi2
+
+
+def chi_square_table(table: np.ndarray) -> tuple[float, float, int]:
+    """Pearson χ², p-value and dof of an r×c contingency table."""
+    table = np.asarray(table, dtype=np.float64)
+    row = table.sum(axis=1, keepdims=True)
+    col = table.sum(axis=0, keepdims=True)
+    total = table.sum()
+    if total <= 0:
+        return 0.0, 1.0, 1
+    expected = row @ col / total
+    mask = expected > 0
+    chi2 = float((((table - expected) ** 2)[mask] / expected[mask]).sum())
+    dof = max(1, (np.count_nonzero(row > 0) - 1) * (np.count_nonzero(col > 0) - 1))
+    p = float(stats.chi2.sf(chi2, dof))
+    return chi2, p, dof
+
+
+def f_statistic(
+    group_sums: np.ndarray,
+    group_counts: np.ndarray,
+    total_ss: float,
+    total_sum: float,
+    total_n: int,
+) -> tuple[np.ndarray, int, int]:
+    """One-way ANOVA F over groups described by sums/counts.
+
+    ``total_ss`` is Σy², ``total_sum`` is Σy over all rows.  Degrees of
+    freedom are (k−1, n−k).  Vectorised over a leading axis of
+    candidates when the inputs are 2-D.
+    """
+    group_sums = np.asarray(group_sums, dtype=np.float64)
+    group_counts = np.asarray(group_counts, dtype=np.float64)
+    k = group_sums.shape[-1]
+    grand_mean_ss = total_sum**2 / max(total_n, 1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        between = (
+            np.where(group_counts > 0, group_sums**2 / np.maximum(group_counts, _EPS), 0.0)
+        ).sum(axis=-1) - grand_mean_ss
+    sst = total_ss - grand_mean_ss
+    within = np.maximum(sst - between, 0.0)
+    df1 = k - 1
+    df2 = max(total_n - k, 1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f = (between / max(df1, 1)) / np.maximum(within / df2, _EPS)
+    return np.maximum(f, 0.0), df1, df2
+
+
+def _bonferroni(p: float, n_candidates: int) -> float:
+    return float(min(1.0, p * max(n_candidates, 1)))
+
+
+def _candidate_positions(
+    sorted_values: np.ndarray, min_leaf: int, max_candidates: int
+) -> np.ndarray:
+    """Indices i such that splitting between i and i+1 is admissible.
+
+    Only boundaries between distinct values count, both sides must hold
+    at least ``min_leaf`` rows, and the set is thinned to at most
+    ``max_candidates`` evenly-spaced positions.
+    """
+    n = sorted_values.shape[0]
+    if n < 2 * min_leaf:
+        return np.empty(0, dtype=np.int64)
+    boundaries = np.flatnonzero(np.diff(sorted_values) > 0)
+    lo, hi = min_leaf - 1, n - min_leaf - 1
+    boundaries = boundaries[(boundaries >= lo) & (boundaries <= hi)]
+    if boundaries.size > max_candidates:
+        picks = np.linspace(0, boundaries.size - 1, max_candidates).astype(int)
+        boundaries = boundaries[np.unique(picks)]
+    return boundaries
+
+
+# ---------------------------------------------------------------------------
+# numeric splits
+# ---------------------------------------------------------------------------
+
+def best_numeric_split_chi2(
+    feature_name: str,
+    values: np.ndarray,
+    y: np.ndarray,
+    min_leaf: int,
+    max_candidates: int = 64,
+    bonferroni: bool = True,
+) -> SplitCandidate | None:
+    """Best binary χ² split of a numeric feature on a 0/1 target."""
+    present = ~np.isnan(values)
+    x = values[present]
+    t = y[present]
+    if x.shape[0] < 2 * min_leaf:
+        return None
+    order = np.argsort(x, kind="stable")
+    x_sorted = x[order]
+    t_sorted = t[order]
+    positions = _candidate_positions(x_sorted, min_leaf, max_candidates)
+    if positions.size == 0:
+        return None
+    cum_pos = np.cumsum(t_sorted)
+    total_pos = int(cum_pos[-1])
+    total_n = x_sorted.shape[0]
+    left_n = positions + 1
+    left_pos = cum_pos[positions]
+    a = left_pos                      # left positives
+    b = left_n - left_pos             # left negatives
+    c = total_pos - left_pos          # right positives
+    d = (total_n - left_n) - c        # right negatives
+    chi2 = chi_square_2x2(a, b, c, d)
+    best = int(np.argmax(chi2))
+    statistic = float(chi2[best])
+    raw_p = float(stats.chi2.sf(statistic, 1))
+    p = _bonferroni(raw_p, positions.size) if bonferroni else raw_p
+    threshold = float(
+        (x_sorted[positions[best]] + x_sorted[positions[best] + 1]) / 2.0
+    )
+    n_missing = int((~present).sum())
+    return SplitCandidate(
+        feature=feature_name,
+        is_numeric=True,
+        statistic=statistic,
+        p_value=p,
+        n_candidates=int(positions.size),
+        threshold=threshold,
+        has_missing_branch=n_missing >= min_leaf,
+    )
+
+
+def best_numeric_split_f(
+    feature_name: str,
+    values: np.ndarray,
+    y: np.ndarray,
+    min_leaf: int,
+    max_candidates: int = 64,
+    bonferroni: bool = True,
+) -> SplitCandidate | None:
+    """Best binary F-test split of a numeric feature on an interval target."""
+    present = ~np.isnan(values)
+    x = values[present]
+    t = y[present]
+    if x.shape[0] < 2 * min_leaf:
+        return None
+    order = np.argsort(x, kind="stable")
+    x_sorted = x[order]
+    t_sorted = t[order]
+    positions = _candidate_positions(x_sorted, min_leaf, max_candidates)
+    if positions.size == 0:
+        return None
+    cum_sum = np.cumsum(t_sorted)
+    total_sum = float(cum_sum[-1])
+    total_ss = float((t_sorted**2).sum())
+    total_n = x_sorted.shape[0]
+    left_n = (positions + 1).astype(np.float64)
+    left_sum = cum_sum[positions]
+    group_sums = np.stack([left_sum, total_sum - left_sum], axis=-1)
+    group_counts = np.stack([left_n, total_n - left_n], axis=-1)
+    f, df1, df2 = f_statistic(
+        group_sums, group_counts, total_ss, total_sum, total_n
+    )
+    best = int(np.argmax(f))
+    statistic = float(f[best])
+    raw_p = float(stats.f.sf(statistic, df1, df2))
+    p = _bonferroni(raw_p, positions.size) if bonferroni else raw_p
+    threshold = float(
+        (x_sorted[positions[best]] + x_sorted[positions[best] + 1]) / 2.0
+    )
+    n_missing = int((~present).sum())
+    return SplitCandidate(
+        feature=feature_name,
+        is_numeric=True,
+        statistic=statistic,
+        p_value=p,
+        n_candidates=int(positions.size),
+        threshold=threshold,
+        has_missing_branch=n_missing >= min_leaf,
+    )
+
+
+# ---------------------------------------------------------------------------
+# categorical splits with CHAID-style level merging
+# ---------------------------------------------------------------------------
+
+def _merge_groups_chi2(
+    groups: list[list[int]],
+    pos: np.ndarray,
+    neg: np.ndarray,
+    merge_alpha: float,
+) -> list[list[int]]:
+    """Greedily merge the most similar pair while insignificant."""
+    while len(groups) > 2:
+        best_pair = None
+        best_p = -1.0
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                a = pos[groups[i]].sum()
+                b = neg[groups[i]].sum()
+                c = pos[groups[j]].sum()
+                d = neg[groups[j]].sum()
+                chi2 = float(chi_square_2x2(a, b, c, d))
+                p = float(stats.chi2.sf(chi2, 1))
+                if p > best_p:
+                    best_p = p
+                    best_pair = (i, j)
+        if best_pair is None or best_p < merge_alpha:
+            break
+        i, j = best_pair
+        groups[i] = groups[i] + groups[j]
+        del groups[j]
+    return groups
+
+
+def best_categorical_split_chi2(
+    feature_name: str,
+    codes: np.ndarray,
+    n_levels: int,
+    y: np.ndarray,
+    min_leaf: int,
+    merge_alpha: float = 0.10,
+    bonferroni: bool = True,
+) -> SplitCandidate | None:
+    """χ² split of a nominal feature: one branch per merged level group."""
+    present = codes >= 0
+    c = codes[present]
+    t = y[present]
+    if c.shape[0] < 2 * min_leaf:
+        return None
+    pos = np.bincount(c[t == 1], minlength=n_levels).astype(np.float64)
+    neg = np.bincount(c[t == 0], minlength=n_levels).astype(np.float64)
+    observed = np.flatnonzero(pos + neg > 0)
+    if observed.size < 2:
+        return None
+    groups = _merge_groups_chi2(
+        [[int(level)] for level in observed], pos, neg, merge_alpha
+    )
+    # Fold groups below min_leaf into the largest group.
+    sizes = [int((pos[g] + neg[g]).sum()) for g in groups]
+    while len(groups) > 2 and min(sizes) < min_leaf:
+        small = int(np.argmin(sizes))
+        large = int(np.argmax(sizes))
+        if small == large:
+            break
+        groups[large] = groups[large] + groups[small]
+        del groups[small]
+        sizes = [int((pos[g] + neg[g]).sum()) for g in groups]
+    if len(groups) < 2 or min(sizes) < min_leaf:
+        return None
+    table = np.array(
+        [[pos[g].sum(), neg[g].sum()] for g in groups], dtype=np.float64
+    )
+    chi2, raw_p, _dof = chi_square_table(table)
+    n_candidates = max(1, observed.size - 1)
+    p = _bonferroni(raw_p, n_candidates) if bonferroni else raw_p
+    n_missing = int((~present).sum())
+    return SplitCandidate(
+        feature=feature_name,
+        is_numeric=False,
+        statistic=chi2,
+        p_value=p,
+        n_candidates=n_candidates,
+        groups=tuple(tuple(sorted(g)) for g in groups),
+        has_missing_branch=n_missing >= min_leaf,
+    )
+
+
+def _merge_groups_f(
+    groups: list[list[int]],
+    sums: np.ndarray,
+    sqsums: np.ndarray,
+    counts: np.ndarray,
+    merge_alpha: float,
+) -> list[list[int]]:
+    """Greedy merge of level groups with the least-significant mean gap."""
+    while len(groups) > 2:
+        best_pair = None
+        best_p = -1.0
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                gi, gj = groups[i], groups[j]
+                n = counts[gi].sum() + counts[gj].sum()
+                s = sums[gi].sum() + sums[gj].sum()
+                ss = sqsums[gi].sum() + sqsums[gj].sum()
+                f, df1, df2 = f_statistic(
+                    np.array([sums[gi].sum(), sums[gj].sum()]),
+                    np.array([counts[gi].sum(), counts[gj].sum()]),
+                    float(ss),
+                    float(s),
+                    int(n),
+                )
+                p = float(stats.f.sf(float(f), df1, df2))
+                if p > best_p:
+                    best_p = p
+                    best_pair = (i, j)
+        if best_pair is None or best_p < merge_alpha:
+            break
+        i, j = best_pair
+        groups[i] = groups[i] + groups[j]
+        del groups[j]
+    return groups
+
+
+def best_categorical_split_f(
+    feature_name: str,
+    codes: np.ndarray,
+    n_levels: int,
+    y: np.ndarray,
+    min_leaf: int,
+    merge_alpha: float = 0.10,
+    bonferroni: bool = True,
+) -> SplitCandidate | None:
+    """F-test split of a nominal feature on an interval target."""
+    present = codes >= 0
+    c = codes[present]
+    t = y[present]
+    if c.shape[0] < 2 * min_leaf:
+        return None
+    counts = np.bincount(c, minlength=n_levels).astype(np.float64)
+    sums = np.bincount(c, weights=t, minlength=n_levels)
+    sqsums = np.bincount(c, weights=t**2, minlength=n_levels)
+    observed = np.flatnonzero(counts > 0)
+    if observed.size < 2:
+        return None
+    groups = _merge_groups_f(
+        [[int(level)] for level in observed], sums, sqsums, counts, merge_alpha
+    )
+    sizes = [int(counts[g].sum()) for g in groups]
+    while len(groups) > 2 and min(sizes) < min_leaf:
+        small = int(np.argmin(sizes))
+        large = int(np.argmax(sizes))
+        if small == large:
+            break
+        groups[large] = groups[large] + groups[small]
+        del groups[small]
+        sizes = [int(counts[g].sum()) for g in groups]
+    if len(groups) < 2 or min(sizes) < min_leaf:
+        return None
+    group_sums = np.array([sums[g].sum() for g in groups])
+    group_counts = np.array([counts[g].sum() for g in groups])
+    f, df1, df2 = f_statistic(
+        group_sums,
+        group_counts,
+        float(sqsums.sum()),
+        float(sums.sum()),
+        int(counts.sum()),
+    )
+    statistic = float(f)
+    raw_p = float(stats.f.sf(statistic, df1, df2))
+    n_candidates = max(1, observed.size - 1)
+    p = _bonferroni(raw_p, n_candidates) if bonferroni else raw_p
+    n_missing = int((~present).sum())
+    return SplitCandidate(
+        feature=feature_name,
+        is_numeric=False,
+        statistic=statistic,
+        p_value=p,
+        n_candidates=n_candidates,
+        groups=tuple(tuple(sorted(g)) for g in groups),
+        has_missing_branch=n_missing >= min_leaf,
+    )

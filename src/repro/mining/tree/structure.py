@@ -1,0 +1,152 @@
+"""Tree node structure and vectorised routing.
+
+A fitted tree is a DAG-free hierarchy of :class:`TreeNode`; internal
+nodes carry the chosen :class:`~repro.mining.tree.splitting.SplitCandidate`
+and a list of :class:`Branch` arms.  Branch arms are:
+
+``le`` / ``gt``
+    Numeric threshold arms.
+``in``
+    Nominal arm holding a set of level codes (CHAID merged group).
+``missing``
+    The explicit missing-value arm ("missing values were treated as
+    valid data", paper Section 3).
+
+Rows that match no arm (missing without a missing arm, or an unseen
+level) fall through to the node's largest child, both during fitting
+and prediction, so train/apply behaviour is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mining.features import FeatureSet
+from repro.mining.tree.splitting import SplitCandidate
+
+__all__ = ["Branch", "TreeNode", "route_rows", "iter_nodes", "iter_leaves"]
+
+
+@dataclass
+class Branch:
+    """One arm of a split."""
+
+    kind: str  # 'le' | 'gt' | 'in' | 'missing'
+    child: "TreeNode"
+    threshold: float | None = None
+    codes: frozenset[int] = frozenset()
+
+    def describe(self, labels: tuple[str, ...] = ()) -> str:
+        if self.kind == "le":
+            return f"<= {self.threshold:g}"
+        if self.kind == "gt":
+            return f"> {self.threshold:g}"
+        if self.kind == "missing":
+            return "missing"
+        names = [
+            labels[c] if c < len(labels) else str(c)
+            for c in sorted(self.codes)
+        ]
+        return "in {" + ", ".join(names) + "}"
+
+
+@dataclass
+class TreeNode:
+    """A node of a fitted tree."""
+
+    node_id: int
+    depth: int
+    n_samples: int
+    prediction: float
+    """P(positive) for classification trees, mean target for regression."""
+    split: SplitCandidate | None = None
+    branches: list[Branch] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.branches
+
+    def largest_branch(self) -> Branch:
+        return max(self.branches, key=lambda b: b.child.n_samples)
+
+    def make_leaf(self) -> None:
+        self.split = None
+        self.branches = []
+
+
+def partition_indices(
+    node: TreeNode, features: FeatureSet, idx: np.ndarray
+) -> list[tuple[Branch, np.ndarray]]:
+    """Distribute the rows ``idx`` over the node's branches.
+
+    Unmatched rows (missing with no missing arm, unseen levels) go to
+    the largest branch.
+    """
+    assert node.split is not None
+    feature = next(
+        f for f in features.features if f.name == node.split.feature
+    )
+    values = feature.values[idx]
+    assigned = np.full(idx.shape[0], -1, dtype=np.int64)
+    for b_index, branch in enumerate(node.branches):
+        if branch.kind == "le":
+            with np.errstate(invalid="ignore"):
+                mask = values <= branch.threshold
+        elif branch.kind == "gt":
+            with np.errstate(invalid="ignore"):
+                mask = values > branch.threshold
+        elif branch.kind == "missing":
+            mask = (
+                np.isnan(values) if feature.is_numeric else values == -1
+            )
+        else:  # 'in'
+            mask = np.isin(values, list(branch.codes))
+        assigned[(assigned == -1) & mask] = b_index
+    if (assigned == -1).any():
+        fallback = node.branches.index(node.largest_branch())
+        assigned[assigned == -1] = fallback
+    return [
+        (branch, idx[assigned == b_index])
+        for b_index, branch in enumerate(node.branches)
+    ]
+
+
+def route_rows(
+    root: TreeNode, features: FeatureSet
+) -> tuple[np.ndarray, np.ndarray]:
+    """Route every row to a leaf.
+
+    Returns ``(predictions, leaf_ids)`` aligned with the feature rows.
+    """
+    n = features.n_rows
+    predictions = np.empty(n, dtype=np.float64)
+    leaf_ids = np.empty(n, dtype=np.int64)
+    stack: list[tuple[TreeNode, np.ndarray]] = [
+        (root, np.arange(n, dtype=np.int64))
+    ]
+    while stack:
+        node, idx = stack.pop()
+        if idx.size == 0:
+            continue
+        if node.is_leaf:
+            predictions[idx] = node.prediction
+            leaf_ids[idx] = node.node_id
+            continue
+        for branch, sub in partition_indices(node, features, idx):
+            stack.append((branch.child, sub))
+    return predictions, leaf_ids
+
+
+def iter_nodes(root: TreeNode):
+    """Yield every node, parents before children."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(branch.child for branch in reversed(node.branches))
+
+
+def iter_leaves(root: TreeNode):
+    return (node for node in iter_nodes(root) if node.is_leaf)

@@ -1,0 +1,83 @@
+"""Synthetic QDTMR road & crash data substrate.
+
+The paper's data is proprietary; this subpackage generates a synthetic
+analogue with the same attribute families, the same zero-altered crash
+process structure, and class marginals calibrated to the paper's
+Table 1.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.roads.attributes import (
+    ROAD_ATTRIBUTES,
+    ROAD_CLASSES,
+    AttributeGroup,
+    RoadAttribute,
+    attribute_names,
+    modelling_schema,
+    segment_schema,
+)
+from repro.roads.calibration import (
+    PAPER_TABLE1_TARGETS,
+    CalibrationReport,
+    CalibrationTargets,
+    calibrate_crash_process,
+    weighted_count_cdf,
+)
+from repro.roads.crashes import (
+    STUDY_YEARS,
+    CrashOutcome,
+    CrashProcess,
+    CrashProcessParams,
+)
+from repro.roads.generator import (
+    QDTMRSyntheticGenerator,
+    RoadCrashDataset,
+    SyntheticStudyConfig,
+    paper_scale_config,
+    small_config,
+)
+from repro.roads.hotspots import (
+    KdeSurface,
+    SpatialCluster,
+    crash_coordinates,
+    crash_kde,
+    spatial_kmeans_hotspots,
+)
+from repro.roads.network import RoadNetwork, Route, SegmentSkeleton, Town
+from repro.roads.segments import GeneratedSegments, SegmentAttributeSampler
+from repro.roads.zero_altered import build_zero_altered_set
+
+__all__ = [
+    "AttributeGroup",
+    "RoadAttribute",
+    "ROAD_ATTRIBUTES",
+    "ROAD_CLASSES",
+    "attribute_names",
+    "modelling_schema",
+    "segment_schema",
+    "RoadNetwork",
+    "Route",
+    "SegmentSkeleton",
+    "Town",
+    "GeneratedSegments",
+    "SegmentAttributeSampler",
+    "CrashProcess",
+    "CrashProcessParams",
+    "CrashOutcome",
+    "STUDY_YEARS",
+    "build_zero_altered_set",
+    "QDTMRSyntheticGenerator",
+    "RoadCrashDataset",
+    "SyntheticStudyConfig",
+    "paper_scale_config",
+    "small_config",
+    "calibrate_crash_process",
+    "CalibrationTargets",
+    "CalibrationReport",
+    "PAPER_TABLE1_TARGETS",
+    "weighted_count_cdf",
+    "KdeSurface",
+    "SpatialCluster",
+    "crash_kde",
+    "crash_coordinates",
+    "spatial_kmeans_hotspots",
+]

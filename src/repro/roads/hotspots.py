@@ -1,0 +1,194 @@
+"""Spatial crash hotspot profiling (Anderson-style KDE baseline).
+
+The paper's related work includes Anderson [7]: "Kernel density
+estimation and K-means clustering to profile road accident hotspots."
+This module implements that baseline against the synthetic network's
+plane coordinates, so the attribute-driven phase-3 clusters can be
+compared with what a purely *spatial* analysis finds:
+
+* :func:`crash_kde` — a Gaussian kernel density surface of crash
+  locations over a regular grid;
+* :meth:`KdeSurface.hotspot_cells` — grid cells above a density
+  quantile (Anderson's hotspot definition);
+* :func:`spatial_kmeans_hotspots` — k-means on crash coordinates, with
+  per-cluster crash totals and radii.
+
+The comparison point for the paper: spatial hotspots find *where*
+crashes concentrate (mostly high-exposure urban areas), whereas the
+crash-proneness model explains *which road state* produces them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+from repro.roads.generator import RoadCrashDataset
+
+__all__ = [
+    "KdeSurface",
+    "crash_kde",
+    "SpatialCluster",
+    "spatial_kmeans_hotspots",
+    "crash_coordinates",
+]
+
+
+def crash_coordinates(dataset: RoadCrashDataset) -> np.ndarray:
+    """(n_crashes, 2) plane coordinates, one row per crash.
+
+    Each crash sits at its segment's interpolated route position.
+    """
+    by_id = {s.segment_id: s for s in dataset.network.skeletons}
+    ids = dataset.crash_instances.numeric("segment_id").astype(int)
+    coordinates = np.empty((ids.shape[0], 2))
+    for row, segment_id in enumerate(ids):
+        skeleton = by_id[int(segment_id)]
+        coordinates[row, 0] = skeleton.x
+        coordinates[row, 1] = skeleton.y
+    return coordinates
+
+
+@dataclass
+class KdeSurface:
+    """A kernel density estimate over a regular grid."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    density: np.ndarray  # (len(ys), len(xs))
+    bandwidth_km: float
+    n_points: int
+
+    def hotspot_cells(self, quantile: float = 0.95) -> list[tuple[float, float, float]]:
+        """(x, y, density) of grid cells above the density quantile,
+        strongest first."""
+        if not 0.0 < quantile < 1.0:
+            raise EvaluationError(
+                f"quantile must be in (0, 1), got {quantile}"
+            )
+        positive = self.density[self.density > 0]
+        if positive.size == 0:
+            return []
+        cut = float(np.quantile(positive, quantile))
+        rows, cols = np.nonzero(self.density >= cut)
+        cells = [
+            (
+                float(self.xs[c]),
+                float(self.ys[r]),
+                float(self.density[r, c]),
+            )
+            for r, c in zip(rows, cols)
+        ]
+        cells.sort(key=lambda cell: -cell[2])
+        return cells
+
+    def density_at(self, x: float, y: float) -> float:
+        """Nearest-cell density lookup."""
+        col = int(np.clip(np.searchsorted(self.xs, x), 0, len(self.xs) - 1))
+        row = int(np.clip(np.searchsorted(self.ys, y), 0, len(self.ys) - 1))
+        return float(self.density[row, col])
+
+
+def crash_kde(
+    dataset: RoadCrashDataset,
+    bandwidth_km: float = 25.0,
+    grid_size: int = 60,
+) -> KdeSurface:
+    """Gaussian KDE of crash locations on a ``grid_size``² lattice."""
+    if bandwidth_km <= 0:
+        raise EvaluationError(
+            f"bandwidth must be positive, got {bandwidth_km}"
+        )
+    if grid_size < 2:
+        raise EvaluationError(f"grid_size must be >= 2, got {grid_size}")
+    points = crash_coordinates(dataset)
+    if points.shape[0] == 0:
+        raise EvaluationError("no crashes to estimate a density from")
+    pad = 2 * bandwidth_km
+    xs = np.linspace(
+        points[:, 0].min() - pad, points[:, 0].max() + pad, grid_size
+    )
+    ys = np.linspace(
+        points[:, 1].min() - pad, points[:, 1].max() + pad, grid_size
+    )
+    # Separable Gaussian kernel evaluated against all points.
+    dx = xs[None, :] - points[:, 0:1]          # (n, gx)
+    dy = ys[None, :] - points[:, 1:2]          # (n, gy)
+    kx = np.exp(-0.5 * (dx / bandwidth_km) ** 2)
+    ky = np.exp(-0.5 * (dy / bandwidth_km) ** 2)
+    density = ky.T @ kx                         # (gy, gx)
+    density /= (
+        points.shape[0] * 2 * np.pi * bandwidth_km**2
+    )
+    return KdeSurface(
+        xs=xs,
+        ys=ys,
+        density=density,
+        bandwidth_km=bandwidth_km,
+        n_points=int(points.shape[0]),
+    )
+
+
+@dataclass(frozen=True)
+class SpatialCluster:
+    """A k-means crash hotspot in the plane."""
+
+    cluster_id: int
+    centre_x: float
+    centre_y: float
+    n_crashes: int
+    radius_km: float
+    """Root-mean-square distance of member crashes from the centre."""
+
+    @property
+    def intensity(self) -> float:
+        """Crashes per km² of the cluster disc."""
+        area = np.pi * max(self.radius_km, 1e-6) ** 2
+        return self.n_crashes / area
+
+
+def spatial_kmeans_hotspots(
+    dataset: RoadCrashDataset,
+    n_clusters: int = 12,
+    seed: int = 0,
+) -> list[SpatialCluster]:
+    """K-means on crash coordinates, densest hotspots first."""
+    points = crash_coordinates(dataset)
+    if points.shape[0] < n_clusters:
+        raise EvaluationError(
+            f"cannot form {n_clusters} hotspots from "
+            f"{points.shape[0]} crashes"
+        )
+    from repro.datatable import DataTable, NumericColumn
+    from repro.mining import KMeans
+
+    table = DataTable(
+        [
+            NumericColumn.from_array("x", points[:, 0]),
+            NumericColumn.from_array("y", points[:, 1]),
+        ]
+    )
+    model = KMeans(n_clusters=n_clusters, seed=seed)
+    assignment = model.fit_predict(table)
+    clusters: list[SpatialCluster] = []
+    for cluster_id in range(n_clusters):
+        members = points[assignment == cluster_id]
+        if members.shape[0] == 0:
+            continue
+        centre = members.mean(axis=0)
+        radius = float(
+            np.sqrt(((members - centre) ** 2).sum(axis=1).mean())
+        )
+        clusters.append(
+            SpatialCluster(
+                cluster_id=cluster_id,
+                centre_x=float(centre[0]),
+                centre_y=float(centre[1]),
+                n_crashes=int(members.shape[0]),
+                radius_km=radius,
+            )
+        )
+    clusters.sort(key=lambda c: -c.intensity)
+    return clusters

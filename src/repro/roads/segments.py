@@ -1,0 +1,229 @@
+"""Dress network skeletons with correlated road-condition attributes.
+
+A single latent *deficiency* score per segment drives the condition
+attributes the paper found predictive (skid resistance F60 down,
+texture depth down, distress measures up, seal age up), while the
+functional attributes (AADT, speed limit, lanes) derive from the
+skeleton's road class and urbanisation.  Models never see the latent
+score — they see the noisy attribute views of it — which is exactly the
+setting the paper's trees operate in: crash-prone roads are attribute-
+separable, but only through correlated, noisy surrogates.
+
+Missing values are injected per-attribute at the rates declared in
+:mod:`repro.roads.attributes` (F60 sparsest, as in the study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.roads.attributes import (
+    ROAD_ATTRIBUTES,
+    SEAL_TYPES,
+    segment_schema,
+)
+from repro.roads.network import SegmentSkeleton
+
+__all__ = ["GeneratedSegments", "SegmentAttributeSampler"]
+
+_CLASS_PARAMS = {
+    # road_class: (deficiency beta a, b, aadt log-mean, aadt log-sd,
+    #              speed, lanes, heavy%)
+    "motorway": (1.6, 7.0, 10.3, 0.45, 110, 4, 14.0),
+    "highway": (2.0, 5.5, 9.2, 0.55, 100, 2, 18.0),
+    "arterial": (2.4, 4.5, 8.4, 0.6, 80, 2, 12.0),
+    "rural": (2.6, 3.2, 6.6, 0.8, 100, 2, 16.0),
+    "urban": (2.2, 4.0, 8.8, 0.7, 60, 2, 7.0),
+}
+
+_TERRAIN_CURVATURE = {"flat": 14.0, "rolling": 38.0, "mountainous": 85.0}
+_TERRAIN_GRADIENT = {"flat": 1.0, "rolling": 3.2, "mountainous": 6.0}
+
+
+@dataclass
+class GeneratedSegments:
+    """Attribute table plus the latent quantities the crash process needs.
+
+    Attributes
+    ----------
+    table:
+        One row per segment: ``segment_id`` + every road attribute,
+        *with* injected missing values (what models see).
+    deficiency:
+        Latent condition deficiency in [0, 1] (hidden from models).
+    exposure:
+        Traffic exposure score derived from true AADT (hidden).
+    true_values:
+        Attribute → complete (no missing) value arrays, used by the
+        crash process so that crash risk is a function of the real road,
+        not of the survey coverage.
+    """
+
+    table: DataTable
+    deficiency: np.ndarray
+    exposure: np.ndarray
+    true_values: dict[str, np.ndarray]
+
+    @property
+    def n_segments(self) -> int:
+        return self.table.n_rows
+
+
+class SegmentAttributeSampler:
+    """Samples the attribute vector of every skeleton.
+
+    Parameters
+    ----------
+    deficiency_shift:
+        Added to the class-level mean deficiency; raising it ages the
+        whole network (used by the what-if resurfacing example).
+    missing_values:
+        If False, no missingness is injected (useful for tests that
+        check pure distributional facts).
+    """
+
+    def __init__(
+        self, deficiency_shift: float = 0.0, missing_values: bool = True
+    ):
+        self.deficiency_shift = deficiency_shift
+        self.missing_values = missing_values
+
+    def sample(
+        self, skeletons: list[SegmentSkeleton], rng: np.random.Generator
+    ) -> GeneratedSegments:
+        n = len(skeletons)
+        if n == 0:
+            raise ValueError("cannot sample attributes for an empty network")
+        road_class = np.array([s.road_class for s in skeletons])
+        terrain = np.array([s.terrain for s in skeletons])
+        region = np.array([s.region for s in skeletons])
+        urbanisation = np.array([s.urbanisation for s in skeletons])
+
+        # Latent deficiency per segment ------------------------------------
+        deficiency = np.empty(n)
+        for cls, (a, b, *_rest) in _CLASS_PARAMS.items():
+            mask = road_class == cls
+            if mask.any():
+                deficiency[mask] = rng.beta(a, b, size=int(mask.sum()))
+        if self.deficiency_shift:
+            deficiency = np.clip(deficiency + self.deficiency_shift, 0.0, 1.0)
+
+        # Functional design ---------------------------------------------------
+        aadt = np.empty(n)
+        speed = np.empty(n)
+        lanes = np.empty(n)
+        heavy = np.empty(n)
+        for cls, (_a, _b, mu, sd, spd, lane, hv) in _CLASS_PARAMS.items():
+            mask = road_class == cls
+            if not mask.any():
+                continue
+            m = int(mask.sum())
+            aadt[mask] = np.exp(rng.normal(mu, sd, size=m))
+            speed[mask] = spd
+            lanes[mask] = lane
+            heavy[mask] = np.clip(rng.normal(hv, 4.0, size=m), 2.0, 35.0)
+        aadt *= 1.0 + 1.8 * urbanisation
+        aadt = np.clip(aadt, 80, 80000)
+        speed = speed - np.round(urbanisation * 3.0) * 10.0
+        speed = np.clip(speed, 50, 110)
+        lanes = lanes + (aadt > 25000) + (aadt > 50000)
+        seal_width = np.clip(
+            3.2 * lanes + rng.normal(1.5, 0.8, size=n), 5.5, 24.0
+        )
+
+        # Surface properties (deficiency lowers friction and texture) --------
+        base_f60 = 0.68 - 0.05 * (road_class == "urban")
+        f60 = base_f60 - 0.38 * deficiency + rng.normal(0, 0.055, size=n)
+        f60 = np.clip(f60, 0.15, 0.85)
+        texture = 1.9 - 1.3 * deficiency + rng.normal(0, 0.22, size=n)
+        texture = np.clip(texture, 0.2, 2.8)
+        seal_type = np.where(
+            np.isin(road_class, ("motorway", "urban")),
+            np.where(rng.random(n) < 0.8, "asphalt", "concrete"),
+            np.where(rng.random(n) < 0.75, "spray_seal", "asphalt"),
+        )
+
+        # Surface distress -----------------------------------------------------
+        iri = 1.1 + 4.2 * deficiency + 0.5 * (terrain == "mountainous")
+        iri = np.clip(iri + rng.normal(0, 0.5, size=n), 0.8, 8.0)
+        rut = np.clip(
+            1.5 + 19.0 * deficiency + rng.normal(0, 2.2, size=n), 0.0, 30.0
+        )
+        cracking = np.clip(
+            42.0 * deficiency**2 + rng.normal(0, 3.0, size=n), 0.0, 45.0
+        )
+
+        # Surface wear ---------------------------------------------------------
+        seal_age = np.clip(
+            2.0 + 22.0 * deficiency + rng.normal(0, 2.5, size=n), 0.0, 28.0
+        )
+        agg_loss = np.clip(
+            30.0 * deficiency + rng.normal(0, 3.5, size=n), 0.0, 35.0
+        )
+
+        # Roadway features -------------------------------------------------------
+        curvature = np.array([_TERRAIN_CURVATURE[t] for t in terrain])
+        curvature = np.clip(
+            curvature * rng.lognormal(0.0, 0.5, size=n), 0.0, 150.0
+        )
+        gradient = np.array([_TERRAIN_GRADIENT[t] for t in terrain])
+        gradient = np.clip(gradient * rng.lognormal(0.0, 0.4, size=n), 0.0, 10.0)
+        intersections = np.clip(
+            urbanisation * 6.5 + rng.exponential(0.4, size=n), 0.0, 10.0
+        )
+
+        true_values: dict[str, np.ndarray] = {
+            "speed_limit": speed,
+            "lane_count": lanes,
+            "seal_width": seal_width,
+            "skid_resistance_f60": f60,
+            "texture_depth": texture,
+            "roughness_iri": iri,
+            "rut_depth": rut,
+            "cracking_pct": cracking,
+            "seal_age": seal_age,
+            "aggregate_loss_pct": agg_loss,
+            "curvature": curvature,
+            "gradient_pct": gradient,
+            "intersection_density": intersections,
+            "aadt": aadt,
+            "heavy_vehicle_pct": heavy,
+        }
+
+        # Observed (possibly missing) versions ---------------------------------
+        columns = [
+            NumericColumn.from_array(
+                "segment_id",
+                np.array([s.segment_id for s in skeletons], dtype=np.float64),
+            )
+        ]
+        missing_rates = {a.name: a.missing_rate for a in ROAD_ATTRIBUTES}
+        for attr in ROAD_ATTRIBUTES:
+            if attr.name == "road_class":
+                columns.append(CategoricalColumn("road_class", list(road_class)))
+            elif attr.name == "seal_type":
+                columns.append(
+                    CategoricalColumn("seal_type", list(seal_type), SEAL_TYPES)
+                )
+            elif attr.name == "terrain":
+                columns.append(CategoricalColumn("terrain", list(terrain)))
+            elif attr.name == "region":
+                columns.append(CategoricalColumn("region", list(region)))
+            else:
+                observed = true_values[attr.name].copy()
+                rate = missing_rates.get(attr.name, 0.0)
+                if self.missing_values and rate > 0:
+                    observed[rng.random(n) < rate] = np.nan
+                columns.append(NumericColumn.from_array(attr.name, observed))
+
+        table = DataTable(columns, schema=segment_schema())
+        exposure = np.log(aadt / 1000.0 + 1.0)
+        return GeneratedSegments(
+            table=table,
+            deficiency=deficiency,
+            exposure=exposure,
+            true_values=true_values,
+        )

@@ -1,0 +1,59 @@
+"""The zero-altered counting set: imaginary non-crash instances.
+
+Phase 1 of the paper models crash vs no-crash, which requires negative
+examples.  Following Shankar et al.'s zero-altered counting process,
+the authors created "an imaginary set of non-crash instances with road
+characteristics from the non-crash roads".  This module constructs that
+set from the simulated network: one instance per crash-free segment
+(optionally subsampled), carrying the segment's observed road
+attributes and a crash count of zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatable import DataTable, NumericColumn
+from repro.roads.crashes import CrashOutcome
+from repro.roads.segments import GeneratedSegments
+
+__all__ = ["build_zero_altered_set"]
+
+
+def build_zero_altered_set(
+    segments: GeneratedSegments,
+    outcome: CrashOutcome,
+    rng: np.random.Generator,
+    max_instances: int | None = None,
+) -> DataTable:
+    """Instances for the crash-free segments.
+
+    Parameters
+    ----------
+    segments:
+        The generated segment attributes.
+    outcome:
+        The simulated crash history; segments with zero total crashes
+        form the pool.
+    rng:
+        Used only when subsampling.
+    max_instances:
+        If given and smaller than the pool, a uniform subsample of that
+        size is returned (the paper's 16,155 no-crash instances are a
+        subset of the full crash-free network).
+
+    Returns
+    -------
+    DataTable
+        Observed road attributes + ``segment_id`` +
+        ``segment_crash_count`` (all zero).
+    """
+    mask = outcome.total_counts == 0
+    table = segments.table.filter(mask)
+    if max_instances is not None and table.n_rows > max_instances:
+        idx = rng.choice(table.n_rows, size=max_instances, replace=False)
+        table = table.take(np.sort(idx))
+    zeros = np.zeros(table.n_rows, dtype=np.float64)
+    return table.with_column(
+        NumericColumn.from_array("segment_crash_count", zeros)
+    )

@@ -1,0 +1,86 @@
+"""Shared fixtures.
+
+The generated dataset fixtures are session-scoped: generation is a pure
+function of the seed, so sharing them across tests is safe and keeps
+the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.roads import QDTMRSyntheticGenerator, small_config
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def toy_table() -> DataTable:
+    """A small mixed-type table with missing values."""
+    return DataTable(
+        [
+            NumericColumn("x", [1.0, 2.0, None, 4.0, 5.0, 6.0]),
+            NumericColumn("y", [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]),
+            CategoricalColumn(
+                "colour",
+                ["red", "blue", "red", None, "green", "blue"],
+                ("red", "blue", "green"),
+            ),
+        ]
+    )
+
+
+def make_classification_table(
+    n: int, seed: int = 0, noise: float = 0.5
+) -> tuple[DataTable, np.ndarray]:
+    """A synthetic binary-classification table with mixed features.
+
+    The target depends on ``a`` (numeric), ``group`` (categorical) and
+    nothing else; ``b`` is a distractor.  Returns (table, y).
+    """
+    gen = np.random.default_rng(seed)
+    a = gen.normal(0, 1, n)
+    b = gen.normal(0, 1, n)
+    group = gen.choice(["p", "q", "r"], size=n, p=[0.5, 0.3, 0.2])
+    logit = 1.8 * a + (group == "r") * 2.0 - 0.5
+    probs = 1 / (1 + np.exp(-(logit + gen.normal(0, noise, n))))
+    y = (gen.random(n) < probs).astype(int)
+    table = DataTable(
+        [
+            NumericColumn.from_array("a", a),
+            NumericColumn.from_array("b", b),
+            CategoricalColumn("group", list(group), ("p", "q", "r")),
+            CategoricalColumn(
+                "label",
+                ["pos" if v else "neg" for v in y],
+                ("neg", "pos"),
+            ),
+        ]
+    )
+    return table, y
+
+
+@pytest.fixture()
+def classification_table() -> tuple[DataTable, np.ndarray]:
+    return make_classification_table(600, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small generated road-crash dataset shared across the session."""
+    return QDTMRSyntheticGenerator(
+        small_config(n_segments=2500, n_towns=12)
+    ).generate(seed=42)
+
+
+@pytest.fixture(scope="session")
+def mid_dataset():
+    """A mid-size dataset for integration tests of the study phases."""
+    return QDTMRSyntheticGenerator(
+        small_config(n_segments=6000, n_towns=18)
+    ).generate(seed=7)

@@ -1,0 +1,90 @@
+"""Tests for assessment records and the threshold-selection rule."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import assess_scores, select_best_threshold
+from repro.exceptions import EvaluationError
+
+
+class TestAssessScores:
+    def test_all_measures_populated(self, rng):
+        actual = rng.integers(0, 2, 500)
+        scores = np.clip(
+            actual * 0.6 + rng.random(500) * 0.5, 0, 1
+        )
+        assessment = assess_scores(actual, scores)
+        record = assessment.as_dict()
+        assert set(record) == {
+            "accuracy",
+            "misclassification_rate",
+            "sensitivity",
+            "specificity",
+            "ppv",
+            "npv",
+            "mcpv",
+            "kappa",
+            "roc_area",
+            "weighted_precision",
+            "weighted_recall",
+        }
+        assert record["mcpv"] == min(record["ppv"], record["npv"])
+        assert 0.5 < record["roc_area"] <= 1.0
+
+    def test_custom_cutoff(self):
+        actual = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.3, 0.35, 0.9])
+        strict = assess_scores(actual, scores, threshold=0.8)
+        lax = assess_scores(actual, scores, threshold=0.2)
+        assert strict.confusion.predicted_positives == 1
+        assert lax.confusion.predicted_positives == 3
+
+
+class TestSelectBestThreshold:
+    def test_simple_peak(self):
+        selection = select_best_threshold(
+            {2: 0.70, 4: 0.85, 8: 0.80, 16: 0.60}
+        )
+        assert selection.selected_threshold == 4
+        assert selection.peak_value == pytest.approx(0.85)
+
+    def test_plateau_prefers_lowest(self):
+        """The paper's 'near the crash/no crash boundary' preference."""
+        selection = select_best_threshold(
+            {2: 0.70, 4: 0.845, 8: 0.85, 16: 0.60},
+            plateau_tolerance=0.02,
+        )
+        assert selection.selected_threshold == 4
+        assert selection.plateau == (4, 8)
+
+    def test_degenerate_top_threshold_excluded(self):
+        """CP-64's perfect score is 'unreliable' and must not win."""
+        selection = select_best_threshold(
+            {2: 0.7, 4: 0.8, 8: 0.75, 64: 1.0}
+        )
+        assert selection.selected_threshold == 4
+
+    def test_degenerate_exclusion_can_be_disabled(self):
+        selection = select_best_threshold(
+            {4: 0.8, 64: 1.0}, exclude_degenerate=False
+        )
+        assert selection.selected_threshold == 64
+
+    def test_nans_ignored(self):
+        selection = select_best_threshold(
+            {2: float("nan"), 4: 0.8, 8: 0.7}
+        )
+        assert selection.selected_threshold == 4
+        assert math.isnan(selection.values[2])
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(EvaluationError):
+            select_best_threshold({2: float("nan")})
+
+    def test_describe_mentions_rule(self):
+        selection = select_best_threshold({2: 0.7, 4: 0.9})
+        text = selection.describe()
+        assert "plateau" in text
+        assert "crash/no-crash boundary" in text

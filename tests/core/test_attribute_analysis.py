@@ -1,0 +1,155 @@
+"""Tests for cluster signatures, correlations and tree importances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    attribute_crash_correlations,
+    cluster_attribute_signatures,
+    tree_feature_importance,
+)
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.exceptions import EvaluationError
+from repro.mining import DecisionTreeClassifier, TreeConfig
+from tests.conftest import make_classification_table
+
+
+def make_clustered_table():
+    gen = np.random.default_rng(6)
+    # Cluster 0: low friction; cluster 1: high friction; both same size.
+    f60 = np.concatenate(
+        [gen.normal(0.35, 0.02, 120), gen.normal(0.65, 0.02, 120)]
+    )
+    aadt = gen.normal(5000, 100, 240)
+    seal = ["spray"] * 120 + ["asphalt"] * 120
+    counts = np.concatenate(
+        [gen.poisson(10, 120), gen.poisson(1, 120)]
+    ).astype(float)
+    table = DataTable(
+        [
+            NumericColumn.from_array("skid_resistance_f60", f60),
+            NumericColumn.from_array("aadt", aadt),
+            CategoricalColumn("seal_type", seal, ("spray", "asphalt")),
+            NumericColumn.from_array("segment_crash_count", counts),
+        ]
+    )
+    assignment = np.array([0] * 120 + [1] * 120)
+    return table, assignment
+
+
+class TestClusterSignatures:
+    def test_discriminating_attribute_ranks_first(self):
+        table, assignment = make_clustered_table()
+        signatures = cluster_attribute_signatures(table, assignment)
+        top0 = signatures[0][0]
+        assert top0.attribute in ("skid_resistance_f60", "seal_type=spray",
+                                  "seal_type=asphalt")
+        assert abs(top0.effect) > 0.9
+
+    def test_effect_signs_opposite_between_clusters(self):
+        table, assignment = make_clustered_table()
+        signatures = cluster_attribute_signatures(table, assignment)
+        f60_effects = {
+            cid: next(
+                s.effect
+                for s in sigs
+                if s.attribute == "skid_resistance_f60"
+            )
+            for cid, sigs in signatures.items()
+        }
+        assert f60_effects[0] < 0 < f60_effects[1]
+
+    def test_top_per_cluster_respected(self):
+        table, assignment = make_clustered_table()
+        signatures = cluster_attribute_signatures(
+            table, assignment, top_per_cluster=2
+        )
+        assert all(len(sigs) <= 2 for sigs in signatures.values())
+
+    def test_describe(self):
+        table, assignment = make_clustered_table()
+        signatures = cluster_attribute_signatures(table, assignment)
+        text = signatures[0][0].describe()
+        assert "cluster 0" in text and "population" in text
+
+    def test_length_mismatch_rejected(self):
+        table, _assignment = make_clustered_table()
+        with pytest.raises(EvaluationError):
+            cluster_attribute_signatures(table, np.zeros(3))
+
+
+class TestCrashCorrelations:
+    def test_strongest_attribute_found(self):
+        table, _assignment = make_clustered_table()
+        correlations = attribute_crash_correlations(table)
+        assert correlations[0].attribute in (
+            "skid_resistance_f60",
+            "seal_type",
+        )
+        assert correlations[0].strength > 0.5
+
+    def test_numeric_has_pearson_and_spearman(self):
+        table, _assignment = make_clustered_table()
+        by_name = {
+            c.attribute: c for c in attribute_crash_correlations(table)
+        }
+        f60 = by_name["skid_resistance_f60"]
+        assert f60.kind == "pearson+spearman"
+        assert f60.pearson < 0  # low friction, more crashes
+        assert math.isnan(f60.eta_squared)
+
+    def test_categorical_has_eta_squared(self):
+        table, _assignment = make_clustered_table()
+        by_name = {
+            c.attribute: c for c in attribute_crash_correlations(table)
+        }
+        seal = by_name["seal_type"]
+        assert seal.kind == "eta_squared"
+        assert seal.eta_squared > 0.3
+
+    def test_noise_attribute_weakest(self):
+        table, _assignment = make_clustered_table()
+        correlations = attribute_crash_correlations(table)
+        assert correlations[-1].attribute == "aadt"
+
+    def test_constant_column_skipped(self):
+        table, _assignment = make_clustered_table()
+        table = table.with_column(
+            NumericColumn("constant", [1.0] * table.n_rows)
+        )
+        names = {
+            c.attribute for c in attribute_crash_correlations(table)
+        }
+        assert "constant" not in names
+
+
+class TestTreeFeatureImportance:
+    def test_signal_feature_dominates(self):
+        table, _y = make_classification_table(1000, seed=12)
+        model = DecisionTreeClassifier(
+            TreeConfig(min_leaf=30, min_split=60)
+        ).fit(table, "label")
+        importance = tree_feature_importance(model.root)
+        assert sum(importance.values()) == pytest.approx(1.0)
+        # 'a' and 'group' carry the signal; 'b' is a distractor.
+        assert importance.get("a", 0) > importance.get("b", 0)
+
+    def test_single_leaf_tree_empty(self):
+        gen = np.random.default_rng(0)
+        table = DataTable(
+            [
+                NumericColumn.from_array("x", gen.random(120)),
+                CategoricalColumn(
+                    "label",
+                    list(gen.choice(["n", "p"], 120)),
+                    ("n", "p"),
+                ),
+            ]
+        )
+        model = DecisionTreeClassifier(
+            TreeConfig(alpha=1e-12, min_leaf=25, min_split=60)
+        ).fit(table, "label")
+        if model.n_leaves == 1:
+            assert tree_feature_importance(model.root) == {}

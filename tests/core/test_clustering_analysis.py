@@ -1,0 +1,109 @@
+"""Tests for the phase-3 cluster crash-range analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyse_clusters, run_phase3_clustering
+from repro.core.clustering_analysis import ClusterCrashProfile
+from repro.exceptions import EvaluationError
+
+
+def make_banded(seed=0):
+    """Three clusters with low / medium / high crash-count bands."""
+    gen = np.random.default_rng(seed)
+    counts = np.concatenate(
+        [
+            gen.integers(1, 4, 100),     # low
+            gen.integers(8, 15, 80),     # medium
+            gen.integers(30, 60, 40),    # high
+        ]
+    ).astype(float)
+    assignment = np.array([0] * 100 + [1] * 80 + [2] * 40)
+    return counts, assignment
+
+
+class TestAnalyseClusters:
+    def test_profiles_ordered_by_mean(self):
+        counts, assignment = make_banded()
+        analysis = analyse_clusters(counts, assignment)
+        means = [p.mean for p in analysis.profiles]
+        assert means == sorted(means)
+
+    def test_band_classification(self):
+        counts, assignment = make_banded()
+        analysis = analyse_clusters(counts, assignment)
+        assert [p.band for p in analysis.profiles] == [
+            "low",
+            "medium",
+            "high",
+        ]
+
+    def test_very_low_crash_detection(self):
+        counts, assignment = make_banded()
+        analysis = analyse_clusters(counts, assignment)
+        assert analysis.n_very_low_crash_clusters == 1
+        low = analysis.profiles[0]
+        assert low.is_very_low_crash
+        assert low.q3 <= 4.0
+
+    def test_anova_rejects_equal_means(self):
+        counts, assignment = make_banded()
+        analysis = analyse_clusters(counts, assignment)
+        assert analysis.anova.p_value < 1e-10
+
+    def test_supports_conclusion_threshold(self):
+        counts, assignment = make_banded()
+        analysis = analyse_clusters(counts, assignment)
+        # Only one very-low cluster here, so the paper's multi-cluster
+        # evidence standard is not met.
+        assert not analysis.supports_non_crash_prone_roads(
+            minimum_clusters=3
+        )
+        assert analysis.supports_non_crash_prone_roads(minimum_clusters=1)
+
+    def test_band_counts(self):
+        counts, assignment = make_banded()
+        analysis = analyse_clusters(counts, assignment)
+        assert analysis.band_counts() == {"low": 1, "medium": 1, "high": 1}
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            analyse_clusters(np.ones(5), np.zeros(4, dtype=int))
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(EvaluationError):
+            analyse_clusters(np.ones(10), np.zeros(10, dtype=int))
+
+
+class TestProfileProperties:
+    def test_iqr(self):
+        profile = ClusterCrashProfile(
+            cluster_id=0,
+            n_instances=10,
+            minimum=1,
+            q1=2,
+            median=3,
+            q3=6,
+            maximum=12,
+            mean=4.0,
+        )
+        assert profile.iqr == 4
+        assert not profile.is_very_low_crash
+        assert profile.is_mostly_below_ten
+        assert profile.band == "low"
+
+
+class TestRunPhase3:
+    def test_end_to_end_on_generated_data(self, small_dataset):
+        analysis = run_phase3_clustering(
+            small_dataset.crash_instances, n_clusters=12, seed=0
+        )
+        assert analysis.n_clusters == 12
+        assert len(analysis.profiles) == 12
+        assert analysis.assignment.shape == (
+            small_dataset.n_crash_instances,
+        )
+        # Attribute-driven counts: the ANOVA should strongly reject.
+        assert analysis.anova.p_value < 1e-6
+        # The synthetic network has a genuine non-crash-prone stratum.
+        assert analysis.n_very_low_crash_clusters >= 1

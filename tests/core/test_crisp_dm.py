@@ -1,0 +1,93 @@
+"""Tests for the CRISP-DM pipeline framework."""
+
+import pytest
+
+from repro.core import CrispDmPipeline, CrispDmStage
+from repro.exceptions import ReproError
+
+
+class TestPipeline:
+    def test_runs_in_stage_order(self):
+        pipeline = CrispDmPipeline()
+        order = []
+        pipeline.register(
+            CrispDmStage.MODELING, "model", lambda ctx: order.append("m")
+        )
+        pipeline.register(
+            CrispDmStage.DATA_PREPARATION,
+            "prep",
+            lambda ctx: order.append("p"),
+        )
+        pipeline.register(
+            CrispDmStage.BUSINESS_UNDERSTANDING,
+            "goal",
+            lambda ctx: order.append("b"),
+        )
+        pipeline.run()
+        assert order == ["b", "p", "m"]
+
+    def test_registration_order_within_stage(self):
+        pipeline = CrispDmPipeline()
+        order = []
+        pipeline.register(
+            CrispDmStage.MODELING, "first", lambda ctx: order.append(1)
+        )
+        pipeline.register(
+            CrispDmStage.MODELING, "second", lambda ctx: order.append(2)
+        )
+        pipeline.run()
+        assert order == [1, 2]
+
+    def test_context_threading(self):
+        pipeline = CrispDmPipeline()
+        pipeline.register(
+            CrispDmStage.DATA_PREPARATION,
+            "make",
+            lambda ctx: {"value": 10},
+        )
+        pipeline.register(
+            CrispDmStage.MODELING,
+            "use",
+            lambda ctx: {"double": ctx["value"] * 2},
+        )
+        context = pipeline.run({"seed": 1})
+        assert context == {"seed": 1, "value": 10, "double": 20}
+
+    def test_log_records_outputs_and_timing(self):
+        pipeline = CrispDmPipeline()
+        pipeline.register(
+            CrispDmStage.EVALUATION, "score", lambda ctx: {"metric": 1.0}
+        )
+        pipeline.run()
+        assert len(pipeline.log) == 1
+        run = pipeline.log[0]
+        assert run.stage is CrispDmStage.EVALUATION
+        assert run.outputs == ("metric",)
+        assert run.seconds >= 0.0
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ReproError):
+            CrispDmPipeline().run()
+
+    def test_non_dict_return_rejected(self):
+        pipeline = CrispDmPipeline()
+        pipeline.register(
+            CrispDmStage.MODELING, "bad", lambda ctx: [1, 2, 3]
+        )
+        with pytest.raises(ReproError, match="must return a dict"):
+            pipeline.run()
+
+    def test_describe_plan_and_log(self):
+        pipeline = CrispDmPipeline()
+        pipeline.register(CrispDmStage.MODELING, "fit trees", lambda c: None)
+        plan = pipeline.describe()
+        assert "[modeling] fit trees" in plan
+        pipeline.run()
+        log = pipeline.describe()
+        assert "fit trees" in log and "s)" in log
+
+    def test_stage_names(self):
+        pipeline = CrispDmPipeline()
+        pipeline.register(CrispDmStage.MODELING, "a", lambda c: None)
+        pipeline.register(CrispDmStage.MODELING, "b", lambda c: None)
+        assert pipeline.stage_names(CrispDmStage.MODELING) == ["a", "b"]

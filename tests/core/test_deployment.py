@@ -1,0 +1,85 @@
+"""Tests for the deployable crash-proneness scorer."""
+
+import numpy as np
+import pytest
+
+from repro.core import CrashPronenessScorer
+from repro.exceptions import ReproError
+
+
+@pytest.fixture(scope="module")
+def scorer(small_dataset):
+    return CrashPronenessScorer.train(
+        small_dataset.crash_instances,
+        threshold=8,
+        seed=4,
+        metadata={"note": "test"},
+    )
+
+
+class TestTraining:
+    def test_validation_measures_recorded(self, scorer):
+        assert set(scorer.validation) >= {"mcpv", "kappa", "roc_area"}
+        assert 0 < scorer.validation["roc_area"] <= 1
+
+    def test_metadata_carries_seed(self, scorer):
+        assert scorer.metadata["seed"] == 4
+        assert scorer.metadata["note"] == "test"
+
+    def test_describe(self, scorer):
+        text = scorer.describe()
+        assert "CP-8" in text and "MCPV" in text
+
+
+class TestScoring:
+    def test_score_shape(self, scorer, small_dataset):
+        scores = scorer.score(small_dataset.segment_table)
+        assert scores.shape == (small_dataset.segment_table.n_rows,)
+        assert ((0 <= scores) & (scores <= 1)).all()
+
+    def test_scores_track_actual_counts(self, scorer, small_dataset):
+        scores = scorer.score(small_dataset.segment_table)
+        counts = small_dataset.segment_table.numeric("segment_crash_count")
+        high = scores[counts > 8]
+        low = scores[counts == 0]
+        assert high.mean() > low.mean() + 0.2
+
+    def test_classify_cutoff(self, scorer, small_dataset):
+        strict = scorer.classify(small_dataset.segment_table, cutoff=0.9)
+        lax = scorer.classify(small_dataset.segment_table, cutoff=0.1)
+        assert strict.sum() <= lax.sum()
+
+    def test_treatment_list_ranked(self, scorer, small_dataset):
+        ranked = scorer.treatment_list(small_dataset.segment_table, top=15)
+        assert len(ranked) == 15
+        probabilities = [s.probability for s in ranked]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert [s.rank for s in ranked] == list(range(1, 16))
+
+    def test_treatment_list_requires_segment_id(self, scorer, small_dataset):
+        table = small_dataset.segment_table.drop("segment_id")
+        with pytest.raises(ReproError, match="segment_id"):
+            scorer.treatment_list(table)
+
+    def test_expected_prone_km(self, scorer, small_dataset):
+        km = scorer.expected_prone_km(small_dataset.segment_table)
+        assert 0 < km < small_dataset.segment_table.n_rows
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, scorer, small_dataset, tmp_path):
+        path = tmp_path / "scorer.json"
+        scorer.save(path)
+        clone = CrashPronenessScorer.load(path)
+        assert clone.threshold == scorer.threshold
+        assert clone.validation == scorer.validation
+        assert np.array_equal(
+            clone.score(small_dataset.segment_table),
+            scorer.score(small_dataset.segment_table),
+        )
+
+    def test_version_check(self, scorer):
+        data = scorer.to_dict()
+        data["format_version"] = 99
+        with pytest.raises(ReproError, match="version"):
+            CrashPronenessScorer.from_dict(data)

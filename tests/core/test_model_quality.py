@@ -1,0 +1,73 @@
+"""Tests for the training/validation quality profile."""
+
+import math
+
+import pytest
+
+from repro.core.model_quality import train_validation_profile
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def profile(small_dataset):
+    return train_validation_profile(
+        small_dataset.crash_instances,
+        threshold=8,
+        leaf_budgets=(4, 16, 64),
+        metric="roc_area",
+        seed=2,
+    )
+
+
+class TestProfile:
+    def test_point_per_budget(self, profile):
+        assert [p.leaf_budget for p in profile.points] == [4, 16, 64]
+
+    def test_train_at_least_validation_on_average(self, profile):
+        mean_gap = sum(p.gap for p in profile.points) / len(profile.points)
+        assert mean_gap > -0.05
+
+    def test_values_in_unit_interval(self, profile):
+        for point in profile.points:
+            assert 0.0 <= point.train_value <= 1.0
+            assert 0.0 <= point.valid_value <= 1.0
+
+    def test_correlation_computable(self, profile):
+        correlation = profile.correlation()
+        assert math.isnan(correlation) or -1.0 <= correlation <= 1.0
+
+    def test_best_validated(self, profile):
+        best = profile.best_validated()
+        assert best.valid_value == max(
+            p.valid_value for p in profile.points
+        )
+
+    def test_honest_sizes_subset(self, profile):
+        honest = profile.honest_sizes(gap_tolerance=1.0)
+        assert honest == [p.leaf_budget for p in profile.points]
+
+    def test_metric_selection(self, small_dataset):
+        kappa_profile = train_validation_profile(
+            small_dataset.crash_instances,
+            threshold=8,
+            leaf_budgets=(8,),
+            metric="kappa",
+            seed=2,
+        )
+        assert kappa_profile.metric == "kappa"
+        assert -1.0 <= kappa_profile.points[0].valid_value <= 1.0
+
+    def test_empty_budgets_rejected(self, small_dataset):
+        with pytest.raises(EvaluationError):
+            train_validation_profile(
+                small_dataset.crash_instances, 8, leaf_budgets=()
+            )
+
+    def test_duplicate_budgets_deduplicated(self, small_dataset):
+        profile = train_validation_profile(
+            small_dataset.crash_instances,
+            threshold=4,
+            leaf_budgets=(8, 8, 8),
+            seed=1,
+        )
+        assert len(profile.points) == 1

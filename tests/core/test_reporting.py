@@ -1,0 +1,94 @@
+"""Tests for the text table / figure renderers."""
+
+from repro.core import (
+    format_cell,
+    render_box_ranges,
+    render_histogram,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_nan_renders_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_none_renders_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_integral_float(self):
+        assert format_cell(4.0) == "4"
+
+    def test_rounding(self):
+        assert format_cell(0.76228, decimals=3) == "0.762"
+
+    def test_string_passthrough(self):
+        assert format_cell("CP-8") == "CP-8"
+
+
+class TestRenderTable:
+    def test_header_and_rule(self):
+        text = render_table(
+            ["thr", "R2"], [[2, 0.466], [4, 0.594]], title="Table 4"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 4"
+        assert "thr" in lines[1] and "R2" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "0.466" in lines[3]
+
+    def test_column_alignment(self):
+        text = render_table(["a"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestRenderSeries:
+    def test_shared_axis_union(self):
+        text = render_series(
+            {"p1": {2: 0.8, 4: 0.9}, "p2": {4: 0.7, 8: 0.6}},
+            x_label="threshold",
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("threshold")
+        assert len(lines) == 2 + 3  # header + rule + x values 2,4,8
+        assert "-" in lines[2]  # p2 missing at threshold 2
+
+
+class TestRenderHistogram:
+    def test_bars_scale(self):
+        text = render_histogram({1: 100, 2: 50, 3: 1}, max_width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 1
+
+    def test_empty(self):
+        assert "(empty)" in render_histogram({})
+
+
+class TestRenderBoxRanges:
+    def test_box_glyphs(self):
+        text = render_box_ranges(
+            [("c0", 0.0, 1.0, 2.0, 4.0, 10.0)], axis_max=10.0, width=40
+        )
+        line = text.splitlines()[0]
+        assert "O" in line          # median marker
+        assert "=" in line          # IQR body
+        assert "q1=1" in line
+
+    def test_multiple_boxes_aligned(self):
+        text = render_box_ranges(
+            [
+                ("low", 0, 1, 2, 3, 4),
+                ("high", 10, 20, 30, 40, 50),
+            ],
+            width=30,
+        )
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # 'low' box sits left of the 'high' median.
+        assert lines[0].index("O") < lines[1].index("O")
+
+    def test_empty(self):
+        assert "(empty)" in render_box_ranges([])

@@ -1,0 +1,96 @@
+"""Property-based tests for CP-k construction and threshold selection."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CRASH_COUNT_COLUMN,
+    build_threshold_dataset,
+    build_threshold_series,
+    select_best_threshold,
+)
+from repro.datatable import DataTable, NumericColumn
+
+counts_strategy = st.lists(
+    st.integers(min_value=0, max_value=100), min_size=1, max_size=200
+)
+thresholds_strategy = st.lists(
+    st.integers(min_value=0, max_value=80),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+
+def count_table(counts):
+    return DataTable(
+        [NumericColumn(CRASH_COUNT_COLUMN, [float(c) for c in counts])]
+    )
+
+
+@given(counts_strategy, st.integers(min_value=0, max_value=100))
+@settings(max_examples=120, deadline=None)
+def test_class_counts_partition(counts, threshold):
+    dataset = build_threshold_dataset(count_table(counts), threshold)
+    assert dataset.n_non_prone + dataset.n_prone == len(counts)
+    assert dataset.n_prone == sum(1 for c in counts if c > threshold)
+    y = dataset.target_vector()
+    assert int(y.sum()) == dataset.n_prone
+
+
+@given(counts_strategy, thresholds_strategy)
+@settings(max_examples=100, deadline=None)
+def test_series_monotone_in_threshold(counts, thresholds):
+    series = build_threshold_series(count_table(counts), tuple(thresholds))
+    non_prone = [d.n_non_prone for d in series]
+    assert non_prone == sorted(non_prone)
+
+
+@given(counts_strategy, st.integers(min_value=0, max_value=100))
+@settings(max_examples=100, deadline=None)
+def test_target_consistent_with_counts(counts, threshold):
+    dataset = build_threshold_dataset(count_table(counts), threshold)
+    y = dataset.target_vector()
+    values = np.array(counts, dtype=float)
+    assert np.array_equal(y == 1, values > threshold)
+
+
+metric_values = st.dictionaries(
+    keys=st.sampled_from([0, 2, 4, 8, 16, 32, 64]),
+    values=st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+    min_size=1,
+    max_size=7,
+)
+
+
+@given(metric_values)
+@settings(max_examples=150, deadline=None)
+def test_selection_picks_threshold_on_plateau(values):
+    selection = select_best_threshold(values, plateau_tolerance=0.02)
+    assert selection.selected_threshold in values
+    peak = max(values.values())
+    assert values[selection.selected_threshold] >= peak - 0.02
+    # Lowest-on-plateau rule: nothing lower qualifies.
+    for threshold, value in values.items():
+        if value >= peak - 0.02:
+            assert threshold >= selection.selected_threshold
+
+
+@given(metric_values, st.floats(min_value=0.001, max_value=0.5))
+@settings(max_examples=100, deadline=None)
+def test_wider_tolerance_never_raises_selection(values, tolerance):
+    narrow = select_best_threshold(values, plateau_tolerance=0.001)
+    wide = select_best_threshold(values, plateau_tolerance=tolerance)
+    assert wide.selected_threshold <= narrow.selected_threshold
+
+
+@given(metric_values)
+@settings(max_examples=100, deadline=None)
+def test_degenerate_exclusion_only_drops_top(values):
+    assume(len(values) > 1)
+    spiked = dict(values)
+    top = max(spiked)
+    spiked[top] = 1.0
+    selection = select_best_threshold(spiked)
+    assert selection.selected_threshold != top or len(spiked) == 1

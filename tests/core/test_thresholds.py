@@ -1,0 +1,116 @@
+"""Tests for CP-k threshold dataset construction (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CRASH_COUNT_COLUMN,
+    NEGATIVE_LABEL,
+    POSITIVE_LABEL,
+    TARGET_COLUMN,
+    build_threshold_dataset,
+    build_threshold_series,
+    table1_rows,
+)
+from repro.datatable import DataTable, NumericColumn
+from repro.exceptions import EmptyTableError, SchemaError
+
+
+def count_table(counts):
+    return DataTable(
+        [
+            NumericColumn(
+                CRASH_COUNT_COLUMN, [float(c) for c in counts]
+            ),
+            NumericColumn("skid_resistance_f60", [0.5] * len(counts)),
+        ]
+    )
+
+
+class TestBuildThresholdDataset:
+    def test_strictly_greater_semantics(self):
+        """CP-2: roads with 0, 1 or 2 crashes are non-crash-prone."""
+        dataset = build_threshold_dataset(
+            count_table([0, 1, 2, 3, 4]), threshold=2
+        )
+        assert dataset.n_non_prone == 3
+        assert dataset.n_prone == 2
+        assert dataset.target_vector().tolist() == [0, 0, 0, 1, 1]
+
+    def test_target_column_labels(self):
+        dataset = build_threshold_dataset(count_table([0, 5]), 2)
+        target = dataset.table.categorical(TARGET_COLUMN)
+        assert target.labels == (NEGATIVE_LABEL, POSITIVE_LABEL)
+
+    def test_name_and_totals(self):
+        dataset = build_threshold_dataset(count_table([0, 5, 9]), 8)
+        assert dataset.name == "CP-8"
+        assert dataset.total == 3
+
+    def test_imbalance_ratio(self):
+        dataset = build_threshold_dataset(
+            count_table([0] * 99 + [99]), 8
+        )
+        assert dataset.imbalance_ratio == pytest.approx(99.0)
+
+    def test_schema_marks_target(self, small_dataset):
+        dataset = build_threshold_dataset(
+            small_dataset.crash_instances, 4
+        )
+        assert dataset.table.schema is not None
+        assert dataset.table.schema.target.name == TARGET_COLUMN
+        # Crash-level attributes are not schema inputs.
+        assert "crash_year" not in dataset.table.schema.input_names()
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(SchemaError):
+            build_threshold_dataset(count_table([1]), -1)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(EmptyTableError):
+            build_threshold_dataset(count_table([]), 2)
+
+    def test_missing_counts_rejected(self):
+        table = DataTable(
+            [NumericColumn(CRASH_COUNT_COLUMN, [1.0, None])]
+        )
+        with pytest.raises(SchemaError, match="missing"):
+            build_threshold_dataset(table, 2)
+
+
+class TestSeries:
+    def test_series_sorted_ascending(self):
+        series = build_threshold_series(
+            count_table(range(100)), (8, 2, 32)
+        )
+        assert [d.threshold for d in series] == [2, 8, 32]
+
+    def test_class_counts_monotone(self):
+        """Raising the threshold moves instances from prone to
+        non-prone — Table 1's defining pattern."""
+        series = build_threshold_series(
+            count_table(np.random.default_rng(0).poisson(6, 2000)),
+            (2, 4, 8, 16, 32),
+        )
+        non_prone = [d.n_non_prone for d in series]
+        prone = [d.n_prone for d in series]
+        assert non_prone == sorted(non_prone)
+        assert prone == sorted(prone, reverse=True)
+        assert all(d.total == 2000 for d in series)
+
+    def test_table1_rows_structure(self, small_dataset):
+        rows = table1_rows(small_dataset.crash_instances)
+        assert [r["target_label"] for r in rows] == [
+            "CP-2",
+            "CP-4",
+            "CP-8",
+            "CP-16",
+            "CP-32",
+            "CP-64",
+        ]
+        for row in rows:
+            assert (
+                row["non_crash_prone_instances"]
+                + row["crash_prone_instances"]
+                == row["total_instance_count"]
+            )

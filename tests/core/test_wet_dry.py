@@ -1,0 +1,88 @@
+"""Tests for the wet/dry stage-1 analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import wet_dry_analysis
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.exceptions import EvaluationError
+
+
+def make_crash_table(n=2000, coupled=True, seed=0):
+    gen = np.random.default_rng(seed)
+    f60 = gen.uniform(0.2, 0.8, n)
+    if coupled:
+        p_wet = np.clip(0.8 - f60, 0.05, 0.8)
+    else:
+        p_wet = np.full(n, 0.3)
+    wet = gen.random(n) < p_wet
+    return DataTable(
+        [
+            NumericColumn.from_array("skid_resistance_f60", f60),
+            CategoricalColumn(
+                "surface_condition",
+                ["wet" if w else "dry" for w in wet],
+                ("dry", "wet"),
+            ),
+        ]
+    )
+
+
+class TestWetDryAnalysis:
+    def test_coupled_data_differs(self):
+        result = wet_dry_analysis(make_crash_table(coupled=True))
+        assert result.wet_mean_f60 < result.dry_mean_f60
+        assert result.distributions_differ()
+        assert result.ks_p_value < 1e-6
+        assert result.chi2_p_value < 1e-6
+
+    def test_wet_share_declines_with_friction(self):
+        result = wet_dry_analysis(make_crash_table(coupled=True))
+        shares = result.wet_share_by_band
+        assert shares[0] > shares[-1] + 0.1
+
+    def test_uncoupled_data_does_not_differ(self):
+        result = wet_dry_analysis(make_crash_table(coupled=False, seed=3))
+        assert not result.distributions_differ(alpha=0.001)
+
+    def test_counts_and_share(self):
+        result = wet_dry_analysis(make_crash_table())
+        assert result.n_wet + result.n_dry == 2000
+        assert 0 < result.wet_share < 1
+
+    def test_describe_renders(self):
+        result = wet_dry_analysis(make_crash_table())
+        text = result.describe()
+        assert "KS test" in text and "% wet" in text
+
+    def test_missing_levels_rejected(self):
+        table = DataTable(
+            [
+                NumericColumn("skid_resistance_f60", [0.5] * 10),
+                CategoricalColumn(
+                    "surface_condition", ["dry"] * 10, ("dry",)
+                ),
+            ]
+        )
+        with pytest.raises(EvaluationError):
+            wet_dry_analysis(table)
+
+    def test_too_few_crashes_rejected(self):
+        table = DataTable(
+            [
+                NumericColumn("skid_resistance_f60", [0.5, 0.4, 0.6]),
+                CategoricalColumn(
+                    "surface_condition",
+                    ["wet", "dry", "dry"],
+                    ("dry", "wet"),
+                ),
+            ]
+        )
+        with pytest.raises(EvaluationError, match="at least 5"):
+            wet_dry_analysis(table)
+
+    def test_on_generated_dataset(self, small_dataset):
+        """The generator couples wet crashes to low F60 by design."""
+        result = wet_dry_analysis(small_dataset.crash_instances)
+        assert result.wet_mean_f60 < result.dry_mean_f60
+        assert result.distributions_differ()

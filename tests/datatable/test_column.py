@@ -1,0 +1,134 @@
+"""Unit tests for typed columns."""
+
+import numpy as np
+import pytest
+
+from repro.datatable import (
+    CategoricalColumn,
+    NumericColumn,
+    column_from_values,
+)
+from repro.exceptions import ColumnTypeError, SchemaError
+
+
+class TestNumericColumn:
+    def test_values_roundtrip(self):
+        col = NumericColumn("x", [1, 2.5, None, 4])
+        assert col.to_objects() == [1.0, 2.5, None, 4.0]
+
+    def test_missing_mask(self):
+        col = NumericColumn("x", [1.0, None, 3.0])
+        assert col.missing_mask().tolist() == [False, True, False]
+        assert col.n_missing() == 1
+
+    def test_values_are_read_only(self):
+        col = NumericColumn("x", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            col.values[0] = 99.0
+
+    def test_take_reorders(self):
+        col = NumericColumn("x", [10.0, 20.0, 30.0])
+        taken = col.take(np.array([2, 0]))
+        assert taken.to_objects() == [30.0, 10.0]
+
+    def test_filter_length_mismatch_raises(self):
+        col = NumericColumn("x", [1.0, 2.0])
+        with pytest.raises(SchemaError):
+            col.filter(np.array([True]))
+
+    def test_concat(self):
+        a = NumericColumn("x", [1.0, None])
+        b = NumericColumn("x", [3.0])
+        assert a.concat(b).to_objects() == [1.0, None, 3.0]
+
+    def test_concat_type_mismatch_raises(self):
+        a = NumericColumn("x", [1.0])
+        b = CategoricalColumn("x", ["u"])
+        with pytest.raises(ColumnTypeError):
+            a.concat(b)
+
+    def test_equals_treats_nan_as_equal(self):
+        a = NumericColumn("x", [1.0, None])
+        b = NumericColumn("x", [1.0, None])
+        c = NumericColumn("x", [1.0, 2.0])
+        assert a.equals(b)
+        assert not a.equals(c)
+
+    def test_summary(self):
+        col = NumericColumn("x", [1.0, 2.0, 3.0, None])
+        summary = col.summary()
+        assert summary["count"] == 3
+        assert summary["missing"] == 1
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["median"] == pytest.approx(2.0)
+
+    def test_summary_all_missing(self):
+        col = NumericColumn("x", [None, None])
+        summary = col.summary()
+        assert summary["count"] == 0
+        assert np.isnan(summary["mean"])
+
+    def test_rejects_2d(self):
+        with pytest.raises(SchemaError):
+            NumericColumn.from_array("x", np.zeros((2, 2)))
+
+
+class TestCategoricalColumn:
+    def test_vocabulary_inference_preserves_order(self):
+        col = CategoricalColumn("c", ["b", "a", "b", None])
+        assert col.labels == ("b", "a")
+        assert col.codes.tolist() == [0, 1, 0, -1]
+
+    def test_explicit_vocabulary_enforced(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("c", ["x"], labels=("a", "b"))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("c", ["a"], labels=("a", "a"))
+
+    def test_from_codes_validates_range(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn.from_codes("c", np.array([3]), ("a", "b"))
+        with pytest.raises(SchemaError):
+            CategoricalColumn.from_codes("c", np.array([-2]), ("a", "b"))
+
+    def test_value_counts(self):
+        col = CategoricalColumn("c", ["a", "b", "a", None], ("a", "b"))
+        assert col.value_counts() == {"a": 2, "b": 1}
+
+    def test_concat_merges_vocabularies(self):
+        a = CategoricalColumn("c", ["x", "y"], ("x", "y"))
+        b = CategoricalColumn("c", ["z", None], ("z",))
+        merged = a.concat(b)
+        assert merged.to_objects() == ["x", "y", "z", None]
+        assert set(merged.labels) == {"x", "y", "z"}
+
+    def test_concat_same_vocabulary_fast_path(self):
+        a = CategoricalColumn("c", ["x"], ("x", "y"))
+        b = CategoricalColumn("c", ["y"], ("x", "y"))
+        assert a.concat(b).to_objects() == ["x", "y"]
+
+    def test_take(self):
+        col = CategoricalColumn("c", ["a", "b", None], ("a", "b"))
+        assert col.take(np.array([2, 1])).to_objects() == [None, "b"]
+
+    def test_summary_mode(self):
+        col = CategoricalColumn("c", ["a", "a", "b"], ("a", "b"))
+        assert col.summary()["mode"] == "a"
+
+
+class TestColumnFromValues:
+    def test_numeric_inference(self):
+        assert isinstance(column_from_values("x", [1, 2.0, None]), NumericColumn)
+
+    def test_string_inference(self):
+        col = column_from_values("x", ["a", None])
+        assert isinstance(col, CategoricalColumn)
+
+    def test_empty_defaults_to_numeric(self):
+        assert isinstance(column_from_values("x", []), NumericColumn)
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(SchemaError):
+            column_from_values("x", [1, "a"])

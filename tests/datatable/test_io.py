@@ -1,0 +1,62 @@
+"""CSV round-trip tests."""
+
+import pytest
+
+from repro.datatable import (
+    from_csv_string,
+    read_csv,
+    to_csv_string,
+    write_csv,
+)
+from repro.exceptions import SchemaError
+
+
+class TestCsvRoundTrip:
+    def test_string_roundtrip(self, toy_table):
+        rebuilt = from_csv_string(to_csv_string(toy_table))
+        assert rebuilt.equals(toy_table)
+
+    def test_file_roundtrip(self, toy_table, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(toy_table, path)
+        assert read_csv(path).equals(toy_table)
+
+    def test_missing_values_serialise_empty(self, toy_table):
+        text = to_csv_string(toy_table)
+        lines = text.strip().splitlines()
+        # Row 2 has a missing x, row 3 a missing colour.
+        assert lines[3].startswith(",")
+        assert lines[4].endswith(",")
+
+    def test_integral_floats_render_without_decimal(self, toy_table):
+        text = to_csv_string(toy_table)
+        assert "10.0" not in text
+        assert ",10," in text or text.splitlines()[1].split(",")[1] == "10"
+
+
+class TestCsvParsing:
+    def test_type_inference(self):
+        table = from_csv_string("a,b\n1,x\n2.5,\n")
+        assert table.numeric("a").tolist() == [1.0, 2.5]
+        assert table.column("b").to_objects() == ["x", None]
+
+    def test_no_header_rejected(self):
+        with pytest.raises(SchemaError, match="no header"):
+            from_csv_string("")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            from_csv_string("a,a\n1,2\n")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SchemaError, match="line 3"):
+            from_csv_string("a,b\n1,2\n3\n")
+
+    def test_numeric_column_with_stray_text_becomes_categorical(self):
+        table = from_csv_string("a\n1\noops\n")
+        assert table.column("a").to_objects() == ["1", "oops"]
+
+    def test_empty_file_with_header_only(self):
+        table = from_csv_string("a,b\n")
+        assert table.n_rows == 0
+        assert table.column_names == ["a", "b"]

@@ -1,0 +1,104 @@
+"""Property-based tests for the datatable substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatable import (
+    DataTable,
+    NumericColumn,
+    from_csv_string,
+    to_csv_string,
+)
+
+# Finite floats that survive a text round-trip exactly enough for
+# equality via repr; None models missingness.
+floats = st.one_of(
+    st.none(),
+    st.floats(
+        allow_nan=False,
+        allow_infinity=False,
+        min_value=-1e9,
+        max_value=1e9,
+        width=32,
+    ),
+)
+labels = st.one_of(st.none(), st.sampled_from(["a", "b", "c", "dd"]))
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    numeric = draw(st.lists(floats, min_size=n, max_size=n))
+    cats = draw(st.lists(labels, min_size=n, max_size=n))
+    return DataTable.from_columns({"num": numeric, "cat": cats})
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_csv_roundtrip_preserves_table(table):
+    rebuilt = from_csv_string(to_csv_string(table))
+    # All-missing categorical columns deserialise as numeric; both
+    # represent the same (empty) information, so compare objects.
+    assert rebuilt.column("num").to_objects() == [
+        None if v is None else float(np.float64(v))
+        for v in table.column("num").to_objects()
+    ]
+    assert rebuilt.column("cat").to_objects() == table.column(
+        "cat"
+    ).to_objects()
+
+
+@given(tables(), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_shuffle_preserves_multiset(table, seed):
+    rng = np.random.default_rng(seed)
+    shuffled = table.shuffle(rng)
+    assert sorted(
+        map(str, table.column("cat").to_objects())
+    ) == sorted(map(str, shuffled.column("cat").to_objects()))
+
+
+@given(tables())
+@settings(max_examples=50, deadline=None)
+def test_filter_then_concat_partition(table):
+    """Filtering a mask and its complement partitions the rows."""
+    mask = np.zeros(table.n_rows, dtype=bool)
+    mask[:: 2] = True
+    part_a = table.filter(mask)
+    part_b = table.filter(~mask)
+    assert part_a.n_rows + part_b.n_rows == table.n_rows
+    rebuilt = part_a.concat(part_b)
+    assert rebuilt.n_rows == table.n_rows
+
+
+@given(
+    st.lists(floats, min_size=2, max_size=40),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_split_is_partition(values, seed):
+    table = DataTable([NumericColumn("v", values)])
+    rng = np.random.default_rng(seed)
+    train, valid = table.split(0.5, rng)
+    assert train.n_rows + valid.n_rows == table.n_rows
+    assert train.n_rows >= 1 and valid.n_rows >= 1
+
+
+@given(tables())
+@settings(max_examples=40, deadline=None)
+def test_sort_by_is_stable_permutation(table):
+    ordered = table.sort_by("num")
+    assert ordered.n_rows == table.n_rows
+    values = [
+        v for v in ordered.column("num").to_objects() if v is not None
+    ]
+    assert values == sorted(values)
+    # Missing values are all at the end.
+    objects = ordered.column("num").to_objects()
+    seen_none = False
+    for v in objects:
+        if v is None:
+            seen_none = True
+        else:
+            assert not seen_none

@@ -1,0 +1,94 @@
+"""Unit tests for TableSchema / ColumnSpec."""
+
+import pytest
+
+from repro.datatable import ColumnSpec, MeasurementLevel, Role, TableSchema
+from repro.exceptions import MissingColumnError, SchemaError
+
+
+def make_schema() -> TableSchema:
+    return TableSchema(
+        [
+            ColumnSpec("f60", MeasurementLevel.INTERVAL, units="F60"),
+            ColumnSpec("road_class", MeasurementLevel.NOMINAL),
+            ColumnSpec("crash_prone", MeasurementLevel.BINARY, Role.TARGET),
+            ColumnSpec("segment_id", MeasurementLevel.INTERVAL, Role.ID),
+        ]
+    )
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = make_schema()
+        assert schema["f60"].units == "F60"
+        assert "road_class" in schema
+        assert len(schema) == 4
+
+    def test_missing_lookup(self):
+        with pytest.raises(MissingColumnError):
+            make_schema()["nope"]
+
+    def test_single_target(self):
+        schema = make_schema()
+        assert schema.target is not None
+        assert schema.target.name == "crash_prone"
+
+    def test_multiple_targets_rejected(self):
+        with pytest.raises(SchemaError, match="multiple targets"):
+            TableSchema(
+                [
+                    ColumnSpec("a", MeasurementLevel.BINARY, Role.TARGET),
+                    ColumnSpec("b", MeasurementLevel.BINARY, Role.TARGET),
+                ]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema(
+                [
+                    ColumnSpec("a", MeasurementLevel.INTERVAL),
+                    ColumnSpec("a", MeasurementLevel.NOMINAL),
+                ]
+            )
+
+    def test_inputs_exclude_target_and_id(self):
+        schema = make_schema()
+        assert schema.input_names() == ["f60", "road_class"]
+        assert schema.interval_inputs() == ["f60"]
+        assert schema.nominal_inputs() == ["road_class"]
+
+    def test_with_target_demotes_previous(self):
+        schema = make_schema().with_target("f60")
+        assert schema.target.name == "f60"
+        assert schema["crash_prone"].role is Role.INPUT
+
+    def test_with_target_missing_column(self):
+        with pytest.raises(MissingColumnError):
+            make_schema().with_target("nope")
+
+    def test_reject(self):
+        schema = make_schema().reject("road_class")
+        assert schema["road_class"].role is Role.REJECTED
+        assert "road_class" not in schema.input_names()
+
+    def test_subset_preserves_order(self):
+        schema = make_schema().subset(["road_class", "f60"])
+        assert schema.names == ["f60", "road_class"]
+
+    def test_add_returns_new(self):
+        schema = make_schema()
+        grown = schema.add(ColumnSpec("new", MeasurementLevel.INTERVAL))
+        assert "new" in grown
+        assert "new" not in schema
+
+    def test_binary_is_categorical(self):
+        assert MeasurementLevel.BINARY.is_categorical
+        assert MeasurementLevel.NOMINAL.is_categorical
+        assert not MeasurementLevel.INTERVAL.is_categorical
+
+    def test_spec_with_role_copies(self):
+        spec = ColumnSpec("a", MeasurementLevel.INTERVAL, description="d")
+        target = spec.with_role(Role.TARGET)
+        assert target.role is Role.TARGET
+        assert target.description == "d"
+        assert spec.role is Role.INPUT

@@ -1,0 +1,210 @@
+"""Unit tests for DataTable."""
+
+import numpy as np
+import pytest
+
+from repro.datatable import (
+    CategoricalColumn,
+    ColumnSpec,
+    DataTable,
+    MeasurementLevel,
+    NumericColumn,
+    Role,
+    TableSchema,
+)
+from repro.exceptions import (
+    EmptyTableError,
+    MissingColumnError,
+    SchemaError,
+)
+
+
+class TestConstruction:
+    def test_from_columns_mixed(self, toy_table):
+        assert toy_table.n_rows == 6
+        assert toy_table.n_columns == 3
+        assert toy_table.column_names == ["x", "y", "colour"]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(SchemaError, match="unequal lengths"):
+            DataTable(
+                [NumericColumn("a", [1.0]), NumericColumn("b", [1.0, 2.0])]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            DataTable([NumericColumn("a", [1.0]), NumericColumn("a", [2.0])])
+
+    def test_from_rows(self):
+        table = DataTable.from_rows(
+            [{"x": 1.0, "c": "u"}, {"x": None, "c": None}]
+        )
+        assert table.n_rows == 2
+        assert table.row(1) == {"x": None, "c": None}
+
+    def test_from_rows_inconsistent_keys_rejected(self):
+        with pytest.raises(SchemaError, match="row 1 keys"):
+            DataTable.from_rows([{"x": 1}, {"y": 2}])
+
+    def test_from_columns_numpy_array(self):
+        table = DataTable.from_columns({"v": np.array([1.0, 2.0])})
+        assert table.numeric("v").tolist() == [1.0, 2.0]
+
+    def test_schema_must_cover_existing_columns(self):
+        schema = TableSchema([ColumnSpec("nope", MeasurementLevel.INTERVAL)])
+        with pytest.raises(SchemaError, match="nope"):
+            DataTable([NumericColumn("x", [1.0])], schema=schema)
+
+
+class TestAccess:
+    def test_missing_column_error_lists_available(self, toy_table):
+        with pytest.raises(MissingColumnError) as err:
+            toy_table.column("zzz")
+        assert "colour" in str(err.value)
+
+    def test_numeric_on_categorical_rejected(self, toy_table):
+        with pytest.raises(SchemaError):
+            toy_table.numeric("colour")
+
+    def test_row_negative_index(self, toy_table):
+        assert toy_table.row(-1)["colour"] == "blue"
+
+    def test_row_out_of_range(self, toy_table):
+        with pytest.raises(IndexError):
+            toy_table.row(6)
+
+    def test_to_rows_roundtrip(self, toy_table):
+        rebuilt = DataTable.from_rows(toy_table.to_rows())
+        assert rebuilt.equals(toy_table)
+
+
+class TestTransforms:
+    def test_select_preserves_order(self, toy_table):
+        sub = toy_table.select(["colour", "x"])
+        assert sub.column_names == ["colour", "x"]
+
+    def test_drop(self, toy_table):
+        assert toy_table.drop("y").column_names == ["x", "colour"]
+
+    def test_with_column_replaces(self, toy_table):
+        replaced = toy_table.with_column(NumericColumn("x", [0.0] * 6))
+        assert replaced.numeric("x").tolist() == [0.0] * 6
+        assert replaced.column_names == ["y", "colour", "x"]
+
+    def test_with_column_length_check(self, toy_table):
+        with pytest.raises(SchemaError):
+            toy_table.with_column(NumericColumn("z", [1.0]))
+
+    def test_rename(self, toy_table):
+        renamed = toy_table.rename({"x": "skid"})
+        assert "skid" in renamed.column_names
+        assert "x" not in renamed.column_names
+
+    def test_filter_and_take(self, toy_table):
+        mask = toy_table.numeric("y") > 30
+        sub = toy_table.filter(mask)
+        assert sub.n_rows == 3
+        assert sub.numeric("y").tolist() == [40.0, 50.0, 60.0]
+
+    def test_take_out_of_range(self, toy_table):
+        with pytest.raises(IndexError):
+            toy_table.take(np.array([99]))
+
+    def test_concat(self, toy_table):
+        doubled = toy_table.concat(toy_table)
+        assert doubled.n_rows == 12
+
+    def test_concat_mismatched_columns_rejected(self, toy_table):
+        with pytest.raises(SchemaError):
+            toy_table.concat(toy_table.drop("y"))
+
+    def test_concat_empty_left_identity(self, toy_table):
+        assert DataTable.empty().concat(toy_table).equals(toy_table)
+
+    def test_sort_by_numeric_missing_last(self, toy_table):
+        ordered = toy_table.sort_by("x")
+        values = ordered.column("x").to_objects()
+        assert values[-1] is None
+        assert values[:-1] == sorted(v for v in values[:-1])
+
+    def test_sort_descending(self, toy_table):
+        ordered = toy_table.sort_by("y", descending=True)
+        assert ordered.numeric("y").tolist() == [60, 50, 40, 30, 20, 10]
+
+    def test_shuffle_is_permutation(self, toy_table, rng):
+        shuffled = toy_table.shuffle(rng)
+        assert sorted(shuffled.numeric("y").tolist()) == sorted(
+            toy_table.numeric("y").tolist()
+        )
+
+    def test_sample_without_replacement_bounds(self, toy_table, rng):
+        with pytest.raises(EmptyTableError):
+            toy_table.sample(10, rng)
+
+    def test_sample_with_replacement(self, toy_table, rng):
+        sampled = toy_table.sample(10, rng, replace=True)
+        assert sampled.n_rows == 10
+
+
+class TestGroupingAndSplitting:
+    def test_group_by_categorical(self, toy_table):
+        groups = toy_table.group_by("colour")
+        assert groups["red"].n_rows == 2
+        assert groups["blue"].n_rows == 2
+        assert groups[None].n_rows == 1
+
+    def test_group_by_numeric(self):
+        table = DataTable([NumericColumn("v", [1.0, 1.0, 2.0, None])])
+        groups = table.group_by("v")
+        assert groups[1.0].n_rows == 2
+        assert groups[None].n_rows == 1
+
+    def test_split_fractions(self, rng):
+        table = DataTable([NumericColumn("v", list(range(100)))])
+        train, valid = table.split(0.6, rng)
+        assert train.n_rows == 60
+        assert valid.n_rows == 40
+        combined = sorted(
+            train.numeric("v").tolist() + valid.numeric("v").tolist()
+        )
+        assert combined == list(range(100))
+
+    def test_split_invalid_fraction(self, toy_table, rng):
+        with pytest.raises(ValueError):
+            toy_table.split(1.5, rng)
+
+    def test_stratified_split_keeps_minority(self, rng):
+        labels = ["maj"] * 95 + ["min"] * 5
+        table = DataTable(
+            [CategoricalColumn("cls", labels, ("maj", "min"))]
+        )
+        train, valid = table.split(0.6, rng, stratify_by="cls")
+        train_counts = train.categorical("cls").value_counts()
+        valid_counts = valid.categorical("cls").value_counts()
+        assert train_counts["min"] >= 1
+        assert valid_counts["min"] >= 1
+        assert train_counts["min"] + valid_counts["min"] == 5
+
+    def test_split_too_small(self, rng):
+        table = DataTable([NumericColumn("v", [1.0])])
+        with pytest.raises(EmptyTableError):
+            table.split(0.5, rng)
+
+
+class TestSchemaOnTable:
+    def test_with_schema_and_subset(self, toy_table):
+        schema = TableSchema(
+            [
+                ColumnSpec("x", MeasurementLevel.INTERVAL),
+                ColumnSpec("colour", MeasurementLevel.NOMINAL, Role.TARGET),
+            ]
+        )
+        table = toy_table.with_schema(schema)
+        sub = table.select(["x", "colour"])
+        assert sub.schema is not None
+        assert sub.schema.target.name == "colour"
+
+    def test_describe(self, toy_table):
+        desc = toy_table.describe()
+        assert desc["x"]["missing"] == 1
+        assert desc["colour"]["levels"] == 3

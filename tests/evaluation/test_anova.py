@@ -1,0 +1,74 @@
+"""Tests for one-way ANOVA, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.evaluation import one_way_anova
+from repro.exceptions import EvaluationError
+
+
+class TestAnova:
+    def test_matches_scipy(self, rng):
+        groups = [
+            rng.normal(0.0, 1.0, 40),
+            rng.normal(0.5, 1.0, 35),
+            rng.normal(1.0, 1.2, 50),
+        ]
+        result = one_way_anova(groups)
+        expected = stats.f_oneway(*groups)
+        assert result.f_statistic == pytest.approx(expected.statistic)
+        assert result.p_value == pytest.approx(expected.pvalue)
+
+    def test_identical_means_high_p(self, rng):
+        groups = [rng.normal(0, 1, 200) for _ in range(4)]
+        result = one_way_anova(groups)
+        assert result.p_value > 0.001
+        assert not result.rejects_equal_means(alpha=0.0005)
+
+    def test_separated_means_reject(self, rng):
+        groups = [
+            rng.normal(0, 0.1, 50),
+            rng.normal(5, 0.1, 50),
+            rng.normal(10, 0.1, 50),
+        ]
+        result = one_way_anova(groups)
+        assert result.p_value < 1e-10
+        assert result.rejects_equal_means()
+        assert result.eta_squared > 0.99
+
+    def test_degrees_of_freedom(self, rng):
+        groups = [rng.normal(size=10), rng.normal(size=20)]
+        result = one_way_anova(groups)
+        assert result.df_between == 1
+        assert result.df_within == 28
+
+    def test_nan_values_dropped(self):
+        groups = [
+            np.array([1.0, np.nan, 2.0]),
+            np.array([5.0, 6.0]),
+        ]
+        result = one_way_anova(groups)
+        assert result.df_within == 2
+
+    def test_constant_groups_different_means(self):
+        result = one_way_anova([np.ones(5), np.full(5, 2.0)])
+        assert result.f_statistic == float("inf")
+        assert result.p_value == 0.0
+
+    def test_all_constant_same_mean(self):
+        result = one_way_anova([np.ones(5), np.ones(5)])
+        assert result.f_statistic == 0.0
+        assert result.p_value == 1.0
+
+    def test_single_group_rejected(self):
+        with pytest.raises(EvaluationError):
+            one_way_anova([np.ones(5)])
+
+    def test_empty_groups_dropped(self):
+        with pytest.raises(EvaluationError):
+            one_way_anova([np.array([]), np.ones(5)])
+
+    def test_insufficient_observations(self):
+        with pytest.raises(EvaluationError):
+            one_way_anova([np.array([1.0]), np.array([2.0])])

@@ -1,0 +1,63 @@
+"""Unit tests for the binary confusion matrix."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import BinaryConfusion
+from repro.exceptions import EvaluationError
+
+
+class TestConstruction:
+    def test_from_predictions(self):
+        actual = np.array([1, 1, 0, 0, 1])
+        predicted = np.array([1, 0, 0, 1, 1])
+        cm = BinaryConfusion.from_predictions(actual, predicted)
+        assert (cm.tp, cm.fn, cm.tn, cm.fp) == (2, 1, 1, 1)
+
+    def test_from_scores_threshold(self):
+        actual = np.array([1, 0, 1])
+        scores = np.array([0.9, 0.4, 0.5])
+        cm = BinaryConfusion.from_scores(actual, scores, threshold=0.5)
+        assert cm.tp == 2 and cm.tn == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            BinaryConfusion.from_predictions(
+                np.array([1, 0]), np.array([1])
+            )
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(EvaluationError):
+            BinaryConfusion.from_predictions(
+                np.array([1, 2]), np.array([1, 0])
+            )
+
+    def test_negative_cell_rejected(self):
+        with pytest.raises(EvaluationError):
+            BinaryConfusion(tp=-1, fp=0, tn=1, fn=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            BinaryConfusion(tp=0, fp=0, tn=0, fn=0)
+
+
+class TestMarginals:
+    def test_marginals(self):
+        cm = BinaryConfusion(tp=5, fp=3, tn=10, fn=2)
+        assert cm.total == 20
+        assert cm.actual_positives == 7
+        assert cm.actual_negatives == 13
+        assert cm.predicted_positives == 8
+        assert cm.predicted_negatives == 12
+
+    def test_imbalance_ratio(self):
+        cm = BinaryConfusion(tp=1, fp=0, tn=99, fn=0)
+        assert cm.imbalance_ratio == pytest.approx(99.0)
+
+    def test_imbalance_ratio_one_class(self):
+        cm = BinaryConfusion(tp=0, fp=0, tn=10, fn=0)
+        assert cm.imbalance_ratio == float("inf")
+
+    def test_as_table(self):
+        cm = BinaryConfusion(tp=1, fp=2, tn=3, fn=4)
+        assert cm.as_table().tolist() == [[1, 4], [2, 3]]

@@ -1,0 +1,76 @@
+"""Tests for under/over-sampling."""
+
+import numpy as np
+import pytest
+
+from repro.datatable import DataTable, NumericColumn
+from repro.evaluation import (
+    class_distribution,
+    class_indices,
+    oversample_minority,
+    undersample_majority,
+)
+from repro.exceptions import EvaluationError
+
+
+def make_imbalanced(n_majority=90, n_minority=10):
+    y = np.array([0] * n_majority + [1] * n_minority)
+    table = DataTable(
+        [NumericColumn.from_array("v", np.arange(len(y), dtype=float))]
+    )
+    return table, y
+
+
+class TestClassIndices:
+    def test_orders_majority_first(self):
+        _table, y = make_imbalanced()
+        majority, minority = class_indices(y)
+        assert majority.size == 90
+        assert minority.size == 10
+
+    def test_single_class_rejected(self):
+        with pytest.raises(EvaluationError):
+            class_indices(np.zeros(5))
+
+
+class TestUndersample:
+    def test_equal_distribution(self, rng):
+        table, y = make_imbalanced()
+        resampled, ry = undersample_majority(table, y, rng, ratio=1.0)
+        assert class_distribution(ry) == {0: 10, 1: 10}
+        assert resampled.n_rows == 20
+
+    def test_nominated_ratio(self, rng):
+        table, y = make_imbalanced()
+        _resampled, ry = undersample_majority(table, y, rng, ratio=3.0)
+        assert class_distribution(ry) == {0: 30, 1: 10}
+
+    def test_rows_follow_labels(self, rng):
+        table, y = make_imbalanced()
+        resampled, ry = undersample_majority(table, y, rng)
+        values = resampled.numeric("v")
+        # Minority rows are ids 90..99 in the fixture.
+        assert set(values[ry == 1].astype(int)) <= set(range(90, 100))
+
+    def test_ratio_below_one_rejected(self, rng):
+        table, y = make_imbalanced()
+        with pytest.raises(EvaluationError):
+            undersample_majority(table, y, rng, ratio=0.5)
+
+
+class TestOversample:
+    def test_equal_distribution(self, rng):
+        table, y = make_imbalanced()
+        _resampled, ry = oversample_minority(table, y, rng, ratio=1.0)
+        assert class_distribution(ry) == {0: 90, 1: 90}
+
+    def test_oversampled_rows_are_copies(self, rng):
+        table, y = make_imbalanced()
+        resampled, ry = oversample_minority(table, y, rng)
+        values = resampled.numeric("v")
+        assert set(values[ry == 1].astype(int)) <= set(range(90, 100))
+
+    def test_no_op_when_already_balanced(self, rng):
+        table, y = make_imbalanced(10, 10)
+        resampled, _ry = oversample_minority(table, y, rng)
+        assert resampled.n_rows == 20

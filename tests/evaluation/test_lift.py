@@ -1,0 +1,62 @@
+"""Tests for cumulative gains / lift."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import lift_table
+from repro.exceptions import EvaluationError
+
+
+class TestLiftTable:
+    def test_perfect_model_front_loads(self):
+        actual = np.array([1] * 10 + [0] * 90)
+        scores = np.linspace(1, 0, 100)
+        table = lift_table(actual, scores, n_bins=10)
+        assert table.gains[0] == pytest.approx(1.0)
+        assert table.top_decile_lift() == pytest.approx(10.0)
+        assert table.gains[-1] == pytest.approx(1.0)
+
+    def test_random_model_diagonal(self):
+        gen = np.random.default_rng(5)
+        actual = gen.integers(0, 2, 5000)
+        scores = gen.random(5000)
+        table = lift_table(actual, scores, n_bins=10)
+        assert np.allclose(table.gains, table.depth, atol=0.05)
+        assert np.allclose(table.lift, 1.0, atol=0.15)
+
+    def test_gains_monotone_and_complete(self):
+        gen = np.random.default_rng(6)
+        actual = gen.integers(0, 2, 300)
+        scores = gen.random(300) + actual * 0.3
+        table = lift_table(actual, scores, n_bins=10)
+        assert (np.diff(table.gains) >= -1e-12).all()
+        assert table.gains[-1] == pytest.approx(1.0)
+        assert table.positives_per_bin.sum() == table.n_positives
+
+    def test_gains_at_interpolation(self):
+        actual = np.array([1] * 10 + [0] * 90)
+        scores = np.linspace(1, 0, 100)
+        table = lift_table(actual, scores, n_bins=10)
+        assert table.gains_at(0.05) == pytest.approx(0.5)
+        assert table.gains_at(0.0) == 0.0
+        assert table.gains_at(1.0) == pytest.approx(1.0)
+
+    def test_rows_export(self):
+        actual = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.1, 0.8, 0.2])
+        rows = lift_table(actual, scores, n_bins=2).rows()
+        assert len(rows) == 2
+        assert rows[0]["positives"] == 2
+
+    def test_no_positives_rejected(self):
+        with pytest.raises(EvaluationError):
+            lift_table(np.zeros(10), np.ones(10))
+
+    def test_bad_bins_rejected(self):
+        actual = np.array([1, 0])
+        with pytest.raises(EvaluationError):
+            lift_table(actual, np.ones(2), n_bins=5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            lift_table(np.ones(3), np.ones(4))

@@ -1,0 +1,140 @@
+"""Property-based tests for metric identities and ranges."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    BinaryConfusion,
+    accuracy,
+    kappa,
+    mcpv,
+    misclassification_rate,
+    negative_predictive_value,
+    positive_predictive_value,
+    roc_auc,
+    sensitivity,
+    specificity,
+)
+from repro.evaluation.roc import roc_curve
+
+cells = st.integers(min_value=0, max_value=5000)
+
+
+@st.composite
+def confusions(draw):
+    tp, fp, tn, fn = (draw(cells) for _ in range(4))
+    assume(tp + fp + tn + fn > 0)
+    return BinaryConfusion(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+@given(confusions())
+@settings(max_examples=200, deadline=None)
+def test_rate_metrics_in_unit_interval(cm):
+    for metric in (
+        accuracy,
+        misclassification_rate,
+        sensitivity,
+        specificity,
+        positive_predictive_value,
+        negative_predictive_value,
+        mcpv,
+    ):
+        value = metric(cm)
+        assert math.isnan(value) or 0.0 <= value <= 1.0
+
+
+@given(confusions())
+@settings(max_examples=200, deadline=None)
+def test_kappa_bounded(cm):
+    value = kappa(cm)
+    assert -1.0 - 1e-12 <= value <= 1.0 + 1e-12
+
+
+@given(confusions())
+@settings(max_examples=200, deadline=None)
+def test_mcpv_is_min_of_predictive_values(cm):
+    ppv = positive_predictive_value(cm)
+    npv = negative_predictive_value(cm)
+    value = mcpv(cm)
+    if math.isnan(ppv) or math.isnan(npv):
+        assert math.isnan(value)
+    else:
+        assert value == min(ppv, npv)
+
+
+@given(confusions())
+@settings(max_examples=200, deadline=None)
+def test_accuracy_misclassification_identity(cm):
+    assert accuracy(cm) + misclassification_rate(cm) == 1.0
+
+
+@st.composite
+def scored_samples(draw):
+    n = draw(st.integers(min_value=4, max_value=120))
+    actual = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=1),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    assume(actual.sum() > 0 and actual.sum() < n)
+    # Quantised scores: keeps monotone transforms injective in floating
+    # point (denormals collapse under e.g. sigmoid, which is a float
+    # artefact, not an AUC property).
+    scores = (
+        np.array(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=1000),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+        / 1000.0
+    )
+    return actual, scores
+
+
+@given(scored_samples())
+@settings(max_examples=100, deadline=None)
+def test_auc_invariant_to_monotone_transform(sample):
+    actual, scores = sample
+    raw = roc_auc(actual, scores)
+    squeezed = roc_auc(actual, 1 / (1 + np.exp(-5 * scores)))
+    assert raw == squeezed
+
+
+@given(scored_samples())
+@settings(max_examples=100, deadline=None)
+def test_auc_complement_under_label_flip(sample):
+    actual, scores = sample
+    assert roc_auc(actual, scores) + roc_auc(1 - actual, scores) == (
+        roc_auc(actual, scores) + (1 - roc_auc(actual, scores))
+    )
+
+
+@given(scored_samples())
+@settings(max_examples=100, deadline=None)
+def test_rank_auc_matches_curve_area(sample):
+    actual, scores = sample
+    rank_auc = roc_auc(actual, scores)
+    curve = roc_curve(actual, scores)
+    assert abs(curve.auc() - rank_auc) < 1e-9
+
+
+@given(scored_samples())
+@settings(max_examples=60, deadline=None)
+def test_roc_curve_monotone(sample):
+    actual, scores = sample
+    curve = roc_curve(actual, scores)
+    assert (np.diff(curve.fpr) >= -1e-12).all()
+    assert (np.diff(curve.tpr) >= -1e-12).all()
+    assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+    assert curve.fpr[-1] == 1.0 and curve.tpr[-1] == 1.0

@@ -1,0 +1,90 @@
+"""Tests for the validation protocols."""
+
+import numpy as np
+import pytest
+
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.evaluation import (
+    cross_val_scores,
+    kfold_indices,
+    stratified_kfold_indices,
+    train_valid_split,
+)
+from repro.exceptions import EvaluationError
+from repro.mining import NaiveBayesClassifier
+
+
+class TestKFold:
+    def test_partition(self, rng):
+        folds = kfold_indices(100, 10, rng)
+        assert len(folds) == 10
+        joined = np.sort(np.concatenate(folds))
+        assert joined.tolist() == list(range(100))
+
+    def test_k_too_large(self, rng):
+        with pytest.raises(EvaluationError):
+            kfold_indices(3, 5, rng)
+
+    def test_k_too_small(self, rng):
+        with pytest.raises(EvaluationError):
+            kfold_indices(10, 1, rng)
+
+
+class TestStratifiedKFold:
+    def test_every_fold_sees_minority(self, rng):
+        y = np.array([0] * 95 + [1] * 10)
+        folds = stratified_kfold_indices(y, 5, rng)
+        for fold in folds:
+            assert y[fold].sum() == 2
+
+    def test_partition(self, rng):
+        y = np.array([0, 1] * 25)
+        folds = stratified_kfold_indices(y, 5, rng)
+        joined = np.sort(np.concatenate(folds))
+        assert joined.tolist() == list(range(50))
+
+
+class TestTrainValidSplit:
+    def test_default_fraction(self, rng):
+        table = DataTable([NumericColumn("v", list(range(100)))])
+        split = train_valid_split(table, rng)
+        assert split.sizes == (60, 40)
+
+
+class TestCrossValScores:
+    def test_pooled_scores_cover_all_rows(self, classification_table, rng):
+        table, y = classification_table
+        actual, scores = cross_val_scores(
+            NaiveBayesClassifier, table, "label", y, 5, rng
+        )
+        assert actual.shape == scores.shape == (table.n_rows,)
+        assert not np.isnan(scores).any()
+        # Scores should be informative: mean score of positives higher.
+        assert scores[actual == 1].mean() > scores[actual == 0].mean()
+
+    def test_y_length_mismatch(self, classification_table, rng):
+        table, y = classification_table
+        with pytest.raises(EvaluationError):
+            cross_val_scores(
+                NaiveBayesClassifier, table, "label", y[:-1], 5, rng
+            )
+
+    def test_deterministic_given_rng_seed(self, classification_table):
+        table, y = classification_table
+        a = cross_val_scores(
+            NaiveBayesClassifier,
+            table,
+            "label",
+            y,
+            5,
+            np.random.default_rng(1),
+        )
+        b = cross_val_scores(
+            NaiveBayesClassifier,
+            table,
+            "label",
+            y,
+            5,
+            np.random.default_rng(1),
+        )
+        assert np.array_equal(a[1], b[1])

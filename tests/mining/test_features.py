@@ -1,0 +1,124 @@
+"""Tests for FeatureSet input/target resolution."""
+
+import numpy as np
+import pytest
+
+from repro.datatable import (
+    CategoricalColumn,
+    ColumnSpec,
+    DataTable,
+    MeasurementLevel,
+    NumericColumn,
+    Role,
+    TableSchema,
+)
+from repro.exceptions import FitError, MissingColumnError, SchemaError
+from repro.mining.features import FeatureSet
+
+
+@pytest.fixture()
+def table() -> DataTable:
+    return DataTable(
+        [
+            NumericColumn("segment_id", [1.0, 2.0, 3.0, 4.0]),
+            NumericColumn("f60", [0.5, 0.6, None, 0.4]),
+            CategoricalColumn("cls", ["a", "b", "a", "b"], ("a", "b")),
+            CategoricalColumn(
+                "target", ["n", "p", "n", "p"], ("n", "p")
+            ),
+        ]
+    )
+
+
+class TestInputResolution:
+    def test_default_excludes_bookkeeping(self, table):
+        features = FeatureSet(table, "target")
+        assert features.input_names == ["f60", "cls"]
+
+    def test_explicit_include(self, table):
+        features = FeatureSet(table, "target", include=["f60"])
+        assert features.input_names == ["f60"]
+
+    def test_include_missing_column(self, table):
+        with pytest.raises(MissingColumnError):
+            FeatureSet(table, "target", include=["nope"])
+
+    def test_target_in_include_rejected(self, table):
+        with pytest.raises(SchemaError):
+            FeatureSet(table, "target", include=["target"])
+
+    def test_schema_drives_inputs(self, table):
+        schema = TableSchema(
+            [
+                ColumnSpec("f60", MeasurementLevel.INTERVAL),
+                ColumnSpec("cls", MeasurementLevel.NOMINAL, Role.REJECTED),
+                ColumnSpec("target", MeasurementLevel.BINARY, Role.TARGET),
+            ]
+        )
+        features = FeatureSet(table.with_schema(schema), "target")
+        assert features.input_names == ["f60"]
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(FitError):
+            FeatureSet(DataTable.empty().with_column(
+                NumericColumn("t", [])
+            ), "t")
+
+    def test_missing_target(self, table):
+        with pytest.raises(MissingColumnError):
+            FeatureSet(table, "nope")
+
+
+class TestTargets:
+    def test_binary_target_categorical(self, table):
+        features = FeatureSet(table, "target")
+        y, labels = features.binary_target()
+        assert labels == ("n", "p")
+        assert y.tolist() == [0, 1, 0, 1]
+
+    def test_binary_target_numeric_01(self, table):
+        augmented = table.with_column(
+            NumericColumn("flag", [0.0, 1.0, 1.0, 0.0])
+        )
+        features = FeatureSet(augmented, "flag")
+        y, labels = features.binary_target()
+        assert y.tolist() == [0, 1, 1, 0]
+        assert labels == ("0", "1")
+
+    def test_binary_target_rejects_multiclass(self, table):
+        bad = table.with_column(
+            CategoricalColumn("t3", ["a", "b", "c", "a"], ("a", "b", "c"))
+        )
+        with pytest.raises(FitError, match="3 observed levels"):
+            FeatureSet(bad, "t3").binary_target()
+
+    def test_binary_target_rejects_non01_numeric(self, table):
+        bad = table.with_column(NumericColumn("v", [0.0, 2.0, 1.0, 0.0]))
+        with pytest.raises(FitError):
+            FeatureSet(bad, "v").binary_target()
+
+    def test_binary_target_rejects_missing(self, table):
+        bad = table.with_column(
+            CategoricalColumn("t", ["n", None, "p", "n"], ("n", "p"))
+        )
+        with pytest.raises(FitError, match="missing"):
+            FeatureSet(bad, "t").binary_target()
+
+    def test_interval_target_coerces_binary(self, table):
+        features = FeatureSet(table, "target")
+        y = features.interval_target()
+        assert y.dtype == np.float64
+        assert y.tolist() == [0.0, 1.0, 0.0, 1.0]
+
+    def test_interval_target_numeric_passthrough(self, table):
+        augmented = table.with_column(
+            NumericColumn("count", [3.0, 7.0, 1.0, 9.0])
+        )
+        features = FeatureSet(augmented, "count")
+        assert features.interval_target().tolist() == [3.0, 7.0, 1.0, 9.0]
+
+    def test_subset(self, table):
+        features = FeatureSet(table, "target")
+        sub = features.subset(np.array([0, 2]))
+        assert sub.n_rows == 2
+        assert sub.input_names == features.input_names

@@ -1,0 +1,157 @@
+"""Edge-case tests for best-first tree growth."""
+
+import numpy as np
+import pytest
+
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.mining.features import FeatureSet
+from repro.mining.tree import TreeConfig, grow_tree, iter_leaves, iter_nodes
+
+
+def make_features(n=400, seed=0, noise=0.0):
+    gen = np.random.default_rng(seed)
+    x = gen.uniform(0, 1, n)
+    w = gen.uniform(0, 1, n)
+    y = ((x > 0.5) ^ (w > 0.5)).astype(np.int64)
+    if noise:
+        flips = gen.random(n) < noise
+        y = np.where(flips, 1 - y, y)
+    table = DataTable(
+        [
+            NumericColumn.from_array("x", x),
+            NumericColumn.from_array("w", w),
+            NumericColumn.from_array("t", y.astype(float)),
+        ]
+    )
+    return FeatureSet(table, "t"), y
+
+
+SMALL = dict(min_leaf=10, min_split=20)
+
+
+class TestGrowthEdges:
+    def test_invalid_mode_rejected(self):
+        features, y = make_features(50)
+        with pytest.raises(ValueError, match="mode"):
+            grow_tree(features, y, TreeConfig(**SMALL), mode="gini")
+
+    def test_tiny_data_single_leaf(self):
+        features, y = make_features(10)
+        grown = grow_tree(
+            features, y, TreeConfig(min_leaf=10, min_split=20), "chi2"
+        )
+        assert grown.n_leaves == 1
+        assert grown.root.is_leaf
+        assert grown.root.prediction == pytest.approx(float(y.mean()))
+
+    def test_pure_target_single_leaf(self):
+        features, _y = make_features(200)
+        pure = np.zeros(200, dtype=np.int64)
+        grown = grow_tree(features, pure, TreeConfig(**SMALL), "chi2")
+        assert grown.n_leaves == 1
+
+    def test_max_depth_respected(self):
+        features, y = make_features(2000, seed=3)
+        grown = grow_tree(
+            features,
+            y,
+            TreeConfig(max_depth=2, **SMALL),
+            "chi2",
+        )
+        assert grown.depth <= 2
+        for node in iter_nodes(grown.root):
+            assert node.depth <= 2
+
+    def test_xor_needs_depth_two(self):
+        """Neither marginal split is significant alone at depth 1 in a
+        perfect XOR — but the grower still finds structure because the
+        best-first scan evaluates real counts, and depth 2 resolves it."""
+        features, y = make_features(2000, seed=5)
+        grown = grow_tree(
+            features, y, TreeConfig(max_depth=4, **SMALL), "chi2"
+        )
+        if grown.n_leaves >= 4:
+            leaf_predictions = [
+                leaf.prediction for leaf in iter_leaves(grown.root)
+            ]
+            assert min(leaf_predictions) < 0.2
+            assert max(leaf_predictions) > 0.8
+
+    def test_leaf_budget_is_hard_cap(self):
+        features, y = make_features(3000, seed=7, noise=0.1)
+        for budget in (2, 3, 5):
+            grown = grow_tree(
+                features,
+                y,
+                TreeConfig(max_leaves=budget, **SMALL),
+                "chi2",
+            )
+            assert grown.n_leaves <= budget
+
+    def test_node_counts_consistent(self):
+        features, y = make_features(1500, seed=9, noise=0.05)
+        grown = grow_tree(features, y, TreeConfig(**SMALL), "chi2")
+        nodes = list(iter_nodes(grown.root))
+        leaves = list(iter_leaves(grown.root))
+        assert len(nodes) == grown.n_nodes
+        assert len(leaves) == grown.n_leaves
+        assert sum(leaf.n_samples for leaf in leaves) == features.n_rows
+
+    def test_f_mode_on_continuous_target(self):
+        gen = np.random.default_rng(11)
+        x = gen.uniform(0, 1, 800)
+        target = np.where(x > 0.3, 5.0, 1.0) + gen.normal(0, 0.1, 800)
+        table = DataTable(
+            [
+                NumericColumn.from_array("x", x),
+                NumericColumn.from_array("t", target),
+            ]
+        )
+        features = FeatureSet(table, "t")
+        grown = grow_tree(features, target, TreeConfig(**SMALL), "f")
+        assert grown.n_leaves >= 2
+        predictions = [leaf.prediction for leaf in iter_leaves(grown.root)]
+        assert max(predictions) > 4.0
+        assert min(predictions) < 2.0
+
+    def test_all_missing_feature_ignored(self):
+        gen = np.random.default_rng(13)
+        x = gen.uniform(0, 1, 300)
+        y = (x > 0.5).astype(np.int64)
+        table = DataTable(
+            [
+                NumericColumn.from_array("x", x),
+                NumericColumn("dead", [None] * 300),
+                NumericColumn.from_array("t", y.astype(float)),
+            ]
+        )
+        features = FeatureSet(table, "t")
+        grown = grow_tree(features, y, TreeConfig(**SMALL), "chi2")
+        assert grown.n_leaves >= 2
+        for node in iter_nodes(grown.root):
+            if node.split is not None:
+                assert node.split.feature != "dead"
+
+    def test_categorical_multiway_growth(self):
+        gen = np.random.default_rng(17)
+        levels = gen.choice(["a", "b", "c"], size=900, p=[0.4, 0.4, 0.2])
+        probs = {"a": 0.05, "b": 0.5, "c": 0.95}
+        y = (gen.random(900) < np.vectorize(probs.get)(levels)).astype(
+            np.int64
+        )
+        table = DataTable(
+            [
+                CategoricalColumn("g", list(levels), ("a", "b", "c")),
+                NumericColumn.from_array("t", y.astype(float)),
+            ]
+        )
+        features = FeatureSet(table, "t")
+        grown = grow_tree(
+            features,
+            y,
+            TreeConfig(merge_alpha=0.05, **SMALL),
+            "chi2",
+        )
+        # Three well-separated rates: the root split keeps 3 arms.
+        assert grown.root.split is not None
+        assert len(grown.root.branches) == 3

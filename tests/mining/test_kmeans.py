@@ -1,0 +1,113 @@
+"""Tests for simple k-means."""
+
+import numpy as np
+import pytest
+
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.exceptions import FitError, NotFittedError
+from repro.mining import KMeans
+
+
+def blob_table(n_per=120, seed=0):
+    gen = np.random.default_rng(seed)
+    centres = [(-5.0, -5.0), (0.0, 5.0), (6.0, -2.0)]
+    xs, ys, true = [], [], []
+    for label, (cx, cy) in enumerate(centres):
+        xs.extend(gen.normal(cx, 0.4, n_per))
+        ys.extend(gen.normal(cy, 0.4, n_per))
+        true.extend([label] * n_per)
+    return (
+        DataTable(
+            [
+                NumericColumn("x", xs),
+                NumericColumn("y", ys),
+            ]
+        ),
+        np.array(true),
+    )
+
+
+class TestKMeans:
+    def test_recovers_blobs(self):
+        table, true = blob_table()
+        model = KMeans(n_clusters=3, seed=1)
+        assignment = model.fit_predict(table)
+        # Each true blob maps to exactly one cluster.
+        for label in range(3):
+            members = assignment[true == label]
+            assert len(set(members.tolist())) == 1
+        assert len(set(assignment.tolist())) == 3
+
+    def test_assignment_minimises_distance(self):
+        table, _true = blob_table(seed=3)
+        model = KMeans(n_clusters=3, seed=2).fit(table)
+        from repro.mining.kmeans import _pairwise_sq
+        from repro.mining.preprocessing import MatrixEncoder
+
+        features = model._feature_set(table, model._input_names)
+        x = model._encoder.transform(features)
+        distances = _pairwise_sq(x, model.centroids)
+        assignment = model.predict(table)
+        assert np.array_equal(assignment, distances.argmin(axis=1))
+
+    def test_inertia_decreases_with_k(self):
+        table, _true = blob_table(seed=5)
+        inertias = []
+        for k in (2, 3, 6):
+            model = KMeans(n_clusters=k, seed=1, n_init=2).fit(table)
+            inertias.append(model.inertia)
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_deterministic_given_seed(self):
+        table, _true = blob_table(seed=7)
+        a = KMeans(n_clusters=3, seed=4).fit_predict(table)
+        b = KMeans(n_clusters=3, seed=4).fit_predict(table)
+        assert np.array_equal(a, b)
+
+    def test_too_few_rows_rejected(self):
+        table = DataTable([NumericColumn("x", [1.0, 2.0])])
+        with pytest.raises(FitError):
+            KMeans(n_clusters=5).fit(table)
+
+    def test_predict_before_fit(self):
+        table, _true = blob_table()
+        with pytest.raises(NotFittedError):
+            KMeans().predict(table)
+
+    def test_categorical_features_encoded(self):
+        labels = ["a"] * 100 + ["b"] * 100
+        table = DataTable([CategoricalColumn("g", labels, ("a", "b"))])
+        assignment = KMeans(n_clusters=2, seed=0).fit_predict(table)
+        # The categorical column alone separates the two groups exactly.
+        assert len(set(assignment[:100].tolist())) == 1
+        assert len(set(assignment[100:].tolist())) == 1
+        assert assignment[0] != assignment[150]
+
+    def test_cluster_sizes(self):
+        table, _true = blob_table()
+        model = KMeans(n_clusters=3, seed=1)
+        assignment = model.fit_predict(table)
+        sizes = model.cluster_sizes(assignment)
+        assert sizes.sum() == table.n_rows
+        assert (sizes > 0).all()
+
+    def test_include_restricts_features(self):
+        table, _true = blob_table()
+        noisy = table.with_column(
+            NumericColumn("noise", list(np.random.default_rng(0).normal(0, 100, table.n_rows)))
+        )
+        model = KMeans(n_clusters=3, seed=1).fit(noisy, include=["x", "y"])
+        assert model._input_names == ["x", "y"]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_init=0)
+
+    def test_empty_cluster_reseeded(self):
+        # k close to n forces empty-cluster handling during Lloyd steps.
+        table, _true = blob_table(n_per=4, seed=11)
+        model = KMeans(n_clusters=10, seed=3, n_init=1).fit(table)
+        assignment = model.predict(table)
+        assert assignment.shape == (12,)

@@ -1,0 +1,126 @@
+"""Tests for the matrix encoder and discretiser."""
+
+import numpy as np
+import pytest
+
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.exceptions import FitError, NotFittedError
+from repro.mining.features import FeatureSet
+from repro.mining.preprocessing import (
+    EqualFrequencyDiscretiser,
+    MatrixEncoder,
+    standardise_matrix,
+)
+
+
+def make_features():
+    table = DataTable(
+        [
+            NumericColumn("a", [1.0, 2.0, None, 4.0]),
+            NumericColumn("b", [10.0, 10.0, 10.0, 10.0]),
+            CategoricalColumn("c", ["x", "y", None, "x"], ("x", "y")),
+            NumericColumn("t", [0.0, 1.0, 0.0, 1.0]),
+        ]
+    )
+    return FeatureSet(table, "t")
+
+
+class TestMatrixEncoder:
+    def test_column_layout(self):
+        encoder = MatrixEncoder().fit(make_features())
+        assert encoder.column_names == [
+            "a",
+            "a__missing",
+            "b",
+            "c=x",
+            "c=y",
+        ]
+
+    def test_transform_shape_and_imputation(self):
+        features = make_features()
+        matrix = MatrixEncoder().fit_transform(features)
+        assert matrix.shape == (4, 5)
+        assert not np.isnan(matrix).any()
+        # Missing 'a' row: imputed to mean → standardised 0, indicator 1.
+        assert matrix[2, 0] == pytest.approx(0.0)
+        assert matrix[2, 1] == 1.0
+
+    def test_constant_column_scale_guard(self):
+        matrix = MatrixEncoder().fit_transform(make_features())
+        assert np.all(matrix[:, 2] == 0.0)  # constant b standardises to 0
+
+    def test_missing_categorical_all_zero(self):
+        matrix = MatrixEncoder().fit_transform(make_features())
+        assert matrix[2, 3] == 0.0 and matrix[2, 4] == 0.0
+
+    def test_no_standardise(self):
+        features = make_features()
+        matrix = MatrixEncoder(standardise=False).fit_transform(features)
+        assert matrix[0, 0] == pytest.approx(1.0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MatrixEncoder().transform(make_features())
+
+    def test_transform_missing_column_rejected(self):
+        encoder = MatrixEncoder().fit(make_features())
+        other = DataTable(
+            [
+                NumericColumn("a", [1.0]),
+                NumericColumn("t", [0.0]),
+            ]
+        )
+        with pytest.raises(FitError, match="'b'"):
+            encoder.transform(FeatureSet(other, "t", include=["a"]))
+
+    def test_all_missing_numeric_column(self):
+        table = DataTable(
+            [
+                NumericColumn("a", [None, None]),
+                NumericColumn("t", [0.0, 1.0]),
+            ]
+        )
+        matrix = MatrixEncoder().fit_transform(FeatureSet(table, "t"))
+        assert matrix.shape == (2, 2)
+        assert np.all(matrix[:, 1] == 1.0)
+
+
+class TestDiscretiser:
+    def test_equal_frequency_bins(self):
+        values = np.arange(100, dtype=float)
+        bins = EqualFrequencyDiscretiser(4).fit_transform(values)
+        counts = np.bincount(bins)
+        assert len(counts) == 4
+        assert counts.min() >= 24
+
+    def test_missing_maps_to_minus_one(self):
+        values = np.array([1.0, np.nan, 3.0, 4.0])
+        bins = EqualFrequencyDiscretiser(2).fit_transform(values)
+        assert bins[1] == -1
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            EqualFrequencyDiscretiser().transform(np.ones(3))
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(FitError):
+            EqualFrequencyDiscretiser().fit(np.array([np.nan]))
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            EqualFrequencyDiscretiser(1)
+
+
+class TestStandardiseMatrix:
+    def test_zero_mean_unit_variance(self, rng):
+        matrix = rng.normal(5.0, 3.0, size=(200, 3))
+        scaled, means, scales = standardise_matrix(matrix)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(scaled.std(axis=0), 1.0)
+        assert np.allclose(means, matrix.mean(axis=0))
+
+    def test_constant_column(self):
+        matrix = np.ones((5, 2))
+        scaled, _means, scales = standardise_matrix(matrix)
+        assert np.all(scaled == 0.0)
+        assert np.all(scales == 1.0)

@@ -1,0 +1,143 @@
+"""Round-trip tests for tree model serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.exceptions import NotFittedError, ReproError
+from repro.mining import DecisionTreeClassifier, RegressionTree, TreeConfig
+from tests.conftest import make_classification_table
+
+
+@pytest.fixture()
+def fitted_classifier():
+    table, y = make_classification_table(700, seed=31)
+    model = DecisionTreeClassifier(
+        TreeConfig(min_leaf=25, min_split=60, max_leaves=20)
+    ).fit(table, "label")
+    return model, table, y
+
+
+class TestDecisionTreeSerialisation:
+    def test_roundtrip_predictions_identical(self, fitted_classifier):
+        model, table, _y = fitted_classifier
+        clone = DecisionTreeClassifier.from_dict(model.to_dict())
+        assert np.array_equal(
+            clone.predict_proba(table), model.predict_proba(table)
+        )
+
+    def test_roundtrip_through_json(self, fitted_classifier, tmp_path):
+        model, table, _y = fitted_classifier
+        path = tmp_path / "tree.json"
+        path.write_text(json.dumps(model.to_dict()))
+        clone = DecisionTreeClassifier.from_dict(
+            json.loads(path.read_text())
+        )
+        assert np.array_equal(
+            clone.predict_proba(table), model.predict_proba(table)
+        )
+
+    def test_structure_preserved(self, fitted_classifier):
+        model, _table, _y = fitted_classifier
+        clone = DecisionTreeClassifier.from_dict(model.to_dict())
+        assert clone.n_leaves == model.n_leaves
+        assert clone.n_nodes == model.n_nodes
+        assert clone.depth == model.depth
+        assert clone.class_labels == model.class_labels
+        assert clone.input_names == model.input_names
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().to_dict()
+
+    def test_wrong_model_kind_rejected(self, fitted_classifier):
+        model, _table, _y = fitted_classifier
+        data = model.to_dict()
+        data["model"] = "SomethingElse"
+        with pytest.raises(ReproError):
+            DecisionTreeClassifier.from_dict(data)
+
+    def test_wrong_format_version_rejected(self, fitted_classifier):
+        model, _table, _y = fitted_classifier
+        data = model.to_dict()
+        data["tree"]["format_version"] = 999
+        with pytest.raises(ReproError, match="version"):
+            DecisionTreeClassifier.from_dict(data)
+
+
+class TestRegressionTreeSerialisation:
+    def test_roundtrip(self):
+        gen = np.random.default_rng(4)
+        x = gen.uniform(0, 1, 500)
+        table = DataTable(
+            [
+                NumericColumn.from_array("x", x),
+                NumericColumn.from_array(
+                    "y", 3 * (x > 0.5) + gen.normal(0, 0.2, 500)
+                ),
+            ]
+        )
+        model = RegressionTree().fit(table, "y")
+        clone = RegressionTree.from_dict(
+            json.loads(json.dumps(model.to_dict()))
+        )
+        assert np.array_equal(clone.predict(table), model.predict(table))
+
+    def test_wrong_model_kind_rejected(self):
+        with pytest.raises(ReproError):
+            RegressionTree.from_dict({"model": "DecisionTreeClassifier"})
+
+
+class TestVocabularyAlignment:
+    def test_predict_on_reordered_vocabulary(self):
+        """A table with the same labels in a different code order must
+        predict identically after (de)serialisation."""
+        gen = np.random.default_rng(9)
+        groups = list(gen.choice(["p", "q", "r"], size=600))
+        y = [
+            "pos" if (g == "r" or gen.random() < 0.15) else "neg"
+            for g in groups
+        ]
+        table = DataTable(
+            [
+                CategoricalColumn("group", groups, ("p", "q", "r")),
+                CategoricalColumn("label", y, ("neg", "pos")),
+            ]
+        )
+        model = DecisionTreeClassifier(
+            TreeConfig(min_leaf=25, min_split=60)
+        ).fit(table, "label")
+        # Same data, reordered vocabulary (different codes!).
+        reordered = DataTable(
+            [
+                CategoricalColumn("group", groups, ("r", "q", "p")),
+                CategoricalColumn("label", y, ("neg", "pos")),
+            ]
+        )
+        assert np.array_equal(
+            model.predict_proba(reordered), model.predict_proba(table)
+        )
+
+    def test_unseen_label_falls_back(self):
+        gen = np.random.default_rng(10)
+        groups = list(gen.choice(["p", "q"], size=400))
+        y = ["pos" if g == "q" else "neg" for g in groups]
+        table = DataTable(
+            [
+                CategoricalColumn("group", groups, ("p", "q")),
+                CategoricalColumn("label", y, ("neg", "pos")),
+            ]
+        )
+        model = DecisionTreeClassifier(
+            TreeConfig(min_leaf=25, min_split=60)
+        ).fit(table, "label")
+        novel = DataTable(
+            [
+                CategoricalColumn("group", ["z", "p"], ("z", "p")),
+                CategoricalColumn("label", ["neg", "neg"], ("neg", "pos")),
+            ]
+        )
+        probabilities = model.predict_proba(novel)
+        assert np.isfinite(probabilities).all()

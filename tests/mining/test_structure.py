@@ -1,0 +1,146 @@
+"""Tests for tree node structure and routing internals."""
+
+import numpy as np
+import pytest
+
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.mining.features import FeatureSet
+from repro.mining.tree.splitting import SplitCandidate
+from repro.mining.tree.structure import (
+    Branch,
+    TreeNode,
+    iter_leaves,
+    iter_nodes,
+    partition_indices,
+    route_rows,
+)
+
+
+def make_features(x_values, group_values=None):
+    columns = [NumericColumn("x", x_values)]
+    if group_values is not None:
+        columns.append(
+            CategoricalColumn("group", group_values, ("a", "b", "c"))
+        )
+    columns.append(NumericColumn("t", [0.0] * len(x_values)))
+    return FeatureSet(DataTable(columns), "t")
+
+
+def numeric_split_node(
+    threshold=0.5, with_missing=False, predictions=(0.2, 0.8, 0.5)
+):
+    split = SplitCandidate(
+        feature="x",
+        is_numeric=True,
+        statistic=10.0,
+        p_value=0.001,
+        n_candidates=5,
+        threshold=threshold,
+        has_missing_branch=with_missing,
+    )
+    left = TreeNode(1, 1, 10, predictions[0])
+    right = TreeNode(2, 1, 30, predictions[1])
+    root = TreeNode(0, 0, 40, 0.5, split=split)
+    root.branches = [
+        Branch("le", left, threshold=threshold),
+        Branch("gt", right, threshold=threshold),
+    ]
+    if with_missing:
+        missing = TreeNode(3, 1, 5, predictions[2])
+        root.branches.append(Branch("missing", missing))
+        root.n_samples = 45
+    return root
+
+
+class TestRouting:
+    def test_numeric_threshold_routing(self):
+        root = numeric_split_node()
+        features = make_features([0.1, 0.5, 0.9])
+        predictions, leaves = route_rows(root, features)
+        # 0.5 <= threshold goes left.
+        assert predictions.tolist() == [0.2, 0.2, 0.8]
+        assert leaves.tolist() == [1, 1, 2]
+
+    def test_missing_goes_to_missing_branch(self):
+        root = numeric_split_node(with_missing=True)
+        features = make_features([None, 0.9])
+        predictions, leaves = route_rows(root, features)
+        assert predictions.tolist() == [0.5, 0.8]
+        assert leaves.tolist() == [3, 2]
+
+    def test_missing_without_branch_falls_to_largest(self):
+        root = numeric_split_node(with_missing=False)
+        features = make_features([None])
+        predictions, _leaves = route_rows(root, features)
+        # Largest child is the right branch (30 samples).
+        assert predictions.tolist() == [0.8]
+
+    def test_categorical_group_routing(self):
+        split = SplitCandidate(
+            feature="group",
+            is_numeric=False,
+            statistic=5.0,
+            p_value=0.01,
+            n_candidates=2,
+            groups=((0, 1), (2,)),
+        )
+        merged = TreeNode(1, 1, 20, 0.1)
+        single = TreeNode(2, 1, 10, 0.9)
+        root = TreeNode(0, 0, 30, 0.4, split=split)
+        root.branches = [
+            Branch("in", merged, codes=frozenset({0, 1})),
+            Branch("in", single, codes=frozenset({2})),
+        ]
+        features = make_features(
+            [0.0, 0.0, 0.0], group_values=["a", "c", "b"]
+        )
+        predictions, _leaves = route_rows(root, features)
+        assert predictions.tolist() == [0.1, 0.9, 0.1]
+
+    def test_partition_indices_covers_all_rows(self):
+        root = numeric_split_node(with_missing=True)
+        features = make_features([0.2, None, 0.7, 0.4])
+        parts = partition_indices(
+            root, features, np.arange(4, dtype=np.int64)
+        )
+        covered = np.sort(np.concatenate([idx for _b, idx in parts]))
+        assert covered.tolist() == [0, 1, 2, 3]
+
+
+class TestIteration:
+    def test_iter_nodes_parents_first(self):
+        root = numeric_split_node(with_missing=True)
+        ids = [node.node_id for node in iter_nodes(root)]
+        assert ids[0] == 0
+        assert set(ids) == {0, 1, 2, 3}
+
+    def test_iter_leaves(self):
+        root = numeric_split_node()
+        assert sorted(n.node_id for n in iter_leaves(root)) == [1, 2]
+
+    def test_make_leaf_prunes(self):
+        root = numeric_split_node()
+        root.make_leaf()
+        assert root.is_leaf
+        assert list(iter_nodes(root)) == [root]
+
+
+class TestBranchDescribe:
+    def test_numeric_arms(self):
+        root = numeric_split_node(threshold=0.25)
+        assert root.branches[0].describe() == "<= 0.25"
+        assert root.branches[1].describe() == "> 0.25"
+
+    def test_missing_arm(self):
+        root = numeric_split_node(with_missing=True)
+        assert root.branches[2].describe() == "missing"
+
+    def test_categorical_arm_uses_labels(self):
+        branch = Branch(
+            "in", TreeNode(1, 1, 5, 0.5), codes=frozenset({0, 2})
+        )
+        assert branch.describe(("low", "mid", "high")) == "in {low, high}"
+
+    def test_categorical_arm_without_labels(self):
+        branch = Branch("in", TreeNode(1, 1, 5, 0.5), codes=frozenset({1}))
+        assert branch.describe() == "in {1}"

@@ -1,0 +1,70 @@
+"""Tests for the road attribute registry."""
+
+import pytest
+
+from repro.datatable import MeasurementLevel, Role
+from repro.roads import (
+    ROAD_ATTRIBUTES,
+    AttributeGroup,
+    attribute_names,
+    modelling_schema,
+    segment_schema,
+)
+from repro.roads.attributes import get_attribute
+
+
+class TestRegistry:
+    def test_unique_names(self):
+        names = attribute_names()
+        assert len(names) == len(set(names))
+
+    def test_paper_attribute_families_present(self):
+        groups = {a.group for a in ROAD_ATTRIBUTES}
+        assert AttributeGroup.FUNCTIONAL_DESIGN in groups
+        assert AttributeGroup.SURFACE_PROPERTIES in groups
+        assert AttributeGroup.SURFACE_DISTRESS in groups
+        assert AttributeGroup.SURFACE_WEAR in groups
+        assert AttributeGroup.ROADWAY_FEATURES in groups
+        assert AttributeGroup.TRAFFIC in groups
+
+    def test_key_paper_attributes_exist(self):
+        assert get_attribute("skid_resistance_f60").units == "F60"
+        assert get_attribute("texture_depth").group is (
+            AttributeGroup.SURFACE_PROPERTIES
+        )
+        assert get_attribute("aadt").group is AttributeGroup.TRAFFIC
+
+    def test_f60_is_sparse(self):
+        f60 = get_attribute("skid_resistance_f60")
+        assert f60.missing_rate > 0
+        assert f60.missing_rate == max(
+            a.missing_rate for a in ROAD_ATTRIBUTES
+        )
+
+    def test_group_filter(self):
+        traffic = attribute_names(AttributeGroup.TRAFFIC)
+        assert "aadt" in traffic
+        assert "skid_resistance_f60" not in traffic
+
+
+class TestSchemas:
+    def test_segment_schema_has_id(self):
+        schema = segment_schema()
+        assert schema["segment_id"].role is Role.ID
+        assert len(schema) == len(ROAD_ATTRIBUTES) + 1
+
+    def test_modelling_schema_target(self):
+        schema = modelling_schema("crash_prone")
+        assert schema.target is not None
+        assert schema.target.name == "crash_prone"
+        assert schema.target.level is MeasurementLevel.BINARY
+        assert set(schema.input_names()) == set(attribute_names())
+
+    def test_spec_round_trip(self):
+        spec = get_attribute("aadt").spec()
+        assert spec.name == "aadt"
+        assert spec.level is MeasurementLevel.INTERVAL
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            get_attribute("flux_capacitance")

@@ -1,0 +1,100 @@
+"""Tests for the calibration tooling (not a full re-calibration —
+that is an offline activity; these verify the machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError
+from repro.roads import (
+    PAPER_TABLE1_TARGETS,
+    CrashProcessParams,
+    calibrate_crash_process,
+    weighted_count_cdf,
+)
+
+
+class TestWeightedCdf:
+    def test_hand_worked(self):
+        counts = np.array([0, 0, 1, 2, 5])
+        # weights: total crashes 8; <=2 mass = 3.
+        cdf = weighted_count_cdf(counts, (2, 5))
+        assert cdf[2] == pytest.approx(3 / 8)
+        assert cdf[5] == pytest.approx(1.0)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(2.0, 500)
+        thresholds = (1, 2, 4, 8, 16)
+        cdf = weighted_count_cdf(counts, thresholds)
+        values = [cdf[t] for t in thresholds]
+        assert values == sorted(values)
+
+    def test_no_crashes_rejected(self):
+        with pytest.raises(CalibrationError):
+            weighted_count_cdf(np.zeros(10, dtype=int), (2,))
+
+
+class TestTargets:
+    def test_paper_targets_normalised(self):
+        targets = PAPER_TABLE1_TARGETS
+        values = [targets.weighted_cdf[k] for k in sorted(targets.weighted_cdf)]
+        assert values == sorted(values)
+        assert values[-1] <= 1.0
+        assert targets.weighted_cdf[2] == pytest.approx(3548 / 16750)
+
+
+class TestCalibrationMachinery:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_crash_process(
+                n_probe=500, free_parameters=("warp_drive",)
+            )
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_crash_process(n_probe=500, free_parameters=())
+
+    def test_short_run_improves_objective(self):
+        """A tiny probe run from a deliberately bad start should move
+        toward the targets (sanity of the optimiser wiring)."""
+        bad_start = CrashProcessParams().with_overrides(
+            background_rate=1.5
+        )
+        report = calibrate_crash_process(
+            base_params=bad_start,
+            n_probe=2000,
+            max_iterations=40,
+            free_parameters=("background_rate",),
+        )
+        assert report.params.background_rate < 1.5
+        assert report.n_evaluations > 5
+        assert report.objective < report.history[0]
+
+    def test_default_params_near_targets(self):
+        """The shipped defaults should sit close to the paper targets
+        (this is the bake-in regression test)."""
+        report_params = CrashProcessParams()
+        from repro.roads.calibration import _probe_segments
+        from repro.roads.crashes import CrashProcess
+
+        segments = _probe_segments(20000, seed=7)
+        counts = CrashProcess(report_params).simulate(
+            segments, np.random.default_rng(8)
+        ).total_counts
+        cdf = weighted_count_cdf(counts, (2, 4, 8, 16, 32, 64))
+        for threshold, expected in PAPER_TABLE1_TARGETS.weighted_cdf.items():
+            assert cdf[threshold] == pytest.approx(expected, abs=0.07)
+        zero_share = (counts == 0).mean()
+        assert zero_share == pytest.approx(
+            PAPER_TABLE1_TARGETS.zero_share, abs=0.05
+        )
+
+    def test_report_summary_lines(self):
+        report = calibrate_crash_process(
+            n_probe=1500,
+            max_iterations=5,
+            free_parameters=("background_rate",),
+        )
+        text = "\n".join(report.summary_lines())
+        assert "zero share" in text
+        assert "P_w(count<=" in text

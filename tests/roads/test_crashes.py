@@ -1,0 +1,123 @@
+"""Tests for the zero-altered crash process."""
+
+import numpy as np
+import pytest
+
+from repro.roads import (
+    STUDY_YEARS,
+    CrashProcess,
+    CrashProcessParams,
+    RoadNetwork,
+    SegmentAttributeSampler,
+)
+
+
+@pytest.fixture(scope="module")
+def segments():
+    rng = np.random.default_rng(8)
+    network = RoadNetwork.generate(rng, n_towns=16)
+    return SegmentAttributeSampler(missing_values=False).sample(
+        network.skeletons, rng
+    )
+
+
+@pytest.fixture(scope="module")
+def outcome(segments):
+    return CrashProcess().simulate(segments, np.random.default_rng(4))
+
+
+class TestCrashProcess:
+    def test_counts_are_non_negative_ints(self, outcome):
+        assert outcome.total_counts.dtype == np.int64
+        assert (outcome.total_counts >= 0).all()
+
+    def test_components_sum(self, outcome):
+        assert np.array_equal(
+            outcome.total_counts,
+            outcome.structural_counts + outcome.background_counts,
+        )
+
+    def test_year_counts_sum_to_total(self, outcome):
+        assert np.array_equal(
+            outcome.year_counts.sum(axis=1), outcome.total_counts
+        )
+        assert outcome.year_counts.shape[1] == len(STUDY_YEARS)
+
+    def test_years_roughly_uniform(self, outcome):
+        yearly = outcome.year_counts.sum(axis=0)
+        assert yearly.min() > 0.8 * yearly.mean()
+        assert yearly.max() < 1.2 * yearly.mean()
+
+    def test_majority_of_segments_crash_free(self, outcome):
+        zero_share = (outcome.total_counts == 0).mean()
+        assert 0.6 < zero_share < 0.95
+
+    def test_count_decay_is_monotone_ish(self, outcome):
+        """Figure 1: counts drop steeply as the count value rises."""
+        histogram = outcome.count_histogram()
+        assert histogram.get(1, 0) > histogram.get(8, 0) > histogram.get(
+            40, 0
+        )
+
+    def test_structural_minimum_offset(self, outcome):
+        structural = outcome.structural_counts
+        active = structural[structural > 0]
+        assert active.min() >= CrashProcessParams().count_offset
+
+    def test_propensity_correlates_with_structural_regime(
+        self, segments, outcome
+    ):
+        z = outcome.propensity
+        active = outcome.structural_counts > 0
+        assert z[active].mean() > z[~active].mean() + 0.5
+
+    def test_background_nearly_independent_of_deficiency(
+        self, segments, outcome
+    ):
+        correlation = np.corrcoef(
+            segments.deficiency, outcome.background_counts
+        )[0, 1]
+        assert abs(correlation) < 0.12
+
+    def test_deterministic_given_rng(self, segments):
+        a = CrashProcess().simulate(segments, np.random.default_rng(6))
+        b = CrashProcess().simulate(segments, np.random.default_rng(6))
+        assert np.array_equal(a.total_counts, b.total_counts)
+
+    def test_year_weights_validation(self, segments):
+        params = CrashProcessParams().with_overrides(
+            year_weights=(1.0, 1.0)
+        )
+        with pytest.raises(ValueError):
+            CrashProcess(params).simulate(
+                segments, np.random.default_rng(0)
+            )
+
+    def test_crash_attributes_align_with_counts(self, segments, outcome):
+        attrs = CrashProcess().crash_attributes(
+            segments, outcome, np.random.default_rng(2)
+        )
+        n = outcome.n_crashes
+        assert len(attrs["crash_year"]) == n
+        assert len(attrs["surface_condition"]) == n
+        assert len(attrs["severity"]) == n
+        assert set(attrs["surface_condition"]) <= {"wet", "dry"}
+
+    def test_wet_crashes_concentrate_on_low_friction(self, segments, outcome):
+        attrs = CrashProcess().crash_attributes(
+            segments, outcome, np.random.default_rng(2)
+        )
+        seg_idx = np.repeat(
+            np.arange(outcome.n_segments), outcome.total_counts
+        )
+        f60 = segments.true_values["skid_resistance_f60"][seg_idx]
+        wet = np.array(attrs["surface_condition"]) == "wet"
+        if wet.any() and (~wet).any():
+            assert f60[wet].mean() < f60[~wet].mean()
+
+    def test_zero_noise_propensity_deterministic(self, segments):
+        params = CrashProcessParams().with_overrides(z_noise_sd=0.0)
+        process = CrashProcess(params)
+        a = process.propensity(segments, np.random.default_rng(1))
+        b = process.propensity(segments, np.random.default_rng(99))
+        assert np.array_equal(a, b)

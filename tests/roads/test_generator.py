@@ -1,0 +1,140 @@
+"""Tests for the end-to-end dataset generator and zero-altered set."""
+
+import numpy as np
+import pytest
+
+from repro.roads import (
+    QDTMRSyntheticGenerator,
+    build_zero_altered_set,
+    paper_scale_config,
+    small_config,
+    weighted_count_cdf,
+)
+from repro.roads.attributes import attribute_names
+
+
+class TestGenerator:
+    def test_sizes(self, small_dataset):
+        assert small_dataset.segment_table.n_rows == 2500
+        assert small_dataset.n_crash_instances > 0
+        assert small_dataset.n_no_crash_instances > 0
+
+    def test_crash_instances_expand_counts(self, small_dataset):
+        # Each crash instance carries its segment's full 4-year count;
+        # summing 1/count per instance recovers the segment count.
+        counts = small_dataset.crash_instances.numeric(
+            "segment_crash_count"
+        )
+        assert counts.min() >= 1
+
+    def test_f60_required_on_crash_instances(self, small_dataset):
+        missing = small_dataset.crash_instances.column(
+            "skid_resistance_f60"
+        ).missing_mask()
+        assert not missing.any()
+
+    def test_f60_filter_can_be_disabled(self):
+        config = small_config(n_segments=800, require_f60=False)
+        dataset = QDTMRSyntheticGenerator(config).generate(seed=3)
+        missing = dataset.crash_instances.column(
+            "skid_resistance_f60"
+        ).missing_mask()
+        assert missing.any()
+
+    def test_crash_level_attributes_present(self, small_dataset):
+        for name in ("crash_year", "surface_condition", "severity"):
+            assert name in small_dataset.crash_instances
+
+    def test_no_crash_instances_have_zero_count(self, small_dataset):
+        counts = small_dataset.no_crash_instances.numeric(
+            "segment_crash_count"
+        )
+        assert (counts == 0).all()
+
+    def test_combined_instances_share_columns(self, small_dataset):
+        combined = small_dataset.combined_instances()
+        expected = (
+            ["segment_id"] + attribute_names() + ["segment_crash_count"]
+        )
+        assert combined.column_names == expected
+        assert combined.n_rows == (
+            small_dataset.n_crash_instances
+            + small_dataset.n_no_crash_instances
+        )
+
+    def test_annual_distribution_covers_years(self, small_dataset):
+        annual = small_dataset.annual_count_distribution()
+        assert sorted(annual) == [2004, 2005, 2006, 2007]
+        for histogram in annual.values():
+            assert 0 not in histogram  # zero counts excluded
+
+    def test_deterministic(self):
+        config = small_config(n_segments=600)
+        a = QDTMRSyntheticGenerator(config).generate(seed=5)
+        b = QDTMRSyntheticGenerator(config).generate(seed=5)
+        assert a.crash_instances.equals(b.crash_instances)
+
+    def test_different_seeds_differ(self):
+        config = small_config(n_segments=600)
+        a = QDTMRSyntheticGenerator(config).generate(seed=5)
+        b = QDTMRSyntheticGenerator(config).generate(seed=6)
+        assert not a.segment_table.equals(b.segment_table)
+
+    def test_max_no_crash_cap(self):
+        config = small_config(n_segments=800, max_no_crash_instances=100)
+        dataset = QDTMRSyntheticGenerator(config).generate(seed=1)
+        assert dataset.n_no_crash_instances == 100
+
+
+class TestZeroAlteredSet:
+    def test_only_crash_free_segments(self, small_dataset):
+        no_crash_ids = set(
+            small_dataset.no_crash_instances.numeric("segment_id")
+        )
+        crash_ids = set(
+            small_dataset.crash_instances.numeric("segment_id")
+        )
+        assert not (no_crash_ids & crash_ids)
+
+    def test_subsampling(self, small_dataset):
+        rng = np.random.default_rng(0)
+        capped = build_zero_altered_set(
+            small_dataset.segments,
+            small_dataset.outcome,
+            rng,
+            max_instances=10,
+        )
+        assert capped.n_rows == 10
+
+
+class TestPaperScaleShape:
+    """The headline calibration facts at full scale (slow-ish, 1 run)."""
+
+    @pytest.fixture(scope="class")
+    def paper_dataset(self):
+        return QDTMRSyntheticGenerator(paper_scale_config()).generate(
+            seed=42
+        )
+
+    def test_instance_counts_near_paper(self, paper_dataset):
+        assert 13000 < paper_dataset.n_crash_instances < 19000
+        assert 13000 < paper_dataset.n_no_crash_instances < 16155 + 1
+
+    def test_weighted_cdf_matches_table1(self, paper_dataset):
+        cdf = weighted_count_cdf(
+            paper_dataset.outcome.total_counts, (2, 4, 8, 16, 32, 64)
+        )
+        paper = {
+            2: 0.212,
+            4: 0.352,
+            8: 0.518,
+            16: 0.737,
+            32: 0.924,
+            64: 0.990,
+        }
+        for threshold, expected in paper.items():
+            assert cdf[threshold] == pytest.approx(expected, abs=0.06)
+
+    def test_exponential_decay_of_counts(self, paper_dataset):
+        histogram = paper_dataset.outcome.count_histogram()
+        assert histogram[1] > 4 * histogram.get(8, 1)

@@ -1,0 +1,100 @@
+"""Tests for the Anderson-style KDE / spatial k-means hotspot baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.roads.hotspots import (
+    crash_coordinates,
+    crash_kde,
+    spatial_kmeans_hotspots,
+)
+
+
+class TestCrashCoordinates:
+    def test_one_row_per_crash(self, small_dataset):
+        points = crash_coordinates(small_dataset)
+        assert points.shape == (small_dataset.n_crash_instances, 2)
+        assert np.isfinite(points).all()
+
+    def test_same_segment_same_point(self, small_dataset):
+        points = crash_coordinates(small_dataset)
+        ids = small_dataset.crash_instances.numeric("segment_id").astype(int)
+        first = {}
+        for row, segment_id in enumerate(ids):
+            if segment_id in first:
+                assert np.array_equal(points[row], points[first[segment_id]])
+            else:
+                first[segment_id] = row
+
+
+class TestCrashKde:
+    def test_density_surface_properties(self, small_dataset):
+        surface = crash_kde(small_dataset, bandwidth_km=30, grid_size=40)
+        assert surface.density.shape == (40, 40)
+        assert (surface.density >= 0).all()
+        assert surface.n_points == small_dataset.n_crash_instances
+
+    def test_density_concentrates_on_crashes(self, small_dataset):
+        surface = crash_kde(small_dataset, bandwidth_km=30, grid_size=50)
+        points = crash_coordinates(small_dataset)
+        centre = points.mean(axis=0)
+        at_mass = surface.density_at(float(centre[0]), float(centre[1]))
+        at_corner = surface.density[0, 0]
+        assert at_mass > at_corner
+
+    def test_hotspot_cells_ordered(self, small_dataset):
+        surface = crash_kde(small_dataset, bandwidth_km=30, grid_size=40)
+        cells = surface.hotspot_cells(quantile=0.9)
+        assert cells
+        densities = [d for _x, _y, d in cells]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_hotspot_quantile_validation(self, small_dataset):
+        surface = crash_kde(small_dataset, bandwidth_km=30, grid_size=20)
+        with pytest.raises(EvaluationError):
+            surface.hotspot_cells(quantile=1.5)
+
+    def test_parameter_validation(self, small_dataset):
+        with pytest.raises(EvaluationError):
+            crash_kde(small_dataset, bandwidth_km=0)
+        with pytest.raises(EvaluationError):
+            crash_kde(small_dataset, grid_size=1)
+
+    def test_kde_integrates_to_roughly_one(self, small_dataset):
+        surface = crash_kde(small_dataset, bandwidth_km=40, grid_size=80)
+        cell_area = (surface.xs[1] - surface.xs[0]) * (
+            surface.ys[1] - surface.ys[0]
+        )
+        integral = float(surface.density.sum() * cell_area)
+        assert integral == pytest.approx(1.0, rel=0.15)
+
+
+class TestSpatialKmeans:
+    def test_hotspots_cover_all_crashes(self, small_dataset):
+        clusters = spatial_kmeans_hotspots(
+            small_dataset, n_clusters=8, seed=1
+        )
+        assert sum(c.n_crashes for c in clusters) == (
+            small_dataset.n_crash_instances
+        )
+
+    def test_sorted_by_intensity(self, small_dataset):
+        clusters = spatial_kmeans_hotspots(
+            small_dataset, n_clusters=8, seed=1
+        )
+        intensities = [c.intensity for c in clusters]
+        assert intensities == sorted(intensities, reverse=True)
+
+    def test_radii_positive(self, small_dataset):
+        clusters = spatial_kmeans_hotspots(
+            small_dataset, n_clusters=6, seed=2
+        )
+        assert all(c.radius_km >= 0 for c in clusters)
+
+    def test_too_many_clusters_rejected(self, small_dataset):
+        with pytest.raises(EvaluationError):
+            spatial_kmeans_hotspots(
+                small_dataset,
+                n_clusters=small_dataset.n_crash_instances + 1,
+            )

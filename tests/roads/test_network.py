@@ -1,0 +1,67 @@
+"""Tests for the synthetic road network builder."""
+
+import numpy as np
+import pytest
+
+from repro.roads import ROAD_CLASSES, RoadNetwork
+
+
+@pytest.fixture(scope="module")
+def network() -> RoadNetwork:
+    return RoadNetwork.generate(np.random.default_rng(3), n_towns=20)
+
+
+class TestNetworkGeneration:
+    def test_connected(self, network):
+        assert network.is_connected()
+
+    def test_town_count(self, network):
+        assert len(network.towns) == 20
+
+    def test_routes_at_least_spanning(self, network):
+        assert len(network.routes) >= 19
+
+    def test_segment_ids_unique_and_dense(self, network):
+        ids = [s.segment_id for s in network.skeletons]
+        assert ids == list(range(len(ids)))
+
+    def test_road_classes_valid(self, network):
+        assert {s.road_class for s in network.skeletons} <= set(ROAD_CLASSES)
+
+    def test_urban_block_present(self, network):
+        classes = [s.road_class for s in network.skeletons]
+        assert classes.count("urban") > 0
+
+    def test_urbanisation_bounded(self, network):
+        assert all(0.0 <= s.urbanisation <= 1.0 for s in network.skeletons)
+
+    def test_route_lengths_positive(self, network):
+        assert all(r.length_km >= 2.0 for r in network.routes)
+        assert network.total_length_km() > 0
+
+    def test_route_lookup(self, network):
+        on_route = [s for s in network.skeletons if s.route_id >= 0]
+        route = network.route_of(on_route[0])
+        assert route is not None
+        start, end = network.route_endpoints(route)
+        assert start.town_id == route.start
+        assert end.town_id == route.end
+
+    def test_urban_segments_have_no_route(self, network):
+        urban_free = [s for s in network.skeletons if s.route_id == -1]
+        assert all(network.route_of(s) is None for s in urban_free)
+
+    def test_deterministic_given_rng(self):
+        a = RoadNetwork.generate(np.random.default_rng(11), n_towns=10)
+        b = RoadNetwork.generate(np.random.default_rng(11), n_towns=10)
+        assert a.n_segments == b.n_segments
+        assert [r.road_class for r in a.routes] == [
+            r.road_class for r in b.routes
+        ]
+
+    def test_minimum_towns(self):
+        with pytest.raises(ValueError):
+            RoadNetwork.generate(np.random.default_rng(0), n_towns=1)
+
+    def test_repr_mentions_segments(self, network):
+        assert "segments" in repr(network)

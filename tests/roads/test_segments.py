@@ -1,0 +1,110 @@
+"""Tests for segment attribute sampling."""
+
+import numpy as np
+import pytest
+
+from repro.roads import (
+    ROAD_ATTRIBUTES,
+    RoadNetwork,
+    SegmentAttributeSampler,
+    attribute_names,
+)
+from repro.roads.attributes import get_attribute
+
+
+@pytest.fixture(scope="module")
+def generated():
+    rng = np.random.default_rng(5)
+    network = RoadNetwork.generate(rng, n_towns=16)
+    sampler = SegmentAttributeSampler()
+    return sampler.sample(network.skeletons, rng)
+
+
+class TestAttributeSampling:
+    def test_table_has_all_attributes(self, generated):
+        for name in attribute_names():
+            assert name in generated.table
+
+    def test_row_count_matches(self, generated):
+        assert generated.table.n_rows == generated.deficiency.shape[0]
+        assert generated.table.n_rows == generated.exposure.shape[0]
+
+    def test_declared_missing_rates_realised(self, generated):
+        n = generated.table.n_rows
+        for attr in ROAD_ATTRIBUTES:
+            observed = generated.table.column(attr.name).n_missing() / n
+            if attr.missing_rate == 0:
+                assert observed == 0.0
+            else:
+                assert observed == pytest.approx(attr.missing_rate, abs=0.03)
+
+    def test_f60_sparsest_numeric(self, generated):
+        f60_missing = generated.table.column(
+            "skid_resistance_f60"
+        ).n_missing()
+        for attr in ROAD_ATTRIBUTES:
+            if attr.name == "skid_resistance_f60":
+                continue
+            assert (
+                generated.table.column(attr.name).n_missing()
+                <= f60_missing
+            )
+
+    def test_true_values_complete(self, generated):
+        for name, values in generated.true_values.items():
+            assert not np.isnan(values).any(), name
+
+    def test_physical_ranges(self, generated):
+        for name, values in generated.true_values.items():
+            attr = get_attribute(name)
+            if attr.low is not None:
+                assert values.min() >= attr.low - 1e-9, name
+            if attr.high is not None:
+                assert values.max() <= attr.high + 1e-9, name
+
+    def test_deficiency_drives_friction_down(self, generated):
+        deficiency = generated.deficiency
+        f60 = generated.true_values["skid_resistance_f60"]
+        correlation = np.corrcoef(deficiency, f60)[0, 1]
+        assert correlation < -0.6
+
+    def test_deficiency_drives_distress_up(self, generated):
+        deficiency = generated.deficiency
+        for name in ("roughness_iri", "rut_depth", "seal_age"):
+            correlation = np.corrcoef(
+                deficiency, generated.true_values[name]
+            )[0, 1]
+            assert correlation > 0.6, name
+
+    def test_deficiency_shift_ages_network(self):
+        rng_a = np.random.default_rng(9)
+        network = RoadNetwork.generate(rng_a, n_towns=10)
+        base = SegmentAttributeSampler().sample(
+            network.skeletons, np.random.default_rng(1)
+        )
+        aged = SegmentAttributeSampler(deficiency_shift=0.3).sample(
+            network.skeletons, np.random.default_rng(1)
+        )
+        assert aged.deficiency.mean() > base.deficiency.mean() + 0.2
+
+    def test_missing_values_can_be_disabled(self):
+        rng = np.random.default_rng(2)
+        network = RoadNetwork.generate(rng, n_towns=8)
+        clean = SegmentAttributeSampler(missing_values=False).sample(
+            network.skeletons, rng
+        )
+        for attr in ROAD_ATTRIBUTES:
+            assert clean.table.column(attr.name).n_missing() == 0
+
+    def test_empty_skeletons_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentAttributeSampler().sample([], np.random.default_rng(0))
+
+    def test_motorways_carry_more_traffic_than_rural(self, generated):
+        table = generated.table
+        classes = table.categorical("road_class")
+        aadt = generated.true_values["aadt"]
+        motorway = aadt[np.array(classes.to_objects()) == "highway"]
+        rural = aadt[np.array(classes.to_objects()) == "rural"]
+        if motorway.size and rural.size:
+            assert np.median(motorway) > np.median(rural)

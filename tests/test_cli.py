@@ -1,0 +1,114 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "generate",
+            "study",
+            "calibrate",
+            "train",
+            "score",
+            "wetdry",
+        ):
+            assert command in text
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_generate_writes_csvs(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                str(tmp_path / "out"),
+                "--segments",
+                "400",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        for name in (
+            "segments.csv",
+            "crash_instances.csv",
+            "no_crash_instances.csv",
+        ):
+            assert (tmp_path / "out" / name).exists()
+        assert "wrote 400 segments" in capsys.readouterr().out
+
+    def test_train_then_score(self, tmp_path, capsys):
+        model_path = tmp_path / "scorer.json"
+        assert (
+            main(
+                [
+                    "train",
+                    str(model_path),
+                    "--segments",
+                    "1200",
+                    "--seed",
+                    "5",
+                    "--threshold",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert model_path.exists()
+        out_dir = tmp_path / "data"
+        main(
+            [
+                "generate",
+                str(out_dir),
+                "--segments",
+                "400",
+                "--seed",
+                "6",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "score",
+                str(model_path),
+                str(out_dir / "segments.csv"),
+                "--top",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top 5 treatment candidates" in out
+        assert "expected crash-prone km" in out
+
+    def test_wetdry(self, capsys):
+        code = main(["wetdry", "--segments", "1500", "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wet crashes" in out
+        assert "distributions" in out
+
+    def test_study_small(self, capsys):
+        code = main(["study", "--segments", "1500", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Phase 1 tree models" in out
+        assert "Phase 2 tree models" in out
+        assert "mcpv peaks at" in out
+
+    def test_calibrate_small_probe(self, capsys):
+        code = main(
+            ["calibrate", "--probe", "1500", "--iterations", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zero share" in out
+        assert "P_w(count<=" in out

@@ -1,0 +1,55 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.exceptions import (
+    CalibrationError,
+    ColumnTypeError,
+    EmptyTableError,
+    EvaluationError,
+    FitError,
+    MissingColumnError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            SchemaError,
+            ColumnTypeError,
+            MissingColumnError,
+            EmptyTableError,
+            NotFittedError,
+            FitError,
+            EvaluationError,
+            CalibrationError,
+        ):
+            assert issubclass(exc, ReproError), exc
+
+    def test_missing_column_is_key_error(self):
+        """dict-style access sites can catch KeyError."""
+        assert issubclass(MissingColumnError, KeyError)
+
+    def test_single_except_catches_library_failures(self):
+        from repro.datatable import DataTable, NumericColumn
+
+        table = DataTable([NumericColumn("x", [1.0])])
+        with pytest.raises(ReproError):
+            table.column("nope")
+
+
+class TestMessages:
+    def test_missing_column_lists_alternatives(self):
+        err = MissingColumnError("skid", ("a", "b"))
+        assert "skid" in str(err)
+        assert "a, b" in str(err)
+
+    def test_missing_column_without_alternatives(self):
+        assert "not found" in str(MissingColumnError("skid"))
+
+    def test_not_fitted_names_model(self):
+        assert "MyModel" in str(NotFittedError("MyModel"))
+        assert "fit()" in str(NotFittedError())

@@ -1,0 +1,31 @@
+"""Smoke tests of the package's public surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.datatable as datatable
+        import repro.evaluation as evaluation
+        import repro.mining as mining
+        import repro.roads as roads
+
+        for module in (core, datatable, evaluation, mining, roads):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_quickstart_surface(self, small_dataset):
+        """The README quickstart's objects are reachable top-level."""
+        study = repro.CrashPronenessStudy(small_dataset, seed=0)
+        result = study.run_phase2(thresholds=(8,))
+        assert result.results[0].threshold == 8
+        rows = repro.table1_rows(small_dataset.crash_instances)
+        assert rows[0]["target_label"] == "CP-2"
