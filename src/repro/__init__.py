@@ -19,6 +19,10 @@ Subpackages
     The paper's methodology: CP-k threshold datasets, phase 1–3
     orchestration, the MCPV threshold-selection rule, CRISP-DM
     pipeline, and report rendering.
+``repro.parallel``
+    The sweep-execution engine: serial / process backends with
+    per-task seed derivation (parallel output is bit-identical to
+    serial), threshold dataset caching and per-stage timings.
 
 Quick start
 -----------
@@ -49,6 +53,11 @@ from repro.mining import (
     NeuralNetworkClassifier,
     RegressionTree,
     TreeConfig,
+)
+from repro.parallel import (
+    StageTimings,
+    SweepExecutor,
+    ThresholdDatasetCache,
 )
 from repro.roads import (
     QDTMRSyntheticGenerator,
@@ -86,4 +95,7 @@ __all__ = [
     "BinaryConfusion",
     "mcpv",
     "kappa",
+    "SweepExecutor",
+    "ThresholdDatasetCache",
+    "StageTimings",
 ]

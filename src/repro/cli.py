@@ -52,6 +52,18 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--segments", type=int, default=6000)
     study.add_argument("--clusters", type=int, default=32)
     study.add_argument("--repeats", type=int, default=1)
+    study.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="sweep workers: 1 = serial (default), N = process pool of N, "
+        "0 = all cores; results are identical for every value",
+    )
+    study.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-stage wall times, task counts and cache stats",
+    )
 
     cal = sub.add_parser("calibrate", help="re-derive the calibration")
     cal.add_argument("--probe", type=int, default=20000)
@@ -105,7 +117,9 @@ def _cmd_study(args) -> int:
     study = CrashPronenessStudy(
         dataset, seed=args.seed, repeats=args.repeats
     )
-    report = study.run_full_study(n_clusters=args.clusters)
+    report = study.run_full_study(
+        n_clusters=args.clusters, n_jobs=args.jobs
+    )
     for phase, label in ((report.phase1, "Phase 1"), (report.phase2, "Phase 2")):
         print(render_table(
             ["Target", "R2", "NPV", "PPV", "MCPV", "misclass", "leaves"],
@@ -144,6 +158,9 @@ def _cmd_study(args) -> int:
         f"clusters of {clustering.n_clusters}; ANOVA "
         f"p={clustering.anova.p_value:.3g}"
     )
+    if args.timings and report.timings is not None:
+        print()
+        print(report.timings.render())
     return 0
 
 

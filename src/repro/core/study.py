@@ -17,7 +17,17 @@ This is the paper's primary contribution as an executable object.
   and 2 ("the best combination results ... is between thresholds 4 and
   8 crashes").
 
-``run_full_study`` wires all of it through the CRISP-DM pipeline.
+Every ``(threshold, model)`` fit is independent, so the sweeps dispatch
+through :class:`~repro.parallel.executor.SweepExecutor`: ``n_jobs=1``
+(default) runs the deterministic serial backend, ``n_jobs=N`` a process
+pool whose output is bit-identical because each task derives its own
+seed from the study seed and its threshold offset.  A shared
+:class:`~repro.parallel.cache.ThresholdDatasetCache` builds each CP-k
+dataset once per source table instead of once per model family.
+
+``run_full_study`` wires all of it through the CRISP-DM pipeline and
+threads the executor's :class:`~repro.parallel.timing.StageTimings`
+into the report.
 """
 
 from __future__ import annotations
@@ -56,6 +66,10 @@ from repro.mining import (
     RegressionTree,
     TreeConfig,
 )
+from repro.parallel.cache import ThresholdDatasetCache
+from repro.parallel.executor import SweepExecutor
+from repro.parallel.tasks import SweepTask
+from repro.parallel.timing import StageTimings
 from repro.roads.generator import RoadCrashDataset
 
 __all__ = [
@@ -64,6 +78,9 @@ __all__ = [
     "SupportingModelResult",
     "StudyReport",
     "CrashPronenessStudy",
+    "fit_tree_models",
+    "fit_supporting_model",
+    "fit_m5_model",
 ]
 
 
@@ -133,7 +150,12 @@ class SupportingModelResult:
 
 @dataclass
 class StudyReport:
-    """The full study outcome."""
+    """The full study outcome.
+
+    ``timings`` is a measurement, not a result: two runs of the same
+    study yield identical model values but different wall clocks, so
+    result comparisons must ignore it.
+    """
 
     phase1: PhaseResult
     phase2: PhaseResult
@@ -141,6 +163,118 @@ class StudyReport:
     selection: ThresholdSelection
     clustering: ClusteringAnalysis
     pipeline_log: str
+    timings: StageTimings | None = None
+
+
+# -- picklable task bodies ---------------------------------------------------
+# These module-level functions are the sweep DAG's task payloads: every
+# input (data, config, derived seed) arrives as an argument, so a task's
+# result is independent of backend and execution order.
+
+
+def fit_tree_models(
+    dataset: ThresholdDataset,
+    split_seed: int,
+    config: TreeConfig,
+    train_fraction: float,
+    repeats: int,
+) -> TreeModelResult:
+    """Fit the paper's regression + decision tree pair at one threshold."""
+    pooled_actual: list[np.ndarray] = []
+    pooled_scores: list[np.ndarray] = []
+    pooled_regression: list[np.ndarray] = []
+    decision_leaves: list[int] = []
+    regression_leaves: list[int] = []
+    for repeat in range(repeats):
+        rng = np.random.default_rng(split_seed + 7919 * repeat)
+        split = train_valid_split(
+            dataset.table,
+            rng,
+            train_fraction,
+            stratify_by=TARGET_COLUMN,
+        )
+        decision = DecisionTreeClassifier(config).fit(
+            split.train, TARGET_COLUMN
+        )
+        valid_dataset = build_threshold_dataset(
+            split.valid, dataset.threshold
+        )
+        pooled_actual.append(valid_dataset.target_vector())
+        pooled_scores.append(decision.predict_proba(split.valid))
+        decision_leaves.append(decision.n_leaves)
+        regression = RegressionTree(config).fit(split.train, TARGET_COLUMN)
+        pooled_regression.append(regression.predict(split.valid))
+        regression_leaves.append(regression.n_leaves)
+    actual = np.concatenate(pooled_actual)
+    assessment = assess_scores(actual, np.concatenate(pooled_scores))
+    r2 = r_squared(
+        actual.astype(np.float64), np.concatenate(pooled_regression)
+    )
+    return TreeModelResult(
+        threshold=dataset.threshold,
+        n_non_prone=dataset.n_non_prone,
+        n_prone=dataset.n_prone,
+        r_squared=r2,
+        regression_leaves=int(round(np.mean(regression_leaves))),
+        npv=assessment.npv,
+        ppv=assessment.ppv,
+        misclassification_rate=assessment.misclassification_rate,
+        decision_leaves=int(round(np.mean(decision_leaves))),
+        assessment=assessment,
+    )
+
+
+_SUPPORTING_MODELS = ("bayes", "logistic", "neural")
+
+
+def _supporting_factory(model: str, model_seed: int):
+    if model == "bayes":
+        return lambda: NaiveBayesClassifier()
+    if model == "logistic":
+        return lambda: LogisticRegressionClassifier()
+    if model == "neural":
+        return lambda: NeuralNetworkClassifier(epochs=150, seed=model_seed)
+    raise ValueError(
+        f"model must be one of {sorted(_SUPPORTING_MODELS)}, got {model!r}"
+    )
+
+
+def fit_supporting_model(
+    model: str,
+    dataset: ThresholdDataset,
+    folds: int,
+    cv_seed: int,
+    model_seed: int,
+) -> SupportingModelResult:
+    """One supporting-model CV run (a Table 5 row) at one threshold."""
+    rng = np.random.default_rng(cv_seed)
+    actual, scores = cross_val_scores(
+        _supporting_factory(model, model_seed),
+        dataset.table,
+        TARGET_COLUMN,
+        dataset.target_vector(),
+        folds,
+        rng,
+    )
+    return SupportingModelResult(
+        model=model,
+        threshold=dataset.threshold,
+        assessment=assess_scores(actual, scores),
+    )
+
+
+def fit_m5_model(
+    dataset: ThresholdDataset, split_seed: int, train_fraction: float
+) -> float:
+    """Validation R² of an M5 model tree at one threshold."""
+    rng = np.random.default_rng(split_seed)
+    split = train_valid_split(
+        dataset.table, rng, train_fraction, stratify_by=TARGET_COLUMN
+    )
+    model = M5ModelTree().fit(split.train, TARGET_COLUMN)
+    valid = build_threshold_dataset(split.valid, dataset.threshold)
+    actual = valid.target_vector().astype(np.float64)
+    return r_squared(actual, model.predict(split.valid))
 
 
 class CrashPronenessStudy:
@@ -207,86 +341,124 @@ class CrashPronenessStudy:
     def _fit_trees_at(
         self, dataset: ThresholdDataset, split_seed: int
     ) -> TreeModelResult:
-        config = self._config_for(dataset)
-        pooled_actual: list[np.ndarray] = []
-        pooled_scores: list[np.ndarray] = []
-        pooled_regression: list[np.ndarray] = []
-        decision_leaves: list[int] = []
-        regression_leaves: list[int] = []
-        for repeat in range(self.repeats):
-            rng = np.random.default_rng(split_seed + 7919 * repeat)
-            split = train_valid_split(
-                dataset.table,
-                rng,
-                self.train_fraction,
-                stratify_by=TARGET_COLUMN,
-            )
-            decision = DecisionTreeClassifier(config).fit(
-                split.train, TARGET_COLUMN
-            )
-            valid_dataset = build_threshold_dataset(
-                split.valid, dataset.threshold
-            )
-            pooled_actual.append(valid_dataset.target_vector())
-            pooled_scores.append(decision.predict_proba(split.valid))
-            decision_leaves.append(decision.n_leaves)
-            regression = RegressionTree(config).fit(
-                split.train, TARGET_COLUMN
-            )
-            pooled_regression.append(regression.predict(split.valid))
-            regression_leaves.append(regression.n_leaves)
-        actual = np.concatenate(pooled_actual)
-        assessment = assess_scores(actual, np.concatenate(pooled_scores))
-        r2 = r_squared(
-            actual.astype(np.float64), np.concatenate(pooled_regression)
-        )
-        return TreeModelResult(
-            threshold=dataset.threshold,
-            n_non_prone=dataset.n_non_prone,
-            n_prone=dataset.n_prone,
-            r_squared=r2,
-            regression_leaves=int(round(np.mean(regression_leaves))),
-            npv=assessment.npv,
-            ppv=assessment.ppv,
-            misclassification_rate=assessment.misclassification_rate,
-            decision_leaves=int(round(np.mean(decision_leaves))),
-            assessment=assessment,
+        """One tree-pair fit, serial and in-process (bench unit)."""
+        return fit_tree_models(
+            dataset,
+            split_seed,
+            self._config_for(dataset),
+            self.train_fraction,
+            self.repeats,
         )
 
+    def _threshold_datasets(
+        self,
+        table: DataTable,
+        thresholds: tuple[int, ...],
+        cache: ThresholdDatasetCache | None,
+    ) -> list[tuple[int, ThresholdDataset]]:
+        """(offset, CP-k dataset) per sorted threshold, cache-aware.
+
+        The offset indexes the *sorted* threshold list including any
+        later-skipped entries — per-task seeds derive from it, so a
+        threshold's seed never depends on which other thresholds
+        survive class-count filtering.
+        """
+        build = cache.get if cache is not None else build_threshold_dataset
+        return [
+            (offset, build(table, threshold))
+            for offset, threshold in enumerate(sorted(thresholds))
+        ]
+
     def _sweep(
-        self, table: DataTable, thresholds: tuple[int, ...], phase: int
+        self,
+        table: DataTable,
+        thresholds: tuple[int, ...],
+        phase: int,
+        executor: SweepExecutor | None = None,
+        cache: ThresholdDatasetCache | None = None,
     ) -> PhaseResult:
-        result = PhaseResult(phase=phase)
-        for offset, threshold in enumerate(sorted(thresholds)):
-            dataset = build_threshold_dataset(table, threshold)
+        tasks: list[SweepTask] = []
+        attempted: list[ThresholdDataset] = []
+        for offset, dataset in self._threshold_datasets(
+            table, thresholds, cache
+        ):
+            attempted.append(dataset)
             if min(dataset.n_non_prone, dataset.n_prone) == 0:
                 continue  # no minority class at all; nothing to model
-            result.results.append(
-                self._fit_trees_at(dataset, self.seed + 101 * offset)
+            tasks.append(
+                SweepTask(
+                    key=f"phase{phase}/cp-{dataset.threshold}",
+                    fn=fit_tree_models,
+                    args=(
+                        dataset,
+                        self.seed + 101 * offset,
+                        self._config_for(dataset),
+                        self.train_fraction,
+                        self.repeats,
+                    ),
+                    stage=f"phase{phase}",
+                    threshold=dataset.threshold,
+                )
             )
-        if not result.results:
+        if not tasks:
+            class_counts = "; ".join(
+                f"CP-{d.threshold}: {d.n_non_prone} non-prone / "
+                f"{d.n_prone} prone"
+                for d in attempted
+            )
             raise EvaluationError(
-                f"phase {phase}: no threshold produced a two-class dataset"
+                f"phase {phase}: no threshold produced a two-class "
+                f"dataset (attempted thresholds "
+                f"{sorted(thresholds)}; {class_counts})"
             )
-        return result
+        own_executor = executor is None
+        if own_executor:
+            executor = SweepExecutor(n_jobs=1)
+        try:
+            outputs = executor.run(tasks, stage=f"phase{phase}")
+        finally:
+            if own_executor:
+                executor.shutdown()
+        return PhaseResult(
+            phase=phase, results=[r.value for r in outputs]
+        )
 
     # -- phases --------------------------------------------------------------
     def run_phase1(
-        self, thresholds: tuple[int, ...] = PHASE1_THRESHOLDS
+        self,
+        thresholds: tuple[int, ...] = PHASE1_THRESHOLDS,
+        executor: SweepExecutor | None = None,
+        cache: ThresholdDatasetCache | None = None,
     ) -> PhaseResult:
         """Tree sweep over the crash + no-crash table (Table 3)."""
         return self._sweep(
-            self.dataset.combined_instances(), thresholds, phase=1
+            self.dataset.combined_instances(),
+            thresholds,
+            phase=1,
+            executor=executor,
+            cache=cache,
         )
 
     def run_phase2(
-        self, thresholds: tuple[int, ...] = PHASE2_THRESHOLDS
+        self,
+        thresholds: tuple[int, ...] = PHASE2_THRESHOLDS,
+        executor: SweepExecutor | None = None,
+        cache: ThresholdDatasetCache | None = None,
     ) -> PhaseResult:
         """Tree sweep over the crash-only table (Table 4)."""
-        return self._sweep(self.dataset.crash_instances, thresholds, phase=2)
+        return self._sweep(
+            self.dataset.crash_instances,
+            thresholds,
+            phase=2,
+            executor=executor,
+            cache=cache,
+        )
 
     def run_segment_level_sweep(
-        self, thresholds: tuple[int, ...] = PHASE2_THRESHOLDS
+        self,
+        thresholds: tuple[int, ...] = PHASE2_THRESHOLDS,
+        executor: SweepExecutor | None = None,
+        cache: ThresholdDatasetCache | None = None,
     ) -> PhaseResult:
         """Extension: the phase-2 sweep with one row per *segment*.
 
@@ -302,76 +474,94 @@ class CrashPronenessStudy:
         crash_segments = self.dataset.segment_table.filter(
             self.dataset.segment_table.numeric("segment_crash_count") > 0
         )
-        return self._sweep(crash_segments, thresholds, phase=4)
+        return self._sweep(
+            crash_segments,
+            thresholds,
+            phase=4,
+            executor=executor,
+            cache=cache,
+        )
 
     def run_supporting_sweep(
         self,
         model: str = "bayes",
         thresholds: tuple[int, ...] = PHASE2_THRESHOLDS,
         folds: int = 10,
+        executor: SweepExecutor | None = None,
+        cache: ThresholdDatasetCache | None = None,
     ) -> list[SupportingModelResult]:
         """10-fold CV sweep of a supporting classifier on crash-only data.
 
         ``model`` is one of 'bayes', 'logistic', 'neural'.
         """
-        factories = {
-            "bayes": lambda: NaiveBayesClassifier(),
-            "logistic": lambda: LogisticRegressionClassifier(),
-            "neural": lambda: NeuralNetworkClassifier(
-                epochs=150, seed=self.seed
-            ),
-        }
-        if model not in factories:
-            raise ValueError(
-                f"model must be one of {sorted(factories)}, got {model!r}"
-            )
-        results: list[SupportingModelResult] = []
-        for offset, threshold in enumerate(sorted(thresholds)):
-            dataset = build_threshold_dataset(
-                self.dataset.crash_instances, threshold
-            )
+        _supporting_factory(model, self.seed)  # validate the name early
+        tasks: list[SweepTask] = []
+        for offset, dataset in self._threshold_datasets(
+            self.dataset.crash_instances, thresholds, cache
+        ):
             y = dataset.target_vector()
             if min(int(y.sum()), int((1 - y).sum())) < folds:
                 continue  # cannot stratify this few minority rows
-            rng = np.random.default_rng(self.seed + 977 * offset)
-            actual, scores = cross_val_scores(
-                factories[model],
-                dataset.table,
-                TARGET_COLUMN,
-                y,
-                folds,
-                rng,
-            )
-            results.append(
-                SupportingModelResult(
-                    model=model,
-                    threshold=threshold,
-                    assessment=assess_scores(actual, scores),
+            tasks.append(
+                SweepTask(
+                    key=f"{model}/cp-{dataset.threshold}",
+                    fn=fit_supporting_model,
+                    args=(
+                        model,
+                        dataset,
+                        folds,
+                        self.seed + 977 * offset,
+                        self.seed,
+                    ),
+                    stage=f"supporting-{model}",
+                    threshold=dataset.threshold,
                 )
             )
-        return results
+        own_executor = executor is None
+        if own_executor:
+            executor = SweepExecutor(n_jobs=1)
+        try:
+            outputs = executor.run(tasks, stage=f"supporting-{model}")
+        finally:
+            if own_executor:
+                executor.shutdown()
+        return [r.value for r in outputs]
 
     def run_m5_sweep(
-        self, thresholds: tuple[int, ...] = PHASE2_THRESHOLDS
+        self,
+        thresholds: tuple[int, ...] = PHASE2_THRESHOLDS,
+        executor: SweepExecutor | None = None,
+        cache: ThresholdDatasetCache | None = None,
     ) -> dict[int, float]:
         """M5 model-tree validation R² per threshold (interval target)."""
-        out: dict[int, float] = {}
-        for offset, threshold in enumerate(sorted(thresholds)):
-            dataset = build_threshold_dataset(
-                self.dataset.crash_instances, threshold
-            )
+        tasks: list[SweepTask] = []
+        for offset, dataset in self._threshold_datasets(
+            self.dataset.crash_instances, thresholds, cache
+        ):
             if min(dataset.n_non_prone, dataset.n_prone) == 0:
                 continue
-            rng = np.random.default_rng(self.seed + 389 * offset)
-            split = train_valid_split(
-                dataset.table, rng, self.train_fraction,
-                stratify_by=TARGET_COLUMN,
+            tasks.append(
+                SweepTask(
+                    key=f"m5/cp-{dataset.threshold}",
+                    fn=fit_m5_model,
+                    args=(
+                        dataset,
+                        self.seed + 389 * offset,
+                        self.train_fraction,
+                    ),
+                    stage="m5",
+                    threshold=dataset.threshold,
+                )
             )
-            model = M5ModelTree().fit(split.train, TARGET_COLUMN)
-            valid = build_threshold_dataset(split.valid, threshold)
-            actual = valid.target_vector().astype(np.float64)
-            out[threshold] = r_squared(actual, model.predict(split.valid))
-        return out
+        own_executor = executor is None
+        if own_executor:
+            executor = SweepExecutor(n_jobs=1)
+        try:
+            outputs = executor.run(tasks, stage="m5")
+        finally:
+            if own_executor:
+                executor.shutdown()
+        return {r.threshold: r.value for r in outputs}
 
     def run_phase3(
         self, threshold: int = 8, n_clusters: int = 32
@@ -417,55 +607,87 @@ class CrashPronenessStudy:
         phase1_thresholds: tuple[int, ...] = PHASE1_THRESHOLDS,
         phase2_thresholds: tuple[int, ...] = PHASE2_THRESHOLDS,
         n_clusters: int = 32,
+        n_jobs: int | None = 1,
     ) -> StudyReport:
-        """Execute the complete study through the CRISP-DM pipeline."""
-        pipeline = CrispDmPipeline()
-        pipeline.register(
-            CrispDmStage.DATA_UNDERSTANDING,
-            "profile instance tables",
-            lambda ctx: {
-                "n_crash_instances": self.dataset.n_crash_instances,
-                "n_no_crash_instances": self.dataset.n_no_crash_instances,
-            },
-        )
-        pipeline.register(
-            CrispDmStage.MODELING,
-            "phase 1 tree sweep (crash + no-crash)",
-            lambda ctx: {"phase1": self.run_phase1(phase1_thresholds)},
-        )
-        pipeline.register(
-            CrispDmStage.MODELING,
-            "phase 2 tree sweep (crash only)",
-            lambda ctx: {"phase2": self.run_phase2(phase2_thresholds)},
-        )
-        pipeline.register(
-            CrispDmStage.MODELING,
-            "supporting naive Bayes sweep",
-            lambda ctx: {
-                "bayes": self.run_supporting_sweep(
-                    "bayes", phase2_thresholds
-                )
-            },
-        )
-        pipeline.register(
-            CrispDmStage.EVALUATION,
-            "threshold selection (MCPV plateau rule)",
-            lambda ctx: {
-                "selection": self.select_threshold(
-                    ctx["phase1"], ctx["phase2"]
-                )
-            },
-        )
-        pipeline.register(
-            CrispDmStage.EVALUATION,
-            "phase 3 clustering at the selected threshold",
-            lambda ctx: {
-                "clustering": self.run_phase3(
-                    ctx["selection"].selected_threshold, n_clusters
-                )
-            },
-        )
-        context = pipeline.run()
+        """Execute the complete study through the CRISP-DM pipeline.
+
+        ``n_jobs`` selects the sweep backend: ``1`` (default) runs
+        serially in-process; any other value dispatches the
+        ``(threshold, model)`` fits over a process pool.  Model outputs
+        are bit-identical either way — only ``StudyReport.timings``
+        differs.
+        """
+        cache = ThresholdDatasetCache()
+        with SweepExecutor(n_jobs=n_jobs) as executor:
+            pipeline = CrispDmPipeline()
+            pipeline.register(
+                CrispDmStage.DATA_UNDERSTANDING,
+                "profile instance tables",
+                lambda ctx: {
+                    "n_crash_instances": self.dataset.n_crash_instances,
+                    "n_no_crash_instances": self.dataset.n_no_crash_instances,
+                },
+            )
+            pipeline.register(
+                CrispDmStage.MODELING,
+                "phase 1 tree sweep (crash + no-crash)",
+                lambda ctx: {
+                    "phase1": self.run_phase1(
+                        phase1_thresholds, executor=executor, cache=cache
+                    )
+                },
+            )
+            pipeline.register(
+                CrispDmStage.MODELING,
+                "phase 2 tree sweep (crash only)",
+                lambda ctx: {
+                    "phase2": self.run_phase2(
+                        phase2_thresholds, executor=executor, cache=cache
+                    )
+                },
+            )
+            pipeline.register(
+                CrispDmStage.MODELING,
+                "supporting naive Bayes sweep",
+                lambda ctx: {
+                    "bayes": self.run_supporting_sweep(
+                        "bayes",
+                        phase2_thresholds,
+                        executor=executor,
+                        cache=cache,
+                    )
+                },
+            )
+
+            def _select(ctx):
+                with executor.timed_stage("selection"):
+                    return {
+                        "selection": self.select_threshold(
+                            ctx["phase1"], ctx["phase2"]
+                        )
+                    }
+
+            def _cluster(ctx):
+                with executor.timed_stage("clustering"):
+                    return {
+                        "clustering": self.run_phase3(
+                            ctx["selection"].selected_threshold, n_clusters
+                        )
+                    }
+
+            pipeline.register(
+                CrispDmStage.EVALUATION,
+                "threshold selection (MCPV plateau rule)",
+                _select,
+            )
+            pipeline.register(
+                CrispDmStage.EVALUATION,
+                "phase 3 clustering at the selected threshold",
+                _cluster,
+            )
+            context = pipeline.run()
+            executor.attach_cache_stats(cache)
+            timings = executor.timings
         return StudyReport(
             phase1=context["phase1"],
             phase2=context["phase2"],
@@ -473,4 +695,5 @@ class CrashPronenessStudy:
             selection=context["selection"],
             clustering=context["clustering"],
             pipeline_log=pipeline.describe(),
+            timings=timings,
         )

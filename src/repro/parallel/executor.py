@@ -1,0 +1,178 @@
+"""The sweep executor: pluggable serial / process backends.
+
+``SweepExecutor`` runs batches of :class:`~repro.parallel.tasks.SweepTask`
+and records a :class:`~repro.parallel.timing.StageTimings` as it goes.
+Backends:
+
+``serial``
+    In-process loop, selected by ``n_jobs=1`` (the default).  This is
+    the reference implementation — deterministic and debuggable.
+``process``
+    A :class:`concurrent.futures.ProcessPoolExecutor` with ``n_jobs``
+    workers, selected by ``n_jobs != 1``.  Results are collected in
+    submission order and every task carries its own derived seed, so
+    the output is bit-identical to the serial backend — only the wall
+    clock differs.
+
+The pool is created lazily on first use and reused across stages; use
+the executor as a context manager (or call :meth:`SweepExecutor.shutdown`)
+to release the workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.parallel.tasks import SweepTask, TaskResult, execute_task
+from repro.parallel.timing import StageTiming, StageTimings, TaskTiming
+
+__all__ = ["SweepExecutor", "available_backends", "resolve_n_jobs"]
+
+
+def available_backends() -> tuple[str, ...]:
+    return ("serial", "process")
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalise an ``n_jobs`` request to a worker count >= 1.
+
+    ``None`` and ``0`` mean "all cores"; negative values count back
+    from the core count (``-1`` = all cores, ``-2`` = all but one),
+    following the joblib convention.
+    """
+    cores = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == 0:
+        return cores
+    if n_jobs < 0:
+        return max(1, cores + 1 + n_jobs)
+    return int(n_jobs)
+
+
+class _SerialBackend:
+    name = "serial"
+
+    def run(self, tasks: Sequence[SweepTask]) -> list[TaskResult]:
+        return [execute_task(task) for task in tasks]
+
+    def shutdown(self) -> None:  # nothing to release
+        pass
+
+
+class _ProcessBackend:
+    name = "process"
+
+    def __init__(self, n_jobs: int):
+        self.n_jobs = n_jobs
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # Fork (where available) shares the already-imported library
+            # and the parent's dataset pages with the workers; tasks are
+            # seed-complete, so the start method cannot affect results.
+            import multiprocessing
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_jobs, mp_context=context
+            )
+        return self._pool
+
+    def run(self, tasks: Sequence[SweepTask]) -> list[TaskResult]:
+        pool = self._ensure_pool()
+        # map() preserves submission order regardless of completion order.
+        return list(pool.map(execute_task, tasks))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class SweepExecutor:
+    """Dispatches sweep tasks over a backend and records stage timings.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker count; ``1`` (default) selects the serial backend,
+        anything else a process pool of ``resolve_n_jobs(n_jobs)``
+        workers.  ``None`` / ``0`` use all cores; negatives count back
+        from the core count.
+    backend:
+        Explicit backend override (``"serial"`` or ``"process"``),
+        mainly for tests; normally derived from ``n_jobs``.
+    """
+
+    def __init__(self, n_jobs: int | None = 1, backend: str | None = None):
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        if backend is None:
+            backend = "serial" if self.n_jobs == 1 else "process"
+        if backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {available_backends()}, "
+                f"got {backend!r}"
+            )
+        self.backend_name = backend
+        self._backend = (
+            _SerialBackend()
+            if backend == "serial"
+            else _ProcessBackend(self.n_jobs)
+        )
+        self.timings = StageTimings(backend=backend, n_jobs=self.n_jobs)
+
+    # -- lifecycle -------------------------------------------------------
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        self._backend.shutdown()
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self, tasks: Sequence[SweepTask], stage: str = "sweep"
+    ) -> list[TaskResult]:
+        """Run a task batch; results come back in submission order."""
+        start = time.perf_counter()
+        results = self._backend.run(list(tasks))
+        self.timings.stages.append(
+            StageTiming(
+                stage=stage,
+                wall_seconds=time.perf_counter() - start,
+                tasks=[
+                    TaskTiming(
+                        key=r.key, seconds=r.seconds, threshold=r.threshold
+                    )
+                    for r in results
+                ],
+            )
+        )
+        return results
+
+    @contextmanager
+    def timed_stage(self, stage: str) -> Iterator[None]:
+        """Time a non-task stage (selection, clustering) into the record."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings.stages.append(
+                StageTiming(
+                    stage=stage,
+                    wall_seconds=time.perf_counter() - start,
+                )
+            )
+
+    def attach_cache_stats(self, cache) -> None:
+        """Copy a ``ThresholdDatasetCache``'s counters into the record."""
+        self.timings.cache_hits = cache.hits
+        self.timings.cache_misses = cache.misses

@@ -1,0 +1,78 @@
+"""Task units for the sweep-execution engine.
+
+A :class:`SweepTask` is one node of the sweep DAG: a plain function
+call tagged with the stage it belongs to and the threshold it models.
+Tasks must be *self-contained and picklable* so the process backend can
+ship them to workers: ``fn`` has to be a module-level callable and the
+arguments must survive ``pickle`` (``DataTable`` and the dataclasses
+built on it do).
+
+Determinism contract: a task carries every input its function needs —
+including its derived random seed — so its result depends only on the
+task itself, never on which backend runs it or in what order.  That is
+what makes ``n_jobs=N`` output bit-identical to ``n_jobs=1``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["SweepTask", "TaskResult", "execute_task"]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent unit of sweep work.
+
+    Attributes
+    ----------
+    key:
+        Unique human-readable id, e.g. ``"phase1/cp-4"``; used to label
+        per-task timings.
+    fn:
+        A module-level callable (picklable by reference).
+    args / kwargs:
+        Call arguments; must be picklable for the process backend.
+    stage:
+        The sweep stage the task belongs to (``"phase1"``,
+        ``"supporting-bayes"``, ...).
+    threshold:
+        The CP-k threshold the task models, if any.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    stage: str = ""
+    threshold: int | None = None
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """A task's return value plus its measured wall time."""
+
+    key: str
+    value: Any
+    seconds: float
+    threshold: int | None = None
+
+
+def execute_task(task: SweepTask) -> TaskResult:
+    """Run one task and time it.
+
+    This is the worker entry point for every backend: the serial
+    backend calls it inline, the process backend ships it to pool
+    workers.  Timing happens inside the worker so per-task seconds
+    reflect compute, not queueing.
+    """
+    start = time.perf_counter()
+    value = task.fn(*task.args, **task.kwargs)
+    return TaskResult(
+        key=task.key,
+        value=value,
+        seconds=time.perf_counter() - start,
+        threshold=task.threshold,
+    )

@@ -139,6 +139,26 @@ class TestExplicitConfig:
         assert result.results[0].decision_leaves <= 4
 
 
+class TestSweepErrors:
+    def test_degenerate_sweep_error_lists_thresholds_and_counts(
+        self, mid_dataset
+    ):
+        """When no threshold yields two classes the error must name the
+        attempted thresholds and their class counts, not just fail."""
+        from repro.exceptions import EvaluationError
+
+        study = CrashPronenessStudy(mid_dataset, seed=3)
+        with pytest.raises(EvaluationError) as excinfo:
+            study.run_phase2(thresholds=(100_000, 200_000))
+        message = str(excinfo.value)
+        assert "phase 2" in message
+        assert "[100000, 200000]" in message
+        assert "CP-100000" in message and "CP-200000" in message
+        assert "0 prone" in message
+        n_instances = mid_dataset.crash_instances.n_rows
+        assert f"{n_instances} non-prone" in message
+
+
 class TestSegmentLevelSweep:
     def test_rows_are_segments(self, study, mid_dataset):
         result = study.run_segment_level_sweep(thresholds=(4, 8))

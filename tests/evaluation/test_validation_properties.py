@@ -1,0 +1,87 @@
+"""Property tests of the stratified k-fold partition.
+
+The supporting sweeps (Table 5) depend on three invariants of
+``stratified_kfold_indices``: the folds partition the row index set,
+no fold is empty, and each fold preserves the 0/1 class mix.  The
+study guards ``min(class counts) >= k`` before cross-validating, so
+the properties are stated under that precondition.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import stratified_kfold_indices
+
+
+@st.composite
+def stratified_problems(draw):
+    """(y, k) with at least k members of each class."""
+    k = draw(st.integers(min_value=2, max_value=8))
+    n_neg = draw(st.integers(min_value=k, max_value=60))
+    n_pos = draw(st.integers(min_value=k, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    y = np.concatenate(
+        [np.zeros(n_neg, dtype=np.int64), np.ones(n_pos, dtype=np.int64)]
+    )
+    # Shuffle so class blocks don't align with index order.
+    np.random.default_rng(seed).shuffle(y)
+    return y, k, seed
+
+
+class TestStratifiedKFoldProperties:
+    @given(problem=stratified_problems())
+    @settings(max_examples=100, deadline=None)
+    def test_folds_partition_the_index_set(self, problem):
+        y, k, seed = problem
+        folds = stratified_kfold_indices(
+            y, k, np.random.default_rng(seed)
+        )
+        assert len(folds) == k
+        combined = np.concatenate(folds)
+        assert len(combined) == len(y)  # no index twice
+        assert np.array_equal(np.sort(combined), np.arange(len(y)))
+
+    @given(problem=stratified_problems())
+    @settings(max_examples=100, deadline=None)
+    def test_every_fold_non_empty(self, problem):
+        y, k, seed = problem
+        folds = stratified_kfold_indices(
+            y, k, np.random.default_rng(seed)
+        )
+        for fold in folds:
+            assert len(fold) > 0
+
+    @given(problem=stratified_problems())
+    @settings(max_examples=100, deadline=None)
+    def test_class_mix_preserved_per_fold(self, problem):
+        """Each fold's count of a class is within 1 of the even share
+        n_class / k — the tightest guarantee array_split allows."""
+        y, k, seed = problem
+        folds = stratified_kfold_indices(
+            y, k, np.random.default_rng(seed)
+        )
+        for value in (0, 1):
+            n_class = int((y == value).sum())
+            for fold in folds:
+                in_fold = int((y[fold] == value).sum())
+                assert (
+                    np.floor(n_class / k)
+                    <= in_fold
+                    <= np.ceil(n_class / k)
+                )
+
+    @given(problem=stratified_problems())
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_in_the_rng(self, problem):
+        """Same seed, same folds — the property the parallel engine's
+        per-task seed derivation relies on."""
+        y, k, seed = problem
+        first = stratified_kfold_indices(
+            y, k, np.random.default_rng(seed)
+        )
+        second = stratified_kfold_indices(
+            y, k, np.random.default_rng(seed)
+        )
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)

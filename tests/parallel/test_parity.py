@@ -1,0 +1,143 @@
+"""Serial / parallel parity: ``n_jobs=N`` must be bit-identical to
+``n_jobs=1``.
+
+Every task derives its seed from the study seed and its threshold
+offset, so backend and scheduling order cannot reach the numbers.
+These tests enforce that contract on the full study report — every
+Table 3/4/5 cell, the threshold selection and the ANOVA p-value.
+"""
+
+import math
+
+import pytest
+
+from repro import CrashPronenessStudy
+from repro.parallel import SweepExecutor, ThresholdDatasetCache
+
+
+def report_cells(report) -> list[tuple[str, object]]:
+    """Every reported value, labelled, in a fixed order."""
+    cells: list[tuple[str, object]] = []
+    for name, phase in (("t3", report.phase1), ("t4", report.phase2)):
+        for row in phase.results:
+            prefix = f"{name}/cp-{row.threshold}"
+            cells += [
+                (f"{prefix}/n_non_prone", row.n_non_prone),
+                (f"{prefix}/n_prone", row.n_prone),
+                (f"{prefix}/r_squared", row.r_squared),
+                (f"{prefix}/reg_leaves", row.regression_leaves),
+                (f"{prefix}/npv", row.npv),
+                (f"{prefix}/ppv", row.ppv),
+                (f"{prefix}/misclass", row.misclassification_rate),
+                (f"{prefix}/dec_leaves", row.decision_leaves),
+                (f"{prefix}/mcpv", row.mcpv),
+                (f"{prefix}/kappa", row.kappa),
+            ]
+    for row in report.bayes:
+        a = row.assessment
+        prefix = f"t5/cp-{row.threshold}"
+        cells += [
+            (f"{prefix}/accuracy", a.accuracy),
+            (f"{prefix}/npv", a.npv),
+            (f"{prefix}/ppv", a.ppv),
+            (f"{prefix}/w_precision", a.weighted_precision),
+            (f"{prefix}/w_recall", a.weighted_recall),
+            (f"{prefix}/roc_area", a.roc_area),
+            (f"{prefix}/kappa", a.kappa),
+            (f"{prefix}/mcpv", a.mcpv),
+        ]
+    cells.append(("selection", report.selection.selected_threshold))
+    cells.append(
+        ("selection/plateau", tuple(sorted(report.selection.plateau)))
+    )
+    cells.append(("anova_p", report.clustering.anova.p_value))
+    return cells
+
+
+def tree_row_cells(row) -> list[tuple[str, object]]:
+    base = f"cp-{row.threshold}"
+    cells = [
+        (f"{base}/n_non_prone", row.n_non_prone),
+        (f"{base}/n_prone", row.n_prone),
+        (f"{base}/r_squared", row.r_squared),
+        (f"{base}/reg_leaves", row.regression_leaves),
+        (f"{base}/dec_leaves", row.decision_leaves),
+    ]
+    cells += [
+        (f"{base}/{name}", value)
+        for name, value in sorted(row.assessment.as_dict().items())
+    ]
+    return cells
+
+
+def assert_identical_cells(left, right):
+    assert [k for k, _ in left] == [k for k, _ in right]
+    for (key, a), (_, b) in zip(left, right):
+        both_nan = (
+            isinstance(a, float)
+            and isinstance(b, float)
+            and math.isnan(a)
+            and math.isnan(b)
+        )
+        assert both_nan or a == b, f"{key}: {a!r} != {b!r}"
+
+
+@pytest.fixture(scope="module")
+def study(small_dataset):
+    return CrashPronenessStudy(small_dataset, seed=11)
+
+
+class TestFullStudyParity:
+    def test_two_jobs_bit_identical_to_serial(self, study):
+        serial = study.run_full_study(n_clusters=8, n_jobs=1)
+        parallel = study.run_full_study(n_clusters=8, n_jobs=2)
+        assert_identical_cells(
+            report_cells(serial), report_cells(parallel)
+        )
+
+    def test_backends_recorded_in_timings(self, study):
+        serial = study.run_full_study(n_clusters=8, n_jobs=1)
+        parallel = study.run_full_study(n_clusters=8, n_jobs=2)
+        assert serial.timings.backend == "serial"
+        assert parallel.timings.backend == "process"
+        assert parallel.timings.n_jobs == 2
+        assert serial.timings.n_tasks == parallel.timings.n_tasks
+        assert serial.timings.cache_hits == parallel.timings.cache_hits
+
+
+class TestSweepParity:
+    def test_phase2_sweep_parity_with_shared_cache(self, study):
+        serial = study.run_phase2(thresholds=(2, 8, 32))
+        cache = ThresholdDatasetCache()
+        with SweepExecutor(n_jobs=2) as executor:
+            parallel = study.run_phase2(
+                thresholds=(2, 8, 32), executor=executor, cache=cache
+            )
+        assert serial.thresholds() == parallel.thresholds()
+        for a, b in zip(serial.results, parallel.results):
+            assert_identical_cells(tree_row_cells(a), tree_row_cells(b))
+
+    def test_m5_sweep_parity(self, study):
+        serial = study.run_m5_sweep(thresholds=(4, 8))
+        with SweepExecutor(n_jobs=2) as executor:
+            parallel = study.run_m5_sweep(
+                thresholds=(4, 8), executor=executor
+            )
+        assert serial == parallel
+
+    def test_supporting_sweep_parity(self, study):
+        serial = study.run_supporting_sweep(
+            "bayes", thresholds=(4, 8), folds=5
+        )
+        with SweepExecutor(n_jobs=2) as executor:
+            parallel = study.run_supporting_sweep(
+                "bayes", thresholds=(4, 8), folds=5, executor=executor
+            )
+        assert [r.threshold for r in serial] == [
+            r.threshold for r in parallel
+        ]
+        for a, b in zip(serial, parallel):
+            assert_identical_cells(
+                sorted(a.assessment.as_dict().items()),
+                sorted(b.assessment.as_dict().items()),
+            )

@@ -104,6 +104,26 @@ class TestCommands:
         assert "Phase 2 tree models" in out
         assert "mcpv peaks at" in out
 
+    def test_study_jobs_and_timings(self, capsys):
+        code = main(
+            [
+                "study",
+                "--segments",
+                "1500",
+                "--seed",
+                "2",
+                "--jobs",
+                "2",
+                "--timings",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Phase 1 tree models" in out
+        assert "Stage timings (backend=process, n_jobs=2)" in out
+        assert "threshold dataset cache:" in out
+        assert "supporting-bayes" in out
+
     def test_calibrate_small_probe(self, capsys):
         code = main(
             ["calibrate", "--probe", "1500", "--iterations", "3"]
