@@ -23,6 +23,10 @@ Subpackages
     The sweep-execution engine: serial / process backends with
     per-task seed derivation (parallel output is bit-identical to
     serial), threshold dataset caching and per-stage timings.
+``repro.serving``
+    The deployment layer: versioned scorer registry with hot reload,
+    a validating / micro-batching / caching scoring engine, and a
+    concurrent JSON-over-HTTP service with request metrics.
 
 Quick start
 -----------
@@ -66,6 +70,7 @@ from repro.roads import (
     paper_scale_config,
     small_config,
 )
+from repro.serving import ScorerRegistry, ScoringEngine, ScoringService
 
 __version__ = "1.0.0"
 
@@ -98,4 +103,7 @@ __all__ = [
     "SweepExecutor",
     "ThresholdDatasetCache",
     "StageTimings",
+    "ScorerRegistry",
+    "ScoringEngine",
+    "ScoringService",
 ]

@@ -8,13 +8,16 @@ Python:
   paper-style tables;
 * ``calibrate`` — re-derive the crash-process calibration;
 * ``train`` — train and save a deployable crash-proneness scorer;
-* ``score`` — score a segment CSV with a saved scorer;
+* ``score`` — score a segment CSV with a saved scorer (table, JSON or
+  CSV output);
+* ``serve`` — serve a directory of scorers over HTTP;
 * ``wetdry`` — the stage-1 wet/dry differentiation analysis.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -80,6 +83,41 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("model_path", type=Path)
     score.add_argument("segments_csv", type=Path)
     score.add_argument("--top", type=int, default=20)
+    score.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write every segment's score to this CSV "
+        "(rank, segment_id, probability, crash_prone)",
+    )
+    score.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the text table",
+    )
+
+    serve = sub.add_parser("serve", help="serve scorers over HTTP")
+    serve.add_argument("model_dir", type=Path)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batch size cap per model pass",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="how long an open micro-batch waits for more requests",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="LRU result cache capacity in rows (0 disables)",
+    )
 
     wet = sub.add_parser("wetdry", help="wet/dry crash differentiation")
     wet.add_argument("--seed", type=int, default=0)
@@ -194,7 +232,46 @@ def _cmd_train(args) -> int:
 def _cmd_score(args) -> int:
     scorer = CrashPronenessScorer.load(args.model_path)
     table = read_csv(args.segments_csv)
-    ranked = scorer.treatment_list(table, top=args.top)
+    ranked_all = scorer.treatment_list(table)
+    ranked = ranked_all[: args.top] if args.top is not None else ranked_all
+    if args.out is not None:
+        from repro.datatable import DataTable
+
+        write_csv(
+            DataTable.from_columns(
+                {
+                    "rank": [s.rank for s in ranked_all],
+                    "segment_id": [s.segment_id for s in ranked_all],
+                    "probability": [s.probability for s in ranked_all],
+                    "crash_prone": [int(s.crash_prone) for s in ranked_all],
+                }
+            ),
+            args.out,
+        )
+        print(
+            f"wrote {len(ranked_all)} scored segments -> {args.out}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(json.dumps(
+            {
+                "model": scorer.describe(),
+                "threshold": scorer.threshold,
+                "n_segments": table.n_rows,
+                "expected_prone_km": scorer.expected_prone_km(table),
+                "results": [
+                    {
+                        "rank": s.rank,
+                        "segment_id": s.segment_id,
+                        "probability": s.probability,
+                        "crash_prone": s.crash_prone,
+                    }
+                    for s in ranked
+                ],
+            },
+            indent=2,
+        ))
+        return 0
     print(scorer.describe())
     print(render_table(
         ["rank", "segment_id", "P(crash prone)", "flag"],
@@ -208,6 +285,34 @@ def _cmd_score(args) -> int:
         f"expected crash-prone km across the file: "
         f"{scorer.expected_prone_km(table):.0f}"
     )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import ScoringService
+
+    service = ScoringService(
+        args.model_dir,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+    )
+    names = ", ".join(service.registry.names()) or "none"
+    print(f"serving {len(service.registry)} scorer(s) [{names}]")
+    print(f"listening on http://{args.host}:{args.port}")
+    print(
+        "endpoints: GET /healthz | GET /models | GET /metrics | "
+        "POST /v1/score | POST /v1/score/batch"
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        print(service.metrics.render())
+    finally:
+        service.close()
     return 0
 
 
@@ -228,6 +333,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "train": _cmd_train,
     "score": _cmd_score,
+    "serve": _cmd_serve,
     "wetdry": _cmd_wetdry,
 }
 

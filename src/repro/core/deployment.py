@@ -14,6 +14,7 @@ the artefact a road authority's asset-management pipeline would consume.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -25,11 +26,25 @@ from repro.core.thresholds import TARGET_COLUMN, build_threshold_dataset
 from repro.datatable import DataTable
 from repro.evaluation import train_valid_split
 from repro.exceptions import ReproError
-from repro.mining import DecisionTreeClassifier, TreeConfig
+from repro.mining import DecisionTreeClassifier, RegressionTree, TreeConfig
 
-__all__ = ["CrashPronenessScorer", "SegmentScore"]
+__all__ = ["CrashPronenessScorer", "SegmentScore", "payload_checksum"]
 
 SCORER_FORMAT_VERSION = 1
+
+
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON of a scorer payload.
+
+    The ``checksum`` key itself is excluded, so a saved file can embed
+    the digest of everything else and the registry can re-derive it to
+    detect corrupted or hand-edited artefacts.
+    """
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    canonical = json.dumps(
+        body, sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -66,6 +81,7 @@ class CrashPronenessScorer:
     model: DecisionTreeClassifier
     validation: dict[str, float] = field(default_factory=dict)
     metadata: dict[str, object] = field(default_factory=dict)
+    regression: RegressionTree | None = None
 
     # -- training ------------------------------------------------------
     @classmethod
@@ -77,8 +93,14 @@ class CrashPronenessScorer:
         train_fraction: float = 0.6,
         tree_config: TreeConfig | None = None,
         metadata: dict[str, object] | None = None,
+        with_regression: bool = False,
     ) -> "CrashPronenessScorer":
-        """Train a scorer at a given crash-proneness threshold."""
+        """Train a scorer at a given crash-proneness threshold.
+
+        With ``with_regression`` the paper's companion F-test regression
+        tree is fitted on the same split and persisted alongside the
+        classifier (its R² is what Tables 3/4 report).
+        """
         dataset = build_threshold_dataset(crash_instances, threshold)
         rng = np.random.default_rng(seed)
         split = train_valid_split(
@@ -94,6 +116,11 @@ class CrashPronenessScorer:
         model = DecisionTreeClassifier(tree_config).fit(
             split.train, TARGET_COLUMN
         )
+        regression = None
+        if with_regression:
+            regression = RegressionTree(tree_config).fit(
+                split.train, TARGET_COLUMN
+            )
         actual = build_threshold_dataset(
             split.valid, threshold
         ).target_vector()
@@ -103,6 +130,7 @@ class CrashPronenessScorer:
             model=model,
             validation=assessment.as_dict(),
             metadata=dict(metadata or {}, seed=seed),
+            regression=regression,
         )
 
     # -- scoring -------------------------------------------------------------
@@ -150,41 +178,110 @@ class CrashPronenessScorer:
         segments are 1 km)."""
         return float(self.score(segment_table).sum())
 
+    def score_regression(self, table: DataTable) -> np.ndarray:
+        """Companion regression-tree predictions (if trained with one)."""
+        if self.regression is None:
+            raise ReproError(
+                "this scorer was trained without a regression tree; "
+                "pass with_regression=True to train()"
+            )
+        return self.regression.predict(table)
+
+    # -- serving contract ---------------------------------------------------
+    def input_schema(self) -> dict[str, dict]:
+        """The columns a scoring request must provide.
+
+        Maps input column name → ``{"kind": "numeric"}`` or
+        ``{"kind": "categorical", "levels": [...]}`` in model input
+        order.  This is the schema the serving layer validates request
+        rows against; labels outside ``levels`` are legal and route the
+        same way unseen labels did at fit time.
+        """
+        vocabularies = self.model.vocabularies
+        schema: dict[str, dict] = {}
+        for name in self.model.input_names:
+            levels = vocabularies.get(name)
+            if levels is None:
+                schema[name] = {"kind": "numeric"}
+            else:
+                schema[name] = {"kind": "categorical", "levels": list(levels)}
+        return schema
+
     # -- persistence -------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "format_version": SCORER_FORMAT_VERSION,
             "threshold": self.threshold,
             "validation": self.validation,
             "metadata": self.metadata,
+            "input_schema": self.input_schema(),
             "model": self.model.to_dict(),
+            "regression": (
+                None if self.regression is None else self.regression.to_dict()
+            ),
         }
+        payload["checksum"] = payload_checksum(payload)
+        return payload
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CrashPronenessScorer":
+    def from_dict(
+        cls, data: dict, source: str | Path | None = None
+    ) -> "CrashPronenessScorer":
+        origin = f" in {source}" if source is not None else ""
         version = data.get("format_version")
         if version != SCORER_FORMAT_VERSION:
             raise ReproError(
-                f"unsupported scorer format version {version!r} "
+                f"unsupported scorer format version {version!r}{origin} "
                 f"(expected {SCORER_FORMAT_VERSION})"
             )
+        stored = data.get("checksum")
+        if stored is not None and stored != payload_checksum(data):
+            raise ReproError(
+                f"scorer checksum mismatch{origin}: the artefact was "
+                "modified after save()"
+            )
+        regression_data = data.get("regression")
         return cls(
             threshold=data["threshold"],
             model=DecisionTreeClassifier.from_dict(data["model"]),
             validation=dict(data["validation"]),
             metadata=dict(data["metadata"]),
+            regression=(
+                None
+                if regression_data is None
+                else RegressionTree.from_dict(regression_data)
+            ),
         )
 
     def save(self, path: str | Path) -> None:
-        """Write the scorer to a JSON file."""
+        """Write the scorer to a JSON file (checksummed, see
+        :func:`payload_checksum`)."""
         payload = json.dumps(self.to_dict(), indent=2, allow_nan=True)
         Path(path).write_text(payload, encoding="utf-8")
 
     @classmethod
     def load(cls, path: str | Path) -> "CrashPronenessScorer":
-        """Read a scorer saved with :meth:`save`."""
-        text = Path(path).read_text(encoding="utf-8")
-        return cls.from_dict(json.loads(text))
+        """Read a scorer saved with :meth:`save`.
+
+        Raises :class:`ReproError` naming ``path`` for missing files,
+        invalid JSON, checksum mismatches and stale format versions.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot read scorer file {path}: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"scorer file {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ReproError(
+                f"scorer file {path} does not contain a JSON object"
+            )
+        return cls.from_dict(data, source=path)
 
     def describe(self) -> str:
         mcpv = self.validation.get("mcpv", float("nan"))

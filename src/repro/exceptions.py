@@ -61,5 +61,9 @@ class CalibrationError(ReproError):
     """The synthetic data generator could not be calibrated to its targets."""
 
 
+class ServingError(ReproError):
+    """A model-serving request or registry operation could not be satisfied."""
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative fit stopped at its iteration cap before converging."""

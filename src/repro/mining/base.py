@@ -71,6 +71,12 @@ class Model:
         assert self._target_name is not None
         return self._target_name
 
+    @property
+    def vocabularies(self) -> dict[str, tuple[str, ...]]:
+        """Categorical input name → training label vocabulary."""
+        self._require_fitted()
+        return dict(self._vocabularies)
+
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise NotFittedError(type(self).__name__)

@@ -228,6 +228,14 @@ class FeatureSet:
             ):
                 aligned.features.append(feature)
                 continue
+            if not feature.labels:
+                # Every value is missing: the local vocabulary is empty,
+                # so there is nothing to remap — only the label tuple
+                # needs to switch to the target's.
+                aligned.features.append(
+                    Feature(feature.name, False, feature.values, target_labels)
+                )
+                continue
             index = {label: code for code, label in enumerate(target_labels)}
             unseen = len(target_labels)
             remap = np.array(

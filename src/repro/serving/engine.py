@@ -1,0 +1,340 @@
+"""Request-level scoring on top of a registered scorer.
+
+:class:`ScoringEngine` turns the batch-oriented
+:class:`~repro.core.deployment.CrashPronenessScorer` into something a
+request/response service can use:
+
+* **validation** — every request row is checked against the scorer's
+  expected input schema (missing columns, numbers where labels belong,
+  and vice versa) before it gets near the model;
+* **micro-batching** — concurrent single-row requests queue into a
+  worker that accumulates up to ``max_batch`` rows or ``max_wait_ms``
+  milliseconds and scores the lot as *one* DataTable pass, amortising
+  per-call overhead exactly the way the study amortises per-threshold
+  work;
+* **LRU result caching** — road segments re-score constantly with
+  unchanged attributes, so results are cached by canonicalised row.
+
+The engine is model-agnostic within the scorer contract: everything it
+needs (input names, column kinds) comes from
+``CrashPronenessScorer.input_schema()``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+
+from repro.core.deployment import CrashPronenessScorer
+from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.exceptions import ServingError
+
+__all__ = ["LRUResultCache", "ScoringEngine"]
+
+_SHUTDOWN = object()
+
+
+class LRUResultCache:
+    """A thread-safe least-recently-used probability cache.
+
+    ``max_size <= 0`` disables caching entirely (every ``get`` misses,
+    ``put`` is a no-op) — the load benchmark uses that to measure the
+    model path rather than dict lookups.
+    """
+
+    def __init__(self, max_size: int = 1024):
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[tuple, float] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: tuple) -> float | None:
+        with self._lock:
+            try:
+                value = self._data.pop(key)
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data[key] = value
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, value: float) -> None:
+        if self.max_size <= 0:
+            return
+        with self._lock:
+            self._data.pop(key, None)
+            self._data[key] = value
+            while len(self._data) > self.max_size:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+class _Pending:
+    """One queued row and the event its caller blocks on."""
+
+    __slots__ = ("row", "probability", "error", "_event")
+
+    def __init__(self, row: dict):
+        self.row = row
+        self.probability: float | None = None
+        self.error: Exception | None = None
+        self._event = threading.Event()
+
+    def resolve(self, probability: float) -> None:
+        self.probability = probability
+        self._event.set()
+
+    def fail(self, error: Exception) -> None:
+        self.error = error
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> float:
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"scoring request timed out after {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        assert self.probability is not None
+        return self.probability
+
+
+class ScoringEngine:
+    """Validating, micro-batching, caching front-end to one scorer.
+
+    Parameters
+    ----------
+    scorer:
+        The loaded :class:`CrashPronenessScorer`.
+    name:
+        Label used in error messages and stats (the registry name).
+    max_batch:
+        Micro-batch size cap; the worker scores as soon as this many
+        rows are queued.
+    max_wait_ms:
+        How long the worker holds an open batch for more arrivals
+        after the first row — the latency price of batching.
+    cache_size:
+        LRU capacity in rows; ``0`` disables the result cache.
+    """
+
+    def __init__(
+        self,
+        scorer: CrashPronenessScorer,
+        name: str = "scorer",
+        max_batch: int = 32,
+        max_wait_ms: float = 5.0,
+        cache_size: int = 1024,
+    ):
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ServingError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.scorer = scorer
+        self.name = name
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.schema = scorer.input_schema()
+        self.input_names = list(self.schema)
+        self.cache = LRUResultCache(cache_size)
+        self.batch_sizes: list[int] = []
+        self.n_scored = 0
+        self._queue: queue.Queue = queue.Queue()
+        self._stopping = False
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name=f"scoring-engine-{name}", daemon=True
+        )
+        self._worker.start()
+
+    # -- validation --------------------------------------------------------
+    def validate_row(self, row: object, index: int = 0) -> dict:
+        """Check one request row against the scorer's input schema."""
+        if not isinstance(row, dict):
+            raise ServingError(
+                f"row {index} must be an object of column values, "
+                f"got {type(row).__name__}"
+            )
+        missing = [n for n in self.input_names if n not in row]
+        if missing:
+            raise ServingError(
+                f"row {index} is missing input column(s) "
+                f"{', '.join(repr(m) for m in missing)}; scorer "
+                f"{self.name!r} expects {self.input_names}"
+            )
+        for column in self.input_names:
+            value = row[column]
+            if value is None:
+                continue
+            kind = self.schema[column]["kind"]
+            if kind == "numeric":
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ServingError(
+                        f"row {index} column {column!r} expects a number, "
+                        f"got {value!r}"
+                    )
+            elif not isinstance(value, str):
+                raise ServingError(
+                    f"row {index} column {column!r} expects a label, "
+                    f"got {value!r}"
+                )
+        return row
+
+    def canonical_key(self, row: dict) -> tuple:
+        """Cache key: input values in schema order, numerics as float."""
+        parts = []
+        for column in self.input_names:
+            value = row[column]
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                value = float(value)
+            parts.append(value)
+        return tuple(parts)
+
+    # -- direct (already-batched) scoring ----------------------------------
+    def score_rows(
+        self, rows: list[dict], validate: bool = True
+    ) -> list[float]:
+        """Score rows in one DataTable pass, consulting the LRU cache."""
+        if validate:
+            for i, row in enumerate(rows):
+                self.validate_row(row, i)
+        results: list[float | None] = [None] * len(rows)
+        keys = [self.canonical_key(row) for row in rows]
+        fresh: OrderedDict[tuple, list[int]] = OrderedDict()
+        for i, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                fresh.setdefault(key, []).append(i)
+        if fresh:
+            table = self._build_table(
+                [rows[indices[0]] for indices in fresh.values()]
+            )
+            probabilities = self.scorer.score(table)
+            for (key, indices), p in zip(fresh.items(), probabilities):
+                value = float(p)
+                self.cache.put(key, value)
+                for i in indices:
+                    results[i] = value
+        self.n_scored += len(rows)
+        return [r for r in results if r is not None]
+
+    def _build_table(self, rows: list[dict]) -> DataTable:
+        """Typed columns straight from the schema — no CSV-style
+        inference, so an all-missing numeric column stays numeric."""
+        columns = []
+        for name in self.input_names:
+            values = [row[name] for row in rows]
+            if self.schema[name]["kind"] == "numeric":
+                columns.append(NumericColumn(name, values))
+            else:
+                # No explicit vocabulary: unseen labels are legal here and
+                # get aligned to the training vocabulary inside the model.
+                columns.append(CategoricalColumn(name, values))
+        return DataTable(columns)
+
+    # -- micro-batched scoring ---------------------------------------------
+    def submit(self, row: dict, index: int = 0) -> _Pending:
+        """Queue one validated row for the micro-batch worker."""
+        if self._closed:
+            raise ServingError(f"engine {self.name!r} is closed")
+        self.validate_row(row, index)
+        pending = _Pending(row)
+        self._queue.put(pending)
+        return pending
+
+    def score_one(self, row: dict, timeout: float | None = 30.0) -> float:
+        """Score a single row through the micro-batcher (blocking)."""
+        return self.submit(row).wait(timeout)
+
+    def score_many(
+        self, rows: list[dict], timeout: float | None = 30.0
+    ) -> list[float]:
+        """Score a request's row list through the micro-batcher.
+
+        All rows are queued before any result is awaited, so one
+        request's rows — and any concurrent requests' rows — can share
+        DataTable passes.
+        """
+        if not isinstance(rows, list) or not rows:
+            raise ServingError("rows must be a non-empty list of objects")
+        pending = [self.submit(row, i) for i, row in enumerate(rows)]
+        return [p.wait(timeout) for p in pending]
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch = [item]
+            deadline = time.monotonic() + self.max_wait_ms / 1000.0
+            while len(batch) < self.max_batch and not self._stopping:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    self._stopping = True
+                    break
+                batch.append(item)
+            self.batch_sizes.append(len(batch))
+            try:
+                probabilities = self.score_rows(
+                    [p.row for p in batch], validate=False
+                )
+            except Exception as exc:  # pragma: no cover - defensive
+                for p in batch:
+                    p.fail(exc)
+            else:
+                for p, probability in zip(batch, probabilities):
+                    p.resolve(probability)
+            if self._stopping:
+                break
+
+    # -- lifecycle & stats -------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker; queued requests are drained first."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=10.0)
+
+    def __enter__(self) -> "ScoringEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Counters for ``GET /metrics``: requests, batches, cache."""
+        sizes = self.batch_sizes
+        return {
+            "rows_scored": self.n_scored,
+            "batches": len(sizes),
+            "max_batch_observed": max(sizes) if sizes else 0,
+            "mean_batch_size": (
+                sum(sizes) / len(sizes) if sizes else float("nan")
+            ),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_size": len(self.cache),
+        }

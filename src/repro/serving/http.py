@@ -1,0 +1,311 @@
+"""Concurrent JSON-over-HTTP scoring service (stdlib only).
+
+:class:`ScoringService` wires a :class:`~repro.serving.registry.ScorerRegistry`
+and per-model :class:`~repro.serving.engine.ScoringEngine` instances
+behind a :class:`http.server.ThreadingHTTPServer`:
+
+* ``GET  /healthz``          — liveness + registry size + uptime;
+* ``GET  /models``           — refresh the registry and list artefacts;
+* ``GET  /metrics``          — per-endpoint request counters / latency
+  percentiles plus per-engine batch and cache stats;
+* ``POST /v1/score``         — ``{"model": ..., "row": {...}}`` → one
+  probability (concurrent calls micro-batch inside the engine);
+* ``POST /v1/score/batch``   — ``{"model": ..., "rows": [...]}`` → a
+  probability per row, scored in shared DataTable passes.
+
+One handler thread per connection (ThreadingHTTPServer) feeds the
+engines' micro-batch queues, which is where the concurrency pays off:
+N in-flight requests become ~N/max_batch model passes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.exceptions import ReproError, ServingError
+from repro.serving.engine import ScoringEngine
+from repro.serving.metrics import RequestMetrics
+from repro.serving.registry import ScorerRegistry
+
+__all__ = ["ScoringService"]
+
+
+def _jsonable(value):
+    """JSON-safe copy: non-finite floats become null (JSON has no NaN)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class ScoringService:
+    """The serving process: registry + engines + HTTP front-end.
+
+    Parameters
+    ----------
+    model_dir:
+        Directory of saved scorer artefacts (or a ready-made
+        :class:`ScorerRegistry`).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (tests).
+    max_batch / max_wait_ms / cache_size:
+        Engine tuning, applied to every model's engine.
+    cutoff:
+        Default probability cutoff for the ``crash_prone`` flag.
+    """
+
+    def __init__(
+        self,
+        model_dir: str | Path | ScorerRegistry,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        max_batch: int = 32,
+        max_wait_ms: float = 5.0,
+        cache_size: int = 1024,
+        cutoff: float = 0.5,
+    ):
+        if isinstance(model_dir, ScorerRegistry):
+            self.registry = model_dir
+        else:
+            self.registry = ScorerRegistry(model_dir)
+        self.registry.refresh()
+        self.host = host
+        self.port = port
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.cache_size = cache_size
+        self.cutoff = cutoff
+        self.metrics = RequestMetrics()
+        self._engines: dict[str, ScoringEngine] = {}
+        self._engines_lock = threading.Lock()
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+
+    # -- engines -----------------------------------------------------------
+    def engine(self, name: str) -> ScoringEngine:
+        """The engine serving ``name``, rebuilt when its artefact changed.
+
+        Engines are keyed by the artefact checksum, so a hot-reloaded
+        model atomically swaps in a fresh engine (and empty cache)
+        while the stale one is drained and closed.
+        """
+        entry = self.registry.get(name)
+        key = f"{entry.key}:{entry.checksum}"
+        with self._engines_lock:
+            stale = None
+            engine = self._engines.get(name)
+            if engine is not None and engine.name != key:
+                stale, engine = engine, None
+            if engine is None:
+                engine = ScoringEngine(
+                    entry.scorer,
+                    name=key,
+                    max_batch=self.max_batch,
+                    max_wait_ms=self.max_wait_ms,
+                    cache_size=self.cache_size,
+                )
+                self._engines[name] = engine
+        if stale is not None:
+            stale.close()
+        return engine
+
+    def _resolve_model(self, requested: object) -> str:
+        if requested is not None:
+            if not isinstance(requested, str):
+                raise ServingError(
+                    f"'model' must be a string, got {requested!r}"
+                )
+            return requested
+        names = self.registry.names()
+        if len(names) == 1:
+            return names[0]
+        available = ", ".join(names) or "none"
+        raise ServingError(
+            f"request must name a 'model' (available: {available})"
+        )
+
+    def _cutoff_from(self, body: dict) -> float:
+        cutoff = body.get("cutoff", self.cutoff)
+        if isinstance(cutoff, bool) or not isinstance(cutoff, (int, float)):
+            raise ServingError(f"'cutoff' must be a number, got {cutoff!r}")
+        if not 0.0 <= cutoff <= 1.0:
+            raise ServingError(f"'cutoff' must be in [0, 1], got {cutoff}")
+        return float(cutoff)
+
+    # -- request handling --------------------------------------------------
+    def handle_get(self, path: str) -> tuple[int, dict]:
+        if path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "models": self.registry.names(),
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "requests": self.metrics.request_count(),
+            }
+        if path == "/models":
+            self.registry.refresh()
+            return 200, {
+                "model_dir": str(self.registry.model_dir),
+                "models": [e.describe() for e in self.registry.entries()],
+            }
+        if path == "/metrics":
+            with self._engines_lock:
+                engines = dict(self._engines)
+            return 200, {
+                "endpoints": self.metrics.summary(),
+                "engines": {
+                    name: engine.stats() for name, engine in engines.items()
+                },
+            }
+        return 404, {"error": f"no route for GET {path}"}
+
+    def handle_post(self, path: str, body: dict) -> tuple[int, dict]:
+        if path == "/v1/score":
+            name = self._resolve_model(body.get("model"))
+            row = body.get("row", body.get("segment"))
+            if row is None:
+                raise ServingError("request body must carry a 'row' object")
+            cutoff = self._cutoff_from(body)
+            engine = self.engine(name)
+            probability = engine.score_one(row)
+            return 200, {
+                "model": name,
+                "threshold": engine.scorer.threshold,
+                "probability": probability,
+                "crash_prone": probability >= cutoff,
+            }
+        if path == "/v1/score/batch":
+            name = self._resolve_model(body.get("model"))
+            rows = body.get("rows")
+            cutoff = self._cutoff_from(body)
+            engine = self.engine(name)
+            probabilities = engine.score_many(rows)
+            return 200, {
+                "model": name,
+                "threshold": engine.scorer.threshold,
+                "count": len(probabilities),
+                "results": [
+                    {"probability": p, "crash_prone": p >= cutoff}
+                    for p in probabilities
+                ],
+            }
+        return 404, {"error": f"no route for POST {path}"}
+
+    # -- lifecycle ---------------------------------------------------------
+    def _make_server(self) -> ThreadingHTTPServer:
+        service = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Buffer each response into one write and disable Nagle:
+            # the default unbuffered wfile emits every header line as
+            # its own TCP segment, which interacts with client delayed
+            # ACKs into a ~40 ms stall per request.
+            wbufsize = -1
+            disable_nagle_algorithm = True
+
+            def log_message(self, *args) -> None:  # quiet by default
+                pass
+
+            def _respond(self, status: int, payload: dict) -> None:
+                data = json.dumps(_jsonable(payload)).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def _dispatch(self, method: str) -> None:
+                endpoint = f"{method} {self.path}"
+                start = time.perf_counter()
+                try:
+                    if method == "GET":
+                        status, payload = service.handle_get(self.path)
+                    else:
+                        length = int(self.headers.get("Content-Length") or 0)
+                        raw = self.rfile.read(length) if length else b""
+                        try:
+                            body = json.loads(raw) if raw else {}
+                        except json.JSONDecodeError as exc:
+                            raise ServingError(
+                                f"request body is not valid JSON: {exc}"
+                            ) from exc
+                        if not isinstance(body, dict):
+                            raise ServingError(
+                                "request body must be a JSON object"
+                            )
+                        status, payload = service.handle_post(self.path, body)
+                except ServingError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except ReproError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except Exception as exc:  # pragma: no cover - defensive
+                    status, payload = 500, {"error": f"internal error: {exc}"}
+                service.metrics.observe(
+                    endpoint,
+                    time.perf_counter() - start,
+                    error=status >= 400,
+                )
+                self._respond(status, payload)
+
+            def do_GET(self) -> None:
+                self._dispatch("GET")
+
+            def do_POST(self) -> None:
+                self._dispatch("POST")
+
+        server = ThreadingHTTPServer((self.host, self.port), Handler)
+        server.daemon_threads = True
+        self.port = server.server_address[1]
+        return server
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ScoringService":
+        """Serve on a background thread (tests, benchmarks)."""
+        if self._server is not None:
+            raise ServingError("service is already running")
+        self._server = self._make_server()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="scoring-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        if self._server is not None:
+            raise ServingError("service is already running")
+        self._server = self._make_server()
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        with self._engines_lock:
+            engines, self._engines = dict(self._engines), {}
+        for engine in engines.values():
+            engine.close()
+
+    def __enter__(self) -> "ScoringService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,121 @@
+"""Per-endpoint request counters and latency histograms.
+
+The serving layer measures itself with the same record types the sweep
+engine uses (:mod:`repro.parallel.timing`): each HTTP endpoint is a
+:class:`~repro.parallel.timing.StageTiming` whose tasks are individual
+requests, so ``--timings``-style rendering, percentile maths and the
+``StageTimings`` aggregate all come for free.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+from repro.parallel.timing import StageTiming, StageTimings, TaskTiming
+
+__all__ = ["RequestMetrics"]
+
+
+class RequestMetrics:
+    """Thread-safe request counters + latency histograms per endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, StageTiming] = {}
+        self._errors: dict[str, int] = {}
+
+    def observe(
+        self, endpoint: str, seconds: float, error: bool = False
+    ) -> None:
+        """Record one request against ``endpoint`` (e.g. ``POST /v1/score``)."""
+        with self._lock:
+            stage = self._stages.get(endpoint)
+            if stage is None:
+                stage = self._stages[endpoint] = StageTiming(stage=endpoint)
+                self._errors[endpoint] = 0
+            stage.tasks.append(
+                TaskTiming(
+                    key=f"{endpoint}#{len(stage.tasks)}", seconds=seconds
+                )
+            )
+            stage.wall_seconds += seconds
+            if error:
+                self._errors[endpoint] += 1
+
+    @contextmanager
+    def timed(self, endpoint: str):
+        """Context manager timing one request; exceptions count as errors."""
+        start = perf_counter()
+        try:
+            yield
+        except Exception:
+            self.observe(endpoint, perf_counter() - start, error=True)
+            raise
+        self.observe(endpoint, perf_counter() - start)
+
+    # -- read side ---------------------------------------------------------
+    def request_count(self, endpoint: str | None = None) -> int:
+        with self._lock:
+            if endpoint is not None:
+                stage = self._stages.get(endpoint)
+                return stage.n_tasks if stage is not None else 0
+            return sum(s.n_tasks for s in self._stages.values())
+
+    def error_count(self, endpoint: str | None = None) -> int:
+        with self._lock:
+            if endpoint is not None:
+                return self._errors.get(endpoint, 0)
+            return sum(self._errors.values())
+
+    def summary(self) -> dict[str, dict]:
+        """endpoint → counters + latency percentiles, for ``GET /metrics``."""
+        with self._lock:
+            out: dict[str, dict] = {}
+            for endpoint in sorted(self._stages):
+                stage = self._stages[endpoint]
+                record = stage.latency_summary()
+                record["errors"] = self._errors[endpoint]
+                out[endpoint] = record
+            return out
+
+    def to_stage_timings(self) -> StageTimings:
+        """The whole request log as a sweep-style ``StageTimings``."""
+        with self._lock:
+            return StageTimings(
+                backend="serving",
+                n_jobs=1,
+                stages=[
+                    StageTiming(
+                        stage=s.stage,
+                        wall_seconds=s.wall_seconds,
+                        tasks=list(s.tasks),
+                    )
+                    for s in self._stages.values()
+                ],
+            )
+
+    def render(self) -> str:
+        """Fixed-width latency table (milliseconds), one row per endpoint."""
+        from repro.core.reporting import render_table
+
+        rows = []
+        for endpoint, record in self.summary().items():
+            rows.append(
+                [
+                    endpoint,
+                    record["count"],
+                    record["errors"],
+                    f"{1000 * record['mean']:.2f}",
+                    f"{1000 * record['p50']:.2f}",
+                    f"{1000 * record['p95']:.2f}",
+                    f"{1000 * record['p99']:.2f}",
+                ]
+            )
+        return render_table(
+            ["endpoint", "requests", "errors", "mean ms", "p50 ms",
+             "p95 ms", "p99 ms"],
+            rows,
+            title="Request metrics",
+        )

@@ -1,0 +1,189 @@
+"""Versioned scorer artefact registry with hot reload.
+
+A road authority's serving host keeps its trained
+:class:`~repro.core.deployment.CrashPronenessScorer` artefacts in one
+model directory; :class:`ScorerRegistry` is the in-process view of that
+directory.  It discovers ``*.json`` artefacts, keys each by *name*
+(the file stem) plus the artefact's *format version*, verifies the
+embedded checksum, and rejects — loudly, naming the file — anything
+saved under a stale ``SCORER_FORMAT_VERSION``.
+
+Hot reload is stat-based: :meth:`get` re-stats the backing file on
+every lookup and transparently reloads when its ``(mtime_ns, size)``
+changed, so a deploy can drop a retrained artefact into the directory
+and the next request serves it.  A deleted file drops its entry and the
+lookup fails with the remaining names.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.deployment import CrashPronenessScorer
+from repro.exceptions import ReproError, ServingError
+
+__all__ = ["RegisteredScorer", "ScorerRegistry"]
+
+
+@dataclass(frozen=True)
+class RegisteredScorer:
+    """One discovered artefact: the loaded scorer plus its provenance."""
+
+    name: str
+    version: int
+    path: Path
+    checksum: str
+    scorer: CrashPronenessScorer
+    mtime_ns: int
+    size: int
+    loaded_at: float
+
+    @property
+    def key(self) -> str:
+        """The registry key: ``name@v<format version>``."""
+        return f"{self.name}@v{self.version}"
+
+    def describe(self) -> dict:
+        """The ``GET /models`` row for this entry."""
+        scorer = self.scorer
+        return {
+            "name": self.name,
+            "key": self.key,
+            "format_version": self.version,
+            "checksum": self.checksum,
+            "path": str(self.path),
+            "threshold": scorer.threshold,
+            "n_leaves": scorer.model.n_leaves,
+            "has_regression": scorer.regression is not None,
+            "inputs": list(scorer.input_schema()),
+            "validation": {
+                k: scorer.validation[k]
+                for k in ("mcpv", "kappa", "roc_area")
+                if k in scorer.validation
+            },
+        }
+
+
+class ScorerRegistry:
+    """Discovers, versions and hot-reloads scorer artefacts in a directory.
+
+    Parameters
+    ----------
+    model_dir:
+        Directory holding ``save()``-produced scorer JSON files.  A
+        missing directory is a :class:`ServingError` — a serving host
+        with nothing to serve is misconfigured, not empty.
+    pattern:
+        Glob selecting artefact files (default ``*.json``).
+    """
+
+    def __init__(self, model_dir: str | Path, pattern: str = "*.json"):
+        self.model_dir = Path(model_dir)
+        self.pattern = pattern
+        self._entries: dict[str, RegisteredScorer] = {}
+        self.n_loads = 0
+        self.n_refreshes = 0
+        if not self.model_dir.is_dir():
+            raise ServingError(
+                f"model directory {self.model_dir} does not exist"
+            )
+
+    # -- discovery ---------------------------------------------------------
+    def refresh(self) -> list[str]:
+        """Re-scan the directory; returns the names (re)loaded.
+
+        New files are loaded, changed files reloaded, deleted files
+        dropped.  Any artefact that fails validation — bad JSON, stale
+        format version, checksum mismatch — aborts the refresh with a
+        :class:`ServingError` naming the file: a serving host must not
+        silently skip half its fleet.
+        """
+        self.n_refreshes += 1
+        paths = {p.stem: p for p in sorted(self.model_dir.glob(self.pattern))}
+        for name in list(self._entries):
+            if name not in paths:
+                del self._entries[name]
+        loaded = []
+        for name, path in paths.items():
+            entry = self._entries.get(name)
+            stat = path.stat()
+            if (
+                entry is not None
+                and entry.mtime_ns == stat.st_mtime_ns
+                and entry.size == stat.st_size
+            ):
+                continue
+            self._entries[name] = self._load(name, path)
+            loaded.append(name)
+        return loaded
+
+    def _load(self, name: str, path: Path) -> RegisteredScorer:
+        stat = path.stat()
+        try:
+            scorer = CrashPronenessScorer.load(path)
+        except ServingError:
+            raise
+        except ReproError as exc:
+            raise ServingError(f"cannot register scorer {name!r}: {exc}") from exc
+        payload = scorer.to_dict()
+        self.n_loads += 1
+        return RegisteredScorer(
+            name=name,
+            version=payload["format_version"],
+            path=path,
+            checksum=payload["checksum"],
+            scorer=scorer,
+            mtime_ns=stat.st_mtime_ns,
+            size=stat.st_size,
+            loaded_at=time.time(),
+        )
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, name: str, version: int | None = None) -> RegisteredScorer:
+        """The entry for ``name``, hot-reloading if its file changed.
+
+        ``version`` pins an expected format version; a mismatch is a
+        :class:`ServingError` rather than a silently different model.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            self.refresh()
+            entry = self._entries.get(name)
+            if entry is None:
+                available = ", ".join(self.names()) or "none"
+                raise ServingError(
+                    f"no scorer named {name!r} in {self.model_dir} "
+                    f"(available: {available})"
+                )
+        try:
+            stat = entry.path.stat()
+        except OSError:
+            del self._entries[name]
+            available = ", ".join(self.names()) or "none"
+            raise ServingError(
+                f"scorer {name!r} was removed from {self.model_dir} "
+                f"(available: {available})"
+            ) from None
+        if stat.st_mtime_ns != entry.mtime_ns or stat.st_size != entry.size:
+            entry = self._load(name, entry.path)
+            self._entries[name] = entry
+        if version is not None and entry.version != version:
+            raise ServingError(
+                f"scorer {name!r} has format version {entry.version}, "
+                f"request pinned v{version}"
+            )
+        return entry
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def entries(self) -> list[RegisteredScorer]:
+        return [self._entries[name] for name in self.names()]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries

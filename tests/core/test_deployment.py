@@ -1,9 +1,12 @@
 """Tests for the deployable crash-proneness scorer."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core import CrashPronenessScorer
+from repro.core.deployment import payload_checksum
 from repro.exceptions import ReproError
 
 
@@ -78,8 +81,84 @@ class TestPersistence:
             scorer.score(small_dataset.segment_table),
         )
 
+    def test_roundtrip_scores_bit_identical(self, small_dataset, tmp_path):
+        """Scores survive the process boundary bit-for-bit, regression
+        tree included."""
+        scorer = CrashPronenessScorer.train(
+            small_dataset.crash_instances,
+            threshold=8,
+            seed=4,
+            with_regression=True,
+        )
+        path = tmp_path / "scorer.json"
+        scorer.save(path)
+        clone = CrashPronenessScorer.load(path)
+        table = small_dataset.segment_table
+        assert np.array_equal(clone.score(table), scorer.score(table))
+        assert clone.regression is not None
+        assert np.array_equal(
+            clone.score_regression(table), scorer.score_regression(table)
+        )
+        # A second hop must be byte-stable too (checksums identical).
+        path2 = tmp_path / "scorer2.json"
+        clone.save(path2)
+        assert path.read_text() == path2.read_text()
+
+    def test_regression_absent_by_default(self, scorer, small_dataset):
+        assert scorer.regression is None
+        with pytest.raises(ReproError, match="with_regression"):
+            scorer.score_regression(small_dataset.segment_table)
+
     def test_version_check(self, scorer):
         data = scorer.to_dict()
         data["format_version"] = 99
         with pytest.raises(ReproError, match="version"):
             CrashPronenessScorer.from_dict(data)
+
+    def test_version_error_names_file(self, scorer, tmp_path):
+        path = tmp_path / "stale.json"
+        data = scorer.to_dict()
+        data["format_version"] = 0
+        path.write_text(json.dumps(data, allow_nan=True))
+        with pytest.raises(ReproError, match="stale.json"):
+            CrashPronenessScorer.load(path)
+
+    def test_missing_file_error_names_file(self, tmp_path):
+        with pytest.raises(ReproError, match="nowhere.json"):
+            CrashPronenessScorer.load(tmp_path / "nowhere.json")
+
+    def test_corrupt_json_error_names_file(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{this is not json")
+        with pytest.raises(ReproError, match="corrupt.json"):
+            CrashPronenessScorer.load(path)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ReproError, match="JSON object"):
+            CrashPronenessScorer.load(path)
+
+    def test_checksum_embedded_and_verified(self, scorer, tmp_path):
+        payload = scorer.to_dict()
+        assert payload["checksum"] == payload_checksum(payload)
+        path = tmp_path / "tampered.json"
+        payload["threshold"] = 99  # tamper after checksumming
+        path.write_text(json.dumps(payload, allow_nan=True))
+        with pytest.raises(ReproError, match="checksum mismatch"):
+            CrashPronenessScorer.load(path)
+
+
+class TestInputSchema:
+    def test_schema_covers_model_inputs(self, scorer):
+        schema = scorer.input_schema()
+        assert list(schema) == scorer.model.input_names
+        assert schema["skid_resistance_f60"] == {"kind": "numeric"}
+        assert schema["terrain"]["kind"] == "categorical"
+        assert set(schema["terrain"]["levels"]) >= {"flat"}
+
+    def test_schema_persisted_in_artefact(self, scorer, tmp_path):
+        path = tmp_path / "scorer.json"
+        scorer.save(path)
+        data = json.loads(path.read_text())
+        assert data["input_schema"] == scorer.input_schema()

@@ -122,3 +122,29 @@ class TestTargets:
         sub = features.subset(np.array([0, 2]))
         assert sub.n_rows == 2
         assert sub.input_names == features.input_names
+
+
+class TestVocabularyAlignment:
+    def test_aligned_to_remaps_codes(self, table):
+        features = FeatureSet(table, "target")
+        aligned = features.aligned_to({"cls": ("b", "a")})
+        (cls,) = [f for f in aligned.features if f.name == "cls"]
+        assert cls.labels == ("b", "a")
+        assert cls.values.tolist() == [1, 0, 1, 0]
+
+    def test_aligned_to_all_missing_column(self):
+        # An all-missing categorical has an empty local vocabulary;
+        # alignment must adopt the target labels without indexing into
+        # an empty remap table.
+        table = DataTable(
+            [
+                NumericColumn("f60", [0.5, 0.6]),
+                CategoricalColumn("cls", [None, None]),
+                CategoricalColumn("target", ["n", "p"], ("n", "p")),
+            ]
+        )
+        features = FeatureSet(table, "target")
+        aligned = features.aligned_to({"cls": ("a", "b")})
+        (cls,) = [f for f in aligned.features if f.name == "cls"]
+        assert cls.labels == ("a", "b")
+        assert cls.values.tolist() == [-1, -1]

@@ -1,0 +1,58 @@
+"""Tests for the percentile extensions to the stage timing records."""
+
+import math
+
+import pytest
+
+from repro.parallel import StageTiming, TaskTiming
+
+
+def _stage(seconds: list[float]) -> StageTiming:
+    return StageTiming(
+        stage="stage",
+        wall_seconds=sum(seconds),
+        tasks=[TaskTiming(key=f"t{i}", seconds=s) for i, s in enumerate(seconds)],
+    )
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        stage = _stage([float(v) for v in range(1, 11)])
+        assert stage.percentile(50) == 5.0
+        assert stage.percentile(90) == 9.0
+        assert stage.percentile(100) == 10.0
+
+    def test_extremes(self):
+        stage = _stage([3.0, 1.0, 2.0])
+        assert stage.percentile(0) == 1.0
+        assert stage.percentile(100) == 3.0
+
+    def test_single_task(self):
+        stage = _stage([0.5])
+        assert stage.percentile(50) == 0.5
+        assert stage.percentile(99) == 0.5
+
+    def test_empty_is_nan(self):
+        assert math.isnan(StageTiming(stage="s").percentile(50))
+
+    def test_out_of_range_rejected(self):
+        stage = _stage([1.0])
+        with pytest.raises(ValueError, match="percentile"):
+            stage.percentile(101)
+        with pytest.raises(ValueError, match="percentile"):
+            stage.percentile(-1)
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        stage = _stage([0.01, 0.02, 0.03, 0.04])
+        record = stage.latency_summary()
+        assert record["count"] == 4
+        assert record["mean"] == pytest.approx(0.025)
+        assert record["max"] == 0.04
+        assert record["p50"] <= record["p95"] <= record["p99"] <= record["max"]
+
+    def test_empty_summary(self):
+        record = StageTiming(stage="s").latency_summary()
+        assert record["count"] == 0
+        assert math.isnan(record["p99"])

@@ -1,0 +1,41 @@
+"""Serving-layer fixtures.
+
+One scorer is trained per session (training is deterministic and
+~0.2 s) and saved into a session model directory that registry /
+service tests treat as the deploy root.  Tests that mutate artefacts
+copy into their own ``tmp_path`` instead of touching this one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import CrashPronenessScorer
+
+
+@pytest.fixture(scope="session")
+def serving_scorer(small_dataset) -> CrashPronenessScorer:
+    return CrashPronenessScorer.train(
+        small_dataset.crash_instances,
+        threshold=8,
+        seed=11,
+        metadata={"note": "serving-tests"},
+    )
+
+
+@pytest.fixture(scope="session")
+def model_dir(tmp_path_factory, serving_scorer):
+    path = tmp_path_factory.mktemp("models")
+    serving_scorer.save(path / "cp8.json")
+    return path
+
+
+@pytest.fixture(scope="session")
+def segment_rows(small_dataset, serving_scorer) -> list[dict]:
+    """Request-shaped rows: segment attributes only, in schema order."""
+    expected = list(serving_scorer.input_schema())
+    table = small_dataset.segment_table
+    return [
+        {name: row[name] for name in expected}
+        for row in (table.row(i) for i in range(60))
+    ]

@@ -1,0 +1,85 @@
+"""Tests for per-endpoint request metrics."""
+
+import threading
+
+import pytest
+
+from repro.serving import RequestMetrics
+
+
+class TestObserve:
+    def test_counts_per_endpoint(self):
+        metrics = RequestMetrics()
+        for _ in range(3):
+            metrics.observe("POST /v1/score", 0.01)
+        metrics.observe("GET /healthz", 0.001)
+        assert metrics.request_count("POST /v1/score") == 3
+        assert metrics.request_count("GET /healthz") == 1
+        assert metrics.request_count() == 4
+
+    def test_error_counter(self):
+        metrics = RequestMetrics()
+        metrics.observe("POST /v1/score", 0.01)
+        metrics.observe("POST /v1/score", 0.01, error=True)
+        assert metrics.error_count("POST /v1/score") == 1
+        assert metrics.error_count() == 1
+
+    def test_timed_context_manager(self):
+        metrics = RequestMetrics()
+        with metrics.timed("GET /models"):
+            pass
+        assert metrics.request_count("GET /models") == 1
+        assert metrics.error_count("GET /models") == 0
+
+    def test_timed_counts_exceptions_as_errors(self):
+        metrics = RequestMetrics()
+        with pytest.raises(ValueError):
+            with metrics.timed("GET /models"):
+                raise ValueError("boom")
+        assert metrics.error_count("GET /models") == 1
+
+    def test_thread_safety(self):
+        metrics = RequestMetrics()
+
+        def hammer():
+            for _ in range(200):
+                metrics.observe("POST /v1/score", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.request_count("POST /v1/score") == 1600
+
+
+class TestSummaries:
+    def test_percentiles_ordered(self):
+        metrics = RequestMetrics()
+        for ms in range(1, 101):
+            metrics.observe("POST /v1/score", ms / 1000.0)
+        record = metrics.summary()["POST /v1/score"]
+        assert record["count"] == 100
+        assert record["p50"] == 0.050
+        assert record["p95"] == 0.095
+        assert record["p99"] == 0.099
+        assert record["max"] == 0.100
+        assert record["p50"] <= record["p95"] <= record["p99"] <= record["max"]
+
+    def test_to_stage_timings_roundtrip(self):
+        metrics = RequestMetrics()
+        metrics.observe("POST /v1/score", 0.02)
+        metrics.observe("POST /v1/score", 0.04)
+        timings = metrics.to_stage_timings()
+        assert timings.backend == "serving"
+        stage = timings.stage("POST /v1/score")
+        assert stage.n_tasks == 2
+        assert stage.wall_seconds == pytest.approx(0.06)
+
+    def test_render_contains_endpoints(self):
+        metrics = RequestMetrics()
+        metrics.observe("POST /v1/score", 0.02)
+        metrics.observe("GET /healthz", 0.001)
+        text = metrics.render()
+        assert "POST /v1/score" in text
+        assert "p95 ms" in text

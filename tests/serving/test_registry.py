@@ -1,0 +1,136 @@
+"""Tests for the versioned scorer registry."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.core.deployment import SCORER_FORMAT_VERSION
+from repro.exceptions import ServingError
+from repro.serving import ScorerRegistry
+
+
+def _copy_artefact(model_dir, tmp_path, name="cp8.json"):
+    target = tmp_path / "models"
+    target.mkdir()
+    shutil.copy(model_dir / name, target / name)
+    return target
+
+
+def _bump_mtime(path):
+    stat = path.stat()
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+
+class TestDiscovery:
+    def test_refresh_discovers_artefacts(self, model_dir):
+        registry = ScorerRegistry(model_dir)
+        assert registry.refresh() == ["cp8"]
+        assert registry.names() == ["cp8"]
+        assert "cp8" in registry and len(registry) == 1
+
+    def test_missing_directory_fails_loud(self, tmp_path):
+        with pytest.raises(ServingError, match="does not exist"):
+            ScorerRegistry(tmp_path / "nowhere")
+
+    def test_refresh_is_idempotent(self, model_dir):
+        registry = ScorerRegistry(model_dir)
+        registry.refresh()
+        assert registry.refresh() == []
+        assert registry.n_loads == 1
+
+    def test_entry_provenance(self, model_dir, serving_scorer):
+        registry = ScorerRegistry(model_dir)
+        registry.refresh()
+        entry = registry.get("cp8")
+        assert entry.key == f"cp8@v{SCORER_FORMAT_VERSION}"
+        assert entry.version == SCORER_FORMAT_VERSION
+        assert entry.checksum == serving_scorer.to_dict()["checksum"]
+        described = entry.describe()
+        assert described["threshold"] == 8
+        assert described["inputs"] == list(serving_scorer.input_schema())
+
+
+class TestLookup:
+    def test_get_unknown_name_lists_available(self, model_dir):
+        registry = ScorerRegistry(model_dir)
+        with pytest.raises(ServingError, match="available: cp8"):
+            registry.get("cp99")
+
+    def test_get_loads_lazily(self, model_dir):
+        # get() without a prior refresh() still finds the artefact.
+        registry = ScorerRegistry(model_dir)
+        assert registry.get("cp8").name == "cp8"
+
+    def test_version_pin_mismatch(self, model_dir):
+        registry = ScorerRegistry(model_dir)
+        assert registry.get("cp8", version=SCORER_FORMAT_VERSION)
+        with pytest.raises(ServingError, match="pinned v99"):
+            registry.get("cp8", version=99)
+
+
+class TestHotReload:
+    def test_changed_file_is_reloaded(
+        self, model_dir, tmp_path, serving_scorer
+    ):
+        target = _copy_artefact(model_dir, tmp_path)
+        registry = ScorerRegistry(target)
+        before = registry.get("cp8")
+
+        payload = serving_scorer.to_dict()
+        payload["metadata"] = dict(payload["metadata"], revision=2)
+        del payload["checksum"]  # re-derived below
+        from repro.core.deployment import payload_checksum
+
+        payload["checksum"] = payload_checksum(payload)
+        path = target / "cp8.json"
+        path.write_text(json.dumps(payload, allow_nan=True))
+        _bump_mtime(path)
+
+        after = registry.get("cp8")
+        assert after.scorer.metadata["revision"] == 2
+        assert after.loaded_at >= before.loaded_at
+        assert registry.n_loads == 2
+
+    def test_unchanged_file_is_not_reloaded(self, model_dir, tmp_path):
+        target = _copy_artefact(model_dir, tmp_path)
+        registry = ScorerRegistry(target)
+        first = registry.get("cp8")
+        assert registry.get("cp8") is first
+
+    def test_deleted_file_drops_entry(self, model_dir, tmp_path):
+        target = _copy_artefact(model_dir, tmp_path)
+        registry = ScorerRegistry(target)
+        registry.get("cp8")
+        (target / "cp8.json").unlink()
+        with pytest.raises(ServingError, match="removed"):
+            registry.get("cp8")
+        assert "cp8" not in registry
+
+
+class TestValidation:
+    def test_stale_format_version_names_file(self, model_dir, tmp_path):
+        target = _copy_artefact(model_dir, tmp_path)
+        path = target / "cp8.json"
+        data = json.loads(path.read_text())
+        data["format_version"] = 0
+        path.write_text(json.dumps(data, allow_nan=True))
+        with pytest.raises(ServingError, match=r"cp8\.json") as excinfo:
+            ScorerRegistry(target).refresh()
+        assert "format version 0" in str(excinfo.value)
+
+    def test_checksum_mismatch_rejected(self, model_dir, tmp_path):
+        target = _copy_artefact(model_dir, tmp_path)
+        path = target / "cp8.json"
+        data = json.loads(path.read_text())
+        data["threshold"] = 4  # tamper without re-checksumming
+        path.write_text(json.dumps(data, allow_nan=True))
+        with pytest.raises(ServingError, match="checksum mismatch"):
+            ScorerRegistry(target).refresh()
+
+    def test_corrupt_json_rejected(self, model_dir, tmp_path):
+        target = _copy_artefact(model_dir, tmp_path)
+        (target / "cp8.json").write_text("{not json")
+        with pytest.raises(ServingError, match="not valid JSON"):
+            ScorerRegistry(target).refresh()

@@ -1,5 +1,7 @@
 """End-to-end tests of the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,9 +17,19 @@ class TestParser:
             "calibrate",
             "train",
             "score",
+            "serve",
             "wetdry",
         ):
             assert command in text
+
+    def test_serve_options_registered(self):
+        args = build_parser().parse_args(
+            ["serve", "models", "--port", "0", "--max-batch", "8"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.max_batch == 8
+        assert args.max_wait_ms == 5.0
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -88,6 +100,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Top 5 treatment candidates" in out
         assert "expected crash-prone km" in out
+
+    def test_score_json_and_out(self, tmp_path, capsys):
+        model_path = tmp_path / "scorer.json"
+        assert main(
+            ["train", str(model_path), "--segments", "1200", "--seed", "5"]
+        ) == 0
+        out_dir = tmp_path / "data"
+        main(["generate", str(out_dir), "--segments", "400", "--seed", "6"])
+        capsys.readouterr()
+        scored_csv = tmp_path / "scored.csv"
+        code = main(
+            [
+                "score",
+                str(model_path),
+                str(out_dir / "segments.csv"),
+                "--top", "5",
+                "--json",
+                "--out", str(scored_csv),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["threshold"] == 8
+        assert len(payload["results"]) == 5
+        first = payload["results"][0]
+        assert set(first) == {
+            "rank", "segment_id", "probability", "crash_prone",
+        }
+
+        from repro.datatable import read_csv
+
+        scored = read_csv(scored_csv)
+        assert scored.n_rows == 400
+        assert scored.column_names == [
+            "rank", "segment_id", "probability", "crash_prone",
+        ]
+        probabilities = scored.numeric("probability")
+        assert ((probabilities >= 0) & (probabilities <= 1)).all()
+        # The CSV is ranked descending and agrees with the JSON head.
+        assert float(probabilities[0]) == first["probability"]
 
     def test_wetdry(self, capsys):
         code = main(["wetdry", "--segments", "1500", "--seed", "4"])

@@ -16,9 +16,13 @@ class TestPublicApi:
         import repro.datatable as datatable
         import repro.evaluation as evaluation
         import repro.mining as mining
+        import repro.parallel as parallel
         import repro.roads as roads
+        import repro.serving as serving
 
-        for module in (core, datatable, evaluation, mining, roads):
+        for module in (
+            core, datatable, evaluation, mining, parallel, roads, serving
+        ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
 
