@@ -9,7 +9,7 @@ Python:
 * ``calibrate`` — re-derive the crash-process calibration;
 * ``train`` — train and save a deployable crash-proneness scorer;
 * ``score`` — score a segment CSV with a saved scorer (table, JSON or
-  CSV output);
+  CSV output; ``--bulk`` shards the pass across a process pool);
 * ``serve`` — serve a directory of scorers over HTTP;
 * ``wetdry`` — the stage-1 wet/dry differentiation analysis.
 """
@@ -95,6 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON instead of the text table",
     )
+    score.add_argument(
+        "--bulk",
+        action="store_true",
+        help="shard the scoring pass across a process pool "
+        "(identical output, lower wall clock on big files)",
+    )
+    score.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="bulk workers: 0 = all cores (default), N = pool of N; "
+        "only used with --bulk",
+    )
 
     serve = sub.add_parser("serve", help="serve scorers over HTTP")
     serve.add_argument("model_dir", type=Path)
@@ -117,6 +130,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="LRU result cache capacity in rows (0 disables)",
+    )
+    serve.add_argument(
+        "--bulk-jobs",
+        type=int,
+        default=1,
+        help="worker processes for sharded /v1/score/batch requests "
+        "(1 disables sharding, 0 = all cores)",
+    )
+    serve.add_argument(
+        "--bulk-threshold",
+        type=int,
+        default=2048,
+        help="minimum batch rows before a request shards across "
+        "the bulk process pool",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="refuse request bodies above this size with HTTP 413 "
+        "(0 disables the limit)",
     )
 
     wet = sub.add_parser("wetdry", help="wet/dry crash differentiation")
@@ -232,7 +266,13 @@ def _cmd_train(args) -> int:
 def _cmd_score(args) -> int:
     scorer = CrashPronenessScorer.load(args.model_path)
     table = read_csv(args.segments_csv)
-    ranked_all = scorer.treatment_list(table)
+    if args.bulk:
+        from repro.serving.bulk import score_table_sharded
+
+        probabilities = score_table_sharded(scorer, table, n_jobs=args.jobs)
+    else:
+        probabilities = scorer.score(table)
+    ranked_all = scorer.treatment_list(table, probabilities=probabilities)
     ranked = ranked_all[: args.top] if args.top is not None else ranked_all
     if args.out is not None:
         from repro.datatable import DataTable
@@ -258,7 +298,7 @@ def _cmd_score(args) -> int:
                 "model": scorer.describe(),
                 "threshold": scorer.threshold,
                 "n_segments": table.n_rows,
-                "expected_prone_km": scorer.expected_prone_km(table),
+                "expected_prone_km": float(probabilities.sum()),
                 "results": [
                     {
                         "rank": s.rank,
@@ -283,7 +323,7 @@ def _cmd_score(args) -> int:
     ))
     print(
         f"expected crash-prone km across the file: "
-        f"{scorer.expected_prone_km(table):.0f}"
+        f"{probabilities.sum():.0f}"
     )
     return 0
 
@@ -298,6 +338,9 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         cache_size=args.cache_size,
+        bulk_jobs=args.bulk_jobs,
+        bulk_threshold=args.bulk_threshold,
+        max_body_bytes=args.max_body_bytes,
     )
     names = ", ".join(service.registry.names()) or "none"
     print(f"serving {len(service.registry)} scorer(s) [{names}]")

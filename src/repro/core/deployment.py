@@ -147,18 +147,33 @@ class CrashPronenessScorer:
         segment_table: DataTable,
         top: int | None = None,
         cutoff: float = 0.5,
+        probabilities: np.ndarray | None = None,
     ) -> list[SegmentScore]:
         """Segments ranked by predicted crash-proneness.
 
         ``segment_table`` must carry ``segment_id`` plus the model's
         input attributes.  Returns the ``top`` highest-probability
         segments (all, if ``top`` is None), ranked descending.
+
+        ``probabilities`` short-circuits the scoring pass with
+        already-computed per-row scores (the CLI's sharded bulk path
+        uses this to rank without re-scoring); they must align with
+        ``segment_table`` row for row.
         """
         if "segment_id" not in segment_table:
             raise ReproError(
                 "treatment_list requires a 'segment_id' column"
             )
-        probabilities = self.score(segment_table)
+        if probabilities is None:
+            probabilities = self.score(segment_table)
+        else:
+            probabilities = np.asarray(probabilities, dtype=np.float64)
+            if probabilities.shape != (segment_table.n_rows,):
+                raise ReproError(
+                    f"precomputed probabilities have shape "
+                    f"{probabilities.shape}, expected "
+                    f"({segment_table.n_rows},)"
+                )
         ids = segment_table.numeric("segment_id").astype(int)
         order = np.argsort(-probabilities, kind="stable")
         if top is not None:

@@ -179,7 +179,13 @@ def fit_tree_models(
     train_fraction: float,
     repeats: int,
 ) -> TreeModelResult:
-    """Fit the paper's regression + decision tree pair at one threshold."""
+    """Fit the paper's regression + decision tree pair at one threshold.
+
+    The validation scans (``predict_proba`` / ``predict`` on the held-out
+    split) run through each tree's compiled scoring plan
+    (:mod:`repro.mining.tree.compile`), which is bit-identical to the
+    interpreted router — the pooled Table 3/4 statistics are unaffected.
+    """
     pooled_actual: list[np.ndarray] = []
     pooled_scores: list[np.ndarray] = []
     pooled_regression: list[np.ndarray] = []

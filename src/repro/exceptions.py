@@ -65,5 +65,10 @@ class ServingError(ReproError):
     """A model-serving request or registry operation could not be satisfied."""
 
 
+class TreeCompileError(ReproError):
+    """A fitted tree (or persisted plan) could not be lowered to the
+    compiled scoring fast path; callers fall back to interpreted routing."""
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative fit stopped at its iteration cap before converging."""

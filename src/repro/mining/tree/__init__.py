@@ -1,6 +1,7 @@
 """Tree family: chi-square decision trees, F-test regression trees,
 M5 model trees, plus the shared growth / routing / rule machinery."""
 
+from repro.mining.tree.compile import PlanInput, TreePlan, compile_tree
 from repro.mining.tree.decision_tree import DecisionTreeClassifier
 from repro.mining.tree.growth import GrownTree, TreeConfig, grow_tree
 from repro.mining.tree.m5 import M5ModelTree
@@ -43,4 +44,7 @@ __all__ = [
     "iter_nodes",
     "iter_leaves",
     "route_rows",
+    "PlanInput",
+    "TreePlan",
+    "compile_tree",
 ]

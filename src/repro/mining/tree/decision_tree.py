@@ -12,13 +12,14 @@ import numpy as np
 from repro.datatable import DataTable
 from repro.mining.base import BinaryClassifier
 from repro.mining.features import FeatureSet
+from repro.mining.tree.compile import CompiledScoringMixin
 from repro.mining.tree.growth import GrownTree, TreeConfig, grow_tree
-from repro.mining.tree.structure import TreeNode, iter_leaves, route_rows
+from repro.mining.tree.structure import TreeNode, iter_leaves
 
 __all__ = ["DecisionTreeClassifier"]
 
 
-class DecisionTreeClassifier(BinaryClassifier):
+class DecisionTreeClassifier(CompiledScoringMixin, BinaryClassifier):
     """CHAID-flavoured chi-square classification tree.
 
     Parameters
@@ -43,6 +44,7 @@ class DecisionTreeClassifier(BinaryClassifier):
         y, labels = features.binary_target()
         self.class_labels = labels
         self._tree = grow_tree(features, y, self.config, mode="chi2")
+        self._reset_plan()
 
     # -- structure -------------------------------------------------------
     @property
@@ -72,13 +74,13 @@ class DecisionTreeClassifier(BinaryClassifier):
     # -- prediction ---------------------------------------------------------
     def predict_proba(self, table: DataTable) -> np.ndarray:
         features = self._features_for(table)
-        probabilities, _leaves = route_rows(self.root, features)
+        probabilities, _leaves = self._route(features)
         return probabilities
 
     def apply(self, table: DataTable) -> np.ndarray:
         """Leaf id reached by every row (for rule analysis)."""
         features = self._features_for(table)
-        _probabilities, leaves = route_rows(self.root, features)
+        _probabilities, leaves = self._route(features)
         return leaves
 
     def leaf_summary(self) -> list[dict]:
@@ -115,6 +117,7 @@ class DecisionTreeClassifier(BinaryClassifier):
             "n_nodes": self._tree.n_nodes,
             "depth": self._tree.depth,
             "tree": node_to_dict(self._tree.root),
+            "scoring_plan": self._plan_payload(),
         }
 
     @classmethod
@@ -143,4 +146,5 @@ class DecisionTreeClassifier(BinaryClassifier):
             for name, labels in data.get("vocabularies", {}).items()
         }
         model._fitted = True
+        model._adopt_plan_payload(data)
         return model

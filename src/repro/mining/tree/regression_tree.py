@@ -19,13 +19,14 @@ from repro.datatable import DataTable
 from repro.evaluation.metrics import r_squared
 from repro.mining.base import Regressor
 from repro.mining.features import FeatureSet
+from repro.mining.tree.compile import CompiledScoringMixin
 from repro.mining.tree.growth import GrownTree, TreeConfig, grow_tree
-from repro.mining.tree.structure import TreeNode, iter_leaves, route_rows
+from repro.mining.tree.structure import TreeNode, iter_leaves
 
 __all__ = ["RegressionTree"]
 
 
-class RegressionTree(Regressor):
+class RegressionTree(CompiledScoringMixin, Regressor):
     """F-test regression tree (interval target)."""
 
     def __init__(self, config: TreeConfig | None = None):
@@ -36,6 +37,7 @@ class RegressionTree(Regressor):
     def _fit(self, features: FeatureSet) -> None:
         y = features.interval_target()
         self._tree = grow_tree(features, y, self.config, mode="f")
+        self._reset_plan()
 
     # -- structure ---------------------------------------------------------
     @property
@@ -65,13 +67,13 @@ class RegressionTree(Regressor):
     # -- prediction -------------------------------------------------------------
     def predict(self, table: DataTable) -> np.ndarray:
         features = self._features_for(table)
-        predictions, _leaves = route_rows(self.root, features)
+        predictions, _leaves = self._route(features)
         return predictions
 
     def apply(self, table: DataTable) -> np.ndarray:
         """Leaf id reached by every row."""
         features = self._features_for(table)
-        _predictions, leaves = route_rows(self.root, features)
+        _predictions, leaves = self._route(features)
         return leaves
 
     def score_r_squared(self, table: DataTable) -> float:
@@ -114,6 +116,7 @@ class RegressionTree(Regressor):
             "n_nodes": self._tree.n_nodes,
             "depth": self._tree.depth,
             "tree": node_to_dict(self._tree.root),
+            "scoring_plan": self._plan_payload(),
         }
 
     @classmethod
@@ -140,4 +143,5 @@ class RegressionTree(Regressor):
             for name, labels in data.get("vocabularies", {}).items()
         }
         model._fitted = True
+        model._adopt_plan_payload(data)
         return model

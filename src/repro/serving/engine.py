@@ -22,18 +22,26 @@ needs (input names, column kinds) comes from
 
 from __future__ import annotations
 
+import math
 import queue
 import threading
 import time
 from collections import OrderedDict
 
 from repro.core.deployment import CrashPronenessScorer
-from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.datatable import DataTable
 from repro.exceptions import ServingError
+from repro.serving.bulk import build_request_table, score_rows_sharded
 
 __all__ = ["LRUResultCache", "ScoringEngine"]
 
 _SHUTDOWN = object()
+
+#: Stand-in for NaN in cache keys.  ``float("nan")`` is unusable as a
+#: dict key component: NaN != NaN, so every lookup missed and every
+#: miss inserted another never-hittable entry.  The sentinel restores
+#: normal hashing while staying distinct from every real value.
+_NAN_KEY = "__nan__"
 
 
 class LRUResultCache:
@@ -128,6 +136,13 @@ class ScoringEngine:
         after the first row — the latency price of batching.
     cache_size:
         LRU capacity in rows; ``0`` disables the result cache.
+    bulk_jobs:
+        Worker processes for :meth:`score_batch`'s sharded path;
+        ``1`` (default) keeps every batch in-process.
+    bulk_threshold:
+        Minimum batch row count before :meth:`score_batch` shards
+        across the process pool; smaller batches stay on the
+        micro-batcher, whose latency they benefit from.
     """
 
     def __init__(
@@ -137,20 +152,33 @@ class ScoringEngine:
         max_batch: int = 32,
         max_wait_ms: float = 5.0,
         cache_size: int = 1024,
+        bulk_jobs: int = 1,
+        bulk_threshold: int = 2048,
     ):
         if max_batch < 1:
             raise ServingError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
             raise ServingError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if bulk_threshold < 1:
+            raise ServingError(
+                f"bulk_threshold must be >= 1, got {bulk_threshold}"
+            )
         self.scorer = scorer
         self.name = name
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.bulk_jobs = bulk_jobs
+        self.bulk_threshold = bulk_threshold
         self.schema = scorer.input_schema()
         self.input_names = list(self.schema)
         self.cache = LRUResultCache(cache_size)
         self.batch_sizes: list[int] = []
         self.n_scored = 0
+        self.bulk_batches = 0
+        self.bulk_rows = 0
+        self._bulk_executor = None
+        self._bulk_payload: dict | None = None
+        self._bulk_lock = threading.Lock()
         self._queue: queue.Queue = queue.Queue()
         self._stopping = False
         self._closed = False
@@ -195,12 +223,17 @@ class ScoringEngine:
         return row
 
     def canonical_key(self, row: dict) -> tuple:
-        """Cache key: input values in schema order, numerics as float."""
+        """Cache key: input values in schema order, numerics as float.
+
+        NaN becomes a sentinel — as a raw key component it can never
+        hit (NaN compares unequal to itself), which both defeated the
+        cache for missing-value rows and let duplicates accumulate.
+        """
         parts = []
         for column in self.input_names:
             value = row[column]
             if isinstance(value, (int, float)) and not isinstance(value, bool):
-                value = float(value)
+                value = _NAN_KEY if math.isnan(value) else float(value)
             parts.append(value)
         return tuple(parts)
 
@@ -226,27 +259,32 @@ class ScoringEngine:
                 [rows[indices[0]] for indices in fresh.values()]
             )
             probabilities = self.scorer.score(table)
+            if len(probabilities) != len(fresh):
+                raise ServingError(
+                    f"scorer {self.name!r} returned {len(probabilities)} "
+                    f"probabilities for {len(fresh)} distinct rows"
+                )
             for (key, indices), p in zip(fresh.items(), probabilities):
                 value = float(p)
                 self.cache.put(key, value)
                 for i in indices:
                     results[i] = value
+        # Every slot must be filled by the cache or the fresh pass.
+        # The old ``[r for r in results if r is not None]`` filter
+        # silently *dropped* unfilled slots, shifting every later
+        # probability onto the wrong row; losing a row is an internal
+        # invariant violation and must be loud.
+        unfilled = [i for i, r in enumerate(results) if r is None]
+        if unfilled:
+            raise ServingError(
+                f"engine {self.name!r} lost row(s) {unfilled[:5]} of "
+                f"{len(rows)} in a scoring pass"
+            )
         self.n_scored += len(rows)
-        return [r for r in results if r is not None]
+        return results  # fully populated: list[float]
 
     def _build_table(self, rows: list[dict]) -> DataTable:
-        """Typed columns straight from the schema — no CSV-style
-        inference, so an all-missing numeric column stays numeric."""
-        columns = []
-        for name in self.input_names:
-            values = [row[name] for row in rows]
-            if self.schema[name]["kind"] == "numeric":
-                columns.append(NumericColumn(name, values))
-            else:
-                # No explicit vocabulary: unseen labels are legal here and
-                # get aligned to the training vocabulary inside the model.
-                columns.append(CategoricalColumn(name, values))
-        return DataTable(columns)
+        return build_request_table(rows, self.schema)
 
     # -- micro-batched scoring ---------------------------------------------
     def submit(self, row: dict, index: int = 0) -> _Pending:
@@ -275,6 +313,54 @@ class ScoringEngine:
             raise ServingError("rows must be a non-empty list of objects")
         pending = [self.submit(row, i) for i, row in enumerate(rows)]
         return [p.wait(timeout) for p in pending]
+
+    # -- process-sharded bulk scoring ---------------------------------------
+    def _bulk_eligible(self, rows: list) -> bool:
+        return (
+            self.bulk_jobs != 1
+            and len(rows) >= self.bulk_threshold
+        )
+
+    def _ensure_bulk_executor(self):
+        # Imported lazily so the serial engine never touches the pool
+        # machinery; created once and reused across batch requests.
+        from repro.parallel import SweepExecutor
+
+        with self._bulk_lock:
+            if self._closed:
+                raise ServingError(f"engine {self.name!r} is closed")
+            if self._bulk_executor is None:
+                self._bulk_executor = SweepExecutor(n_jobs=self.bulk_jobs)
+            if self._bulk_payload is None:
+                self._bulk_payload = self.scorer.to_dict()
+            return self._bulk_executor, self._bulk_payload
+
+    def score_batch(
+        self, rows: list[dict], timeout: float | None = 30.0
+    ) -> list[float]:
+        """Score a batch request, sharding big ones across processes.
+
+        Batches below ``bulk_threshold`` (or with ``bulk_jobs=1``) go
+        through the micro-batcher exactly as :meth:`score_many`.
+        Bigger ones are validated here, cut into contiguous shards and
+        scored on the bulk process pool with worker-cached scorers —
+        results come back in request order, element-for-element
+        identical to the single-process path.  The sharded path
+        bypasses the LRU cache: a network-wide re-score would only
+        evict the interactive working set.
+        """
+        if not isinstance(rows, list) or not rows:
+            raise ServingError("rows must be a non-empty list of objects")
+        if not self._bulk_eligible(rows):
+            return self.score_many(rows, timeout)
+        for i, row in enumerate(rows):
+            self.validate_row(row, i)
+        executor, payload = self._ensure_bulk_executor()
+        probabilities = score_rows_sharded(payload, rows, executor)
+        self.bulk_batches += 1
+        self.bulk_rows += len(rows)
+        self.n_scored += len(rows)
+        return probabilities
 
     def _run(self) -> None:
         while True:
@@ -317,6 +403,10 @@ class ScoringEngine:
         self._closed = True
         self._queue.put(_SHUTDOWN)
         self._worker.join(timeout=10.0)
+        with self._bulk_lock:
+            executor, self._bulk_executor = self._bulk_executor, None
+        if executor is not None:
+            executor.shutdown()
 
     def __enter__(self) -> "ScoringEngine":
         return self
@@ -337,4 +427,8 @@ class ScoringEngine:
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_size": len(self.cache),
+            "bulk_jobs": self.bulk_jobs,
+            "bulk_threshold": self.bulk_threshold,
+            "bulk_batches": self.bulk_batches,
+            "bulk_rows": self.bulk_rows,
         }

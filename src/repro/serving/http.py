@@ -58,8 +58,15 @@ class ScoringService:
         Bind address; ``port=0`` picks an ephemeral port (tests).
     max_batch / max_wait_ms / cache_size:
         Engine tuning, applied to every model's engine.
+    bulk_jobs / bulk_threshold:
+        Process-sharded bulk scoring for ``/v1/score/batch``: batches
+        of at least ``bulk_threshold`` rows shard across ``bulk_jobs``
+        worker processes (``1`` disables sharding).
     cutoff:
         Default probability cutoff for the ``crash_prone`` flag.
+    max_body_bytes:
+        Request bodies above this size are refused with HTTP 413
+        before a byte is read; ``0`` disables the limit.
     """
 
     def __init__(
@@ -71,7 +78,14 @@ class ScoringService:
         max_wait_ms: float = 5.0,
         cache_size: int = 1024,
         cutoff: float = 0.5,
+        bulk_jobs: int = 1,
+        bulk_threshold: int = 2048,
+        max_body_bytes: int = 8 * 1024 * 1024,
     ):
+        if max_body_bytes < 0:
+            raise ServingError(
+                f"max_body_bytes must be >= 0, got {max_body_bytes}"
+            )
         if isinstance(model_dir, ScorerRegistry):
             self.registry = model_dir
         else:
@@ -83,6 +97,9 @@ class ScoringService:
         self.max_wait_ms = max_wait_ms
         self.cache_size = cache_size
         self.cutoff = cutoff
+        self.bulk_jobs = bulk_jobs
+        self.bulk_threshold = bulk_threshold
+        self.max_body_bytes = max_body_bytes
         self.metrics = RequestMetrics()
         self._engines: dict[str, ScoringEngine] = {}
         self._engines_lock = threading.Lock()
@@ -112,6 +129,8 @@ class ScoringService:
                     max_batch=self.max_batch,
                     max_wait_ms=self.max_wait_ms,
                     cache_size=self.cache_size,
+                    bulk_jobs=self.bulk_jobs,
+                    bulk_threshold=self.bulk_threshold,
                 )
                 self._engines[name] = engine
         if stale is not None:
@@ -187,7 +206,9 @@ class ScoringService:
             rows = body.get("rows")
             cutoff = self._cutoff_from(body)
             engine = self.engine(name)
-            probabilities = engine.score_many(rows)
+            # Small batches micro-batch; big ones shard across the
+            # bulk process pool (see ScoringEngine.score_batch).
+            probabilities = engine.score_batch(rows)
             return 200, {
                 "model": name,
                 "threshold": engine.scorer.threshold,
@@ -231,6 +252,24 @@ class ScoringService:
                         status, payload = service.handle_get(self.path)
                     else:
                         length = int(self.headers.get("Content-Length") or 0)
+                        limit = service.max_body_bytes
+                        if limit and length > limit:
+                            # Refuse before reading; the unread body
+                            # would desynchronise keep-alive, so the
+                            # connection is closed after responding.
+                            self.close_connection = True
+                            service.metrics.observe(
+                                endpoint,
+                                time.perf_counter() - start,
+                                error=True,
+                            )
+                            self._respond(413, {
+                                "error": (
+                                    f"request body of {length} bytes "
+                                    f"exceeds the {limit}-byte limit"
+                                ),
+                            })
+                            return
                         raw = self.rfile.read(length) if length else b""
                         try:
                             body = json.loads(raw) if raw else {}

@@ -162,6 +162,22 @@ class TestResultCache:
             segment_rows[0]
         )
 
+    def test_nan_valued_rows_hit_the_cache(self, engine, segment_rows):
+        """NaN inputs canonicalise to a sentinel: as a raw key part a
+        NaN can never hit (NaN != NaN), so missing-value rows used to
+        re-score every time and pile up duplicate cache entries."""
+        numeric = next(
+            name
+            for name, spec in engine.schema.items()
+            if spec["kind"] == "numeric"
+        )
+        row = dict(segment_rows[0], **{numeric: float("nan")})
+        assert engine.canonical_key(row) == engine.canonical_key(dict(row))
+        engine.score_rows([row])
+        engine.score_rows([dict(row)])
+        assert engine.cache.hits == 1
+        assert len(engine.cache) == 1
+
     def test_lru_eviction(self):
         cache = LRUResultCache(max_size=2)
         cache.put(("a",), 0.1)
@@ -182,6 +198,26 @@ class TestResultCache:
             assert len(engine.cache) == 0
         finally:
             engine.close()
+
+
+class TestIntegrity:
+    def test_short_scorer_output_is_loud(self, engine, segment_rows):
+        """A scoring pass that loses rows must raise, not silently
+        drop slots and shift later probabilities onto wrong rows."""
+        original = engine.scorer.score
+        engine.scorer.score = lambda table: original(table)[:-1]
+        try:
+            with pytest.raises(ServingError, match="probabilities"):
+                engine.score_rows(segment_rows[:4])
+        finally:
+            engine.scorer.score = original
+
+    def test_score_rows_returns_one_result_per_row(
+        self, engine, segment_rows
+    ):
+        results = engine.score_rows(segment_rows[:7])
+        assert len(results) == 7
+        assert all(isinstance(p, float) for p in results)
 
 
 class TestStats:

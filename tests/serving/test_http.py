@@ -146,6 +146,32 @@ class TestErrors:
         )
         assert code == 400 and "cutoff" in body["error"]
 
+    def test_oversized_body_413(self, model_dir, segment_rows):
+        with ScoringService(
+            model_dir, port=0, max_body_bytes=2048
+        ).start() as service:
+            # Far past the limit: ~60 rows of ~10 columns of JSON.
+            code, body = _post_error(
+                service, "/v1/score/batch", {"rows": segment_rows}
+            )
+            assert code == 413
+            assert "exceeds" in body["error"] and "2048" in body["error"]
+            assert service.metrics.error_count("POST /v1/score/batch") == 1
+            # The connection-refusing path must not wedge the service.
+            ok = _post(service, "/v1/score", {"row": segment_rows[0]})
+            assert 0.0 <= ok["probability"] <= 1.0
+
+    def test_body_limit_zero_disables_the_check(self, model_dir, segment_rows):
+        with ScoringService(
+            model_dir, port=0, max_body_bytes=0
+        ).start() as service:
+            body = _post(service, "/v1/score/batch", {"rows": segment_rows})
+            assert body["count"] == len(segment_rows)
+
+    def test_negative_body_limit_rejected(self, model_dir):
+        with pytest.raises(ServingError, match="max_body_bytes"):
+            ScoringService(model_dir, max_body_bytes=-1)
+
     def test_errors_counted_in_metrics(self, service):
         _post_error(service, "/v1/score", {})
         assert service.metrics.error_count("POST /v1/score") == 1
@@ -220,6 +246,38 @@ class TestEndToEndParity:
             engine = service.engine("cp8")
             assert max(engine.batch_sizes) > 1
             assert sum(engine.batch_sizes) == 36
+
+
+class TestShardedBatchThroughService:
+    def test_sharded_batch_equals_unsharded_element_for_element(
+        self, model_dir, segment_rows
+    ):
+        """Acceptance: /v1/score/batch answers are byte-identical
+        whether or not the request sharded across the process pool."""
+        payload = {"rows": segment_rows}
+        with ScoringService(model_dir, port=0).start() as service:
+            unsharded = _post(service, "/v1/score/batch", payload)
+        with ScoringService(
+            model_dir, port=0, bulk_jobs=3, bulk_threshold=10
+        ).start() as service:
+            sharded = _post(service, "/v1/score/batch", payload)
+            engine = service.engine("cp8")
+            assert engine.bulk_batches == 1
+            assert engine.bulk_rows == len(segment_rows)
+        assert sharded["count"] == unsharded["count"] == len(segment_rows)
+        assert sharded["results"] == unsharded["results"]
+
+    def test_below_threshold_requests_do_not_shard(
+        self, model_dir, segment_rows
+    ):
+        with ScoringService(
+            model_dir, port=0, bulk_jobs=2, bulk_threshold=1000
+        ).start() as service:
+            body = _post(
+                service, "/v1/score/batch", {"rows": segment_rows[:6]}
+            )
+            assert body["count"] == 6
+            assert service.engine("cp8").bulk_batches == 0
 
 
 class TestHotReloadThroughService:
