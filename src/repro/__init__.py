@@ -27,6 +27,11 @@ Subpackages
     The deployment layer: versioned scorer registry with hot reload,
     a validating / micro-batching / caching scoring engine, and a
     concurrent JSON-over-HTTP service with request metrics.
+``repro.analysis``
+    Project-specific static analysis (``repro-study lint``): AST rules
+    for determinism, lock hygiene, numeric safety, exception hygiene
+    and resource hygiene, with justified inline suppressions and a
+    fingerprint baseline.
 
 Quick start
 -----------

@@ -1,0 +1,40 @@
+"""repro.analysis — project-specific static analysis.
+
+An AST-based lint engine with rules targeting this reproduction's real
+hazards: determinism (REP001), lock hygiene (REP002), numeric safety
+(REP003), exception hygiene (REP004) and resource hygiene (REP005).
+Run it as ``repro-study lint [paths]`` or ``python -m repro.analysis``;
+suppress a finding inline with ``# repro: ignore[REPxxx] -- why``.
+
+Pure stdlib (``ast`` + ``tokenize``): importing this package pulls in
+none of the numeric stack, so the lint CI job stays dependency-light.
+"""
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.engine import (
+    LintReport,
+    analyze_paths,
+    analyze_source,
+    discover_files,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ENGINE_RULE_ID, RULES, rule_catalog
+from repro.analysis.suppressions import Suppression, scan_suppressions
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "ENGINE_RULE_ID",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Suppression",
+    "analyze_paths",
+    "analyze_source",
+    "discover_files",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "scan_suppressions",
+]

@@ -1,0 +1,114 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the analyzer land on a codebase with existing debt:
+findings recorded in the baseline file are reported as *baselined*
+(informational) rather than failing the run, while anything new fails.
+Matching is by :meth:`Finding.fingerprint` — line-number free — with a
+per-fingerprint count so two identical offences on one line of debt do
+not grandfather a third.
+
+The repo's policy (ISSUE 4) is an **empty** baseline at merge: the file
+exists to support future grandfathering, not to hide current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.exceptions import AnalysisError
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint multiset with load/save round-tripping."""
+
+    def __init__(self, counts: Counter | None = None):
+        self.counts: Counter = Counter(counts or {})
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(f.fingerprint() for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(
+                f"baseline file {path} is not valid JSON: {exc}"
+            ) from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format_version") != _FORMAT_VERSION
+            or not isinstance(payload.get("findings"), list)
+        ):
+            raise AnalysisError(
+                f"baseline file {path} has an unrecognised layout; "
+                f"regenerate it with --write-baseline"
+            )
+        counts: Counter = Counter()
+        for entry in payload["findings"]:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise AnalysisError(
+                    f"baseline file {path} contains a malformed entry: "
+                    f"{entry!r}"
+                )
+            counts[entry["fingerprint"]] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: str | Path, findings: list[Finding]) -> None:
+        """Write ``findings`` as the new baseline (sorted, annotated)."""
+        grouped: dict[str, dict] = {}
+        for finding in sorted(findings):
+            fp = finding.fingerprint()
+            if fp in grouped:
+                grouped[fp]["count"] += 1
+            else:
+                grouped[fp] = {
+                    "fingerprint": fp,
+                    "count": 1,
+                    "rule": finding.rule_id,
+                    "path": finding.path,
+                    "message": finding.message,
+                }
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "tool": "repro.analysis",
+            "findings": list(grouped.values()),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        self.counts = Counter(
+            {fp: entry["count"] for fp, entry in grouped.items()}
+        )
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (new, baselined) against the multiset."""
+        remaining = Counter(self.counts)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if remaining[fp] > 0:
+                remaining[fp] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

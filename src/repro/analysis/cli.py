@@ -1,0 +1,92 @@
+"""Command-line front-end: ``repro-study lint`` and ``python -m repro.analysis``.
+
+Exit codes are CI-friendly:
+
+* ``0`` — no reportable findings (baselined/suppressed don't count);
+* ``1`` — at least one finding;
+* ``2`` — usage or configuration error (unknown rule, bad baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.engine import analyze_paths
+from repro.analysis.reporters import render_json, render_text
+from repro.exceptions import AnalysisError
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by both CLI entry points)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all), "
+        "e.g. --select REP001,REP004",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE_NAME}; a missing file is empty)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments."""
+    select = (
+        [rule_id.strip() for rule_id in args.select.split(",") if rule_id.strip()]
+        if args.select
+        else None
+    )
+    try:
+        baseline = Baseline.load(args.baseline)
+        report = analyze_paths(args.paths, select=select, baseline=baseline)
+        if args.write_baseline:
+            baseline.save(args.baseline, report.findings + report.baselined)
+            print(
+                f"wrote {len(baseline)} finding(s) to {args.baseline}",
+                file=sys.stderr,
+            )
+            return EXIT_CLEAN
+    except AnalysisError as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    print(render_json(report) if args.json else render_text(report))
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis (rules REP001-REP005)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

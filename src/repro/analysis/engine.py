@@ -1,0 +1,170 @@
+"""The lint engine: file discovery, rule dispatch, suppressions, baseline.
+
+Per file the engine parses the AST once, runs every selected rule over
+it, then reconciles three layers of policy:
+
+1. **suppressions** — ``# repro: ignore[REPxxx] -- why`` on the
+   finding's line silences it; unjustified, malformed or *unused*
+   pragmas are engine findings (``REP000``), so the suppression
+   mechanism cannot rot into a mute button;
+2. **baseline** — findings fingerprint-matched against the committed
+   baseline are demoted to informational;
+3. everything left is a reportable finding and fails the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ENGINE_RULE_ID, RULES, FileContext
+from repro.analysis.suppressions import scan_suppressions
+from repro.exceptions import AnalysisError
+
+__all__ = ["LintReport", "analyze_source", "analyze_paths", "discover_files"]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    n_suppressed: int = 0
+    checked_files: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _select_rules(select: list[str] | None) -> list:
+    if select is None:
+        return [RULES[rule_id] for rule_id in sorted(RULES)]
+    unknown = [rule_id for rule_id in select if rule_id not in RULES]
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(RULES))}"
+        )
+    return [RULES[rule_id] for rule_id in sorted(set(select))]
+
+
+def analyze_source(
+    source: str,
+    path: str = "<memory>",
+    select: list[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one source string → (findings, n_suppressed).
+
+    Suppressions are applied; the baseline is the caller's concern.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 0),
+                rule_id=ENGINE_RULE_ID,
+                message=f"file does not parse: {exc.msg}",
+                snippet=(exc.text or "").rstrip(),
+            )
+        ], 0
+
+    ctx = FileContext(path, source, tree)
+    raw: list[Finding] = []
+    for rule in _select_rules(select):
+        raw.extend(rule.check(ctx))
+
+    pragmas = scan_suppressions(source)
+    kept: list[Finding] = []
+    n_suppressed = 0
+    for finding in raw:
+        pragma = pragmas.get(finding.line)
+        if pragma is not None and pragma.covers(finding.rule_id):
+            pragma.used_for.add(finding.rule_id)
+            n_suppressed += 1
+        else:
+            kept.append(finding)
+
+    for pragma in pragmas.values():
+        for problem in pragma.problems():
+            kept.append(
+                Finding(
+                    path=path,
+                    line=pragma.line,
+                    col=1,
+                    rule_id=ENGINE_RULE_ID,
+                    message=problem,
+                    snippet=ctx.snippet_line(pragma.line),
+                )
+            )
+        if pragma.rule_ids and not pragma.used_for and pragma.justified:
+            unused = ", ".join(pragma.rule_ids)
+            kept.append(
+                Finding(
+                    path=path,
+                    line=pragma.line,
+                    col=1,
+                    rule_id=ENGINE_RULE_ID,
+                    message=(
+                        f"unused suppression [{unused}]: no such finding "
+                        "on this line; remove the stale pragma"
+                    ),
+                    snippet=ctx.snippet_line(pragma.line),
+                )
+            )
+    return sorted(kept), n_suppressed
+
+
+def discover_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw_path in paths:
+        path = Path(raw_path)
+        if path.is_dir():
+            files.update(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    select: list[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint files/directories and reconcile against ``baseline``."""
+    report = LintReport()
+    all_findings: list[Finding] = []
+    for file_path in discover_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings, n_suppressed = analyze_source(
+            source, path=str(file_path), select=select
+        )
+        all_findings.extend(findings)
+        report.n_suppressed += n_suppressed
+        report.checked_files.append(str(file_path))
+    if baseline is None:
+        baseline = Baseline()
+    report.findings, report.baselined = baseline.partition(
+        sorted(all_findings)
+    )
+    return report

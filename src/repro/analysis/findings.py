@@ -1,0 +1,53 @@
+"""The unit of lint output: one :class:`Finding` per rule violation.
+
+A finding pins a rule to a source location and carries the offending
+line so reporters (and the baseline) never need to re-read the file.
+Fingerprints are deliberately *line-number free*: they hash the path,
+rule and normalised snippet, so unrelated edits above a grandfathered
+finding do not churn the committed baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        payload = "\x1f".join(
+            (self.path, self.rule_id, " ".join(self.snippet.split()))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """``path:line:col: REPxxx message`` plus the offending line."""
+        location = f"{self.path}:{self.line}:{self.col}"
+        text = f"{location}: {self.rule_id} {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet.strip()}"
+        return text

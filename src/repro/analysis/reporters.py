@@ -1,0 +1,71 @@
+"""Text and JSON renderings of a :class:`~repro.analysis.engine.LintReport`.
+
+The text reporter is for humans at a terminal; the JSON reporter is the
+machine surface (CI annotations, dashboards) with a versioned schema:
+
+.. code-block:: json
+
+    {
+      "format_version": 1,
+      "tool": "repro.analysis",
+      "clean": false,
+      "checked_files": 42,
+      "rules": {"REP001": "determinism: ..."},
+      "findings": [
+        {"path": "...", "line": 1, "col": 1, "rule": "REP001",
+         "message": "...", "snippet": "...", "fingerprint": "..."}
+      ],
+      "summary": {"total": 1, "by_rule": {"REP001": 1},
+                  "baselined": 0, "suppressed": 3}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+from repro.analysis.rules import rule_catalog
+
+__all__ = ["render_text", "render_json", "JSON_FORMAT_VERSION"]
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: findings, then a one-line verdict."""
+    blocks = [finding.render() for finding in report.findings]
+    tail = (
+        f"checked {len(report.checked_files)} file(s): "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.n_suppressed} suppressed"
+    )
+    if report.findings:
+        by_rule = ", ".join(
+            f"{rule_id}={count}"
+            for rule_id, count in report.counts_by_rule().items()
+        )
+        tail += f" [{by_rule}]"
+    blocks.append(tail)
+    return "\n".join(blocks)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (schema documented in the module docstring)."""
+    payload = {
+        "format_version": JSON_FORMAT_VERSION,
+        "tool": "repro.analysis",
+        "clean": report.clean,
+        "checked_files": len(report.checked_files),
+        "rules": rule_catalog(),
+        "findings": [f.to_dict() for f in report.findings],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "summary": {
+            "total": len(report.findings),
+            "by_rule": report.counts_by_rule(),
+            "baselined": len(report.baselined),
+            "suppressed": report.n_suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2)

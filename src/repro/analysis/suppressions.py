@@ -1,0 +1,96 @@
+"""Inline suppression pragmas: ``# repro: ignore[REPxxx] -- why``.
+
+A pragma on a line silences the named rules *for that line only* and
+must carry a justification after ``--``; an unjustified or unused
+pragma is itself a finding (rule ``REP000``), so suppressions stay
+honest — every one in the tree points at a real, argued-for exception.
+
+Comments are located with :mod:`tokenize`, never by substring search,
+so pragma-shaped text inside string literals (for instance the regular
+expression below, when this file lints itself) is not mistaken for a
+suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "scan_suppressions", "PRAGMA_PATTERN"]
+
+#: Accepts the single-rule form and multi-rule / justified forms such
+#: as ignoring "REP002, REP005" with a reason after the double dash.
+PRAGMA_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore"
+    r"(?:\[(?P<rules>[^\]]*)\])?"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+_RULE_ID = re.compile(r"^REP\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One parsed pragma comment."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+    #: Rule ids that actually silenced a finding (filled by the engine).
+    used_for: set = field(default_factory=set)
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification)
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rule_ids
+
+    def problems(self) -> list[str]:
+        """Engine-level complaints about the pragma itself."""
+        issues = []
+        if not self.rule_ids:
+            issues.append(
+                "suppression must name the rule(s) it silences, e.g. "
+                "'# repro: ignore[REP001] -- why'"
+            )
+        for rule_id in self.rule_ids:
+            if not _RULE_ID.match(rule_id):
+                issues.append(f"malformed rule id {rule_id!r} in suppression")
+        if not self.justified:
+            issues.append(
+                "suppression requires a justification after '--'"
+            )
+        return issues
+
+
+def scan_suppressions(source: str) -> dict[int, Suppression]:
+    """line number → parsed pragma, for every pragma comment in ``source``.
+
+    Sources that fail to tokenise yield no suppressions; the parse
+    error itself is reported by the engine, not here.
+    """
+    pragmas: dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip()
+            for part in (match.group("rules") or "").split(",")
+            if part.strip()
+        )
+        pragmas[token.start[0]] = Suppression(
+            line=token.start[0],
+            rule_ids=rules,
+            justification=(match.group("why") or "").strip(),
+        )
+    return pragmas

@@ -11,7 +11,8 @@ Python:
 * ``score`` — score a segment CSV with a saved scorer (table, JSON or
   CSV output; ``--bulk`` shards the pass across a process pool);
 * ``serve`` — serve a directory of scorers over HTTP;
-* ``wetdry`` — the stage-1 wet/dry differentiation analysis.
+* ``wetdry`` — the stage-1 wet/dry differentiation analysis;
+* ``lint`` — run the project's static-analysis rules (REP001–REP005).
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.core import CrashPronenessStudy
 from repro.core.deployment import CrashPronenessScorer
 from repro.core.reporting import render_series, render_table
@@ -156,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     wet = sub.add_parser("wetdry", help="wet/dry crash differentiation")
     wet.add_argument("--seed", type=int, default=0)
     wet.add_argument("--segments", type=int, default=6000)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project static-analysis rules (REP001-REP005)",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -378,6 +386,7 @@ _COMMANDS = {
     "score": _cmd_score,
     "serve": _cmd_serve,
     "wetdry": _cmd_wetdry,
+    "lint": run_lint,
 }
 
 

@@ -183,7 +183,7 @@ def attribute_crash_correlations(
         if isinstance(column, NumericColumn):
             values = column.values
             mask = ~np.isnan(values) & ~np.isnan(counts)
-            if mask.sum() < 3 or values[mask].std() == 0:
+            if mask.sum() < 3 or values[mask].std() == 0:  # repro: ignore[REP003] -- exact zero std means a constant column; Pearson is undefined only then
                 continue
             pearson = float(np.corrcoef(values[mask], counts[mask])[0, 1])
             spearman = float(

@@ -56,7 +56,7 @@ from repro.core.thresholds import (
 )
 from repro.datatable import DataTable
 from repro.evaluation import cross_val_scores, r_squared, train_valid_split
-from repro.exceptions import EvaluationError
+from repro.exceptions import ConfigurationError, EvaluationError
 from repro.mining import (
     DecisionTreeClassifier,
     LogisticRegressionClassifier,
@@ -240,7 +240,7 @@ def _supporting_factory(model: str, model_seed: int):
         return lambda: LogisticRegressionClassifier()
     if model == "neural":
         return lambda: NeuralNetworkClassifier(epochs=150, seed=model_seed)
-    raise ValueError(
+    raise ConfigurationError(
         f"model must be one of {sorted(_SUPPORTING_MODELS)}, got {model!r}"
     )
 
@@ -317,7 +317,7 @@ class CrashPronenessStudy:
         repeats: int = 1,
     ):
         if repeats < 1:
-            raise ValueError(f"repeats must be >= 1, got {repeats}")
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
         self.dataset = dataset
         self.tree_config = tree_config
         self.train_fraction = train_fraction

@@ -25,8 +25,10 @@ from repro.datatable.column import (
 )
 from repro.datatable.schema import TableSchema
 from repro.exceptions import (
+    ConfigurationError,
     EmptyTableError,
     MissingColumnError,
+    RowIndexError,
     SchemaError,
 )
 
@@ -168,7 +170,7 @@ class DataTable:
     def row(self, index: int) -> dict[str, object]:
         """One row as a plain dict (labels / floats / None)."""
         if not -self._n_rows <= index < self._n_rows:
-            raise IndexError(
+            raise RowIndexError(
                 f"row index {index} out of range for table of {self._n_rows} rows"
             )
         if index < 0:
@@ -232,7 +234,7 @@ class DataTable:
         if indices.size and (
             indices.min() < -self._n_rows or indices.max() >= self._n_rows
         ):
-            raise IndexError(
+            raise RowIndexError(
                 f"take indices out of range for table of {self._n_rows} rows"
             )
         return DataTable(
@@ -335,7 +337,7 @@ class DataTable:
         targets, where a plain split can starve the minority class.
         """
         if not 0.0 < train_fraction < 1.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"train_fraction must be in (0, 1), got {train_fraction}"
             )
         if self._n_rows < 2:

@@ -40,6 +40,39 @@ class EmptyTableError(ReproError):
     """An operation that requires rows was applied to an empty table."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """A parameter carries an invalid value (bad k, ratio, backend, ...).
+
+    Also a :class:`ValueError` so call sites that predate the hierarchy
+    (and external code following numpy convention) keep working.
+    """
+
+
+class RowIndexError(ReproError, IndexError):
+    """A row index or slice is out of range for the table."""
+
+
+class StageNotFoundError(ReproError, KeyError):
+    """A timing record lookup named a stage that was never timed."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"no stage named {name!r} was timed")
+
+    def __str__(self) -> str:  # KeyError would repr() the args tuple
+        return self.args[0]
+
+
+class KernelBuildError(ReproError, RuntimeError):
+    """The native scoring kernel could not be compiled or loaded."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis engine was misconfigured (bad rule id,
+    unreadable baseline, missing path) — distinct from findings, which
+    are results, not errors."""
+
+
 class NotFittedError(ReproError):
     """``predict``/``transform`` was called before ``fit``."""
 

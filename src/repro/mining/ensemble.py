@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datatable import DataTable
-from repro.exceptions import FitError
+from repro.exceptions import ConfigurationError, FitError
 from repro.mining.base import BinaryClassifier
 from repro.mining.features import FeatureSet
 from repro.mining.tree.decision_tree import DecisionTreeClassifier
@@ -50,7 +50,7 @@ class BaggedTreesClassifier(BinaryClassifier):
     ):
         super().__init__()
         if n_estimators < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"n_estimators must be >= 1, got {n_estimators}"
             )
         self.n_estimators = n_estimators

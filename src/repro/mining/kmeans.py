@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datatable import DataTable
-from repro.exceptions import FitError, NotFittedError
+from repro.exceptions import ConfigurationError, FitError, NotFittedError
 from repro.mining.features import FeatureSet
 from repro.mining.preprocessing import MatrixEncoder
 
@@ -48,9 +48,9 @@ class KMeans:
         seed: int = 0,
     ):
         if n_clusters < 1:
-            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+            raise ConfigurationError(f"n_clusters must be >= 1, got {n_clusters}")
         if n_init < 1:
-            raise ValueError(f"n_init must be >= 1, got {n_init}")
+            raise ConfigurationError(f"n_init must be >= 1, got {n_init}")
         self.n_clusters = n_clusters
         self.max_iterations = max_iterations
         self.tolerance = tolerance

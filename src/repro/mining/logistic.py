@@ -14,7 +14,7 @@ import warnings
 import numpy as np
 
 from repro.datatable import DataTable
-from repro.exceptions import ConvergenceWarning, FitError
+from repro.exceptions import ConfigurationError, ConvergenceWarning, FitError
 from repro.mining.base import BinaryClassifier
 from repro.mining.features import FeatureSet
 from repro.mining.preprocessing import MatrixEncoder
@@ -42,7 +42,7 @@ class LogisticRegressionClassifier(BinaryClassifier):
     ):
         super().__init__()
         if ridge < 0:
-            raise ValueError(f"ridge must be >= 0, got {ridge}")
+            raise ConfigurationError(f"ridge must be >= 0, got {ridge}")
         self.ridge = ridge
         self.max_iterations = max_iterations
         self.tolerance = tolerance

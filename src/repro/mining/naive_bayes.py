@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datatable import DataTable
-from repro.exceptions import FitError
+from repro.exceptions import ConfigurationError, FitError
 from repro.mining.base import BinaryClassifier
 from repro.mining.features import FeatureSet
 
@@ -51,7 +51,7 @@ class NaiveBayesClassifier(BinaryClassifier):
     def __init__(self, laplace: float = 1.0, variance_floor: float = 1e-4):
         super().__init__()
         if laplace <= 0:
-            raise ValueError(f"laplace must be positive, got {laplace}")
+            raise ConfigurationError(f"laplace must be positive, got {laplace}")
         self.laplace = laplace
         self.variance_floor = variance_floor
         self._log_priors: np.ndarray | None = None

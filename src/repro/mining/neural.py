@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datatable import DataTable
-from repro.exceptions import FitError
+from repro.exceptions import ConfigurationError, FitError
 from repro.mining.base import BinaryClassifier
 from repro.mining.features import FeatureSet
 from repro.mining.preprocessing import MatrixEncoder
@@ -46,7 +46,7 @@ class NeuralNetworkClassifier(BinaryClassifier):
     ):
         super().__init__()
         if hidden_units < 1:
-            raise ValueError(f"hidden_units must be >= 1, got {hidden_units}")
+            raise ConfigurationError(f"hidden_units must be >= 1, got {hidden_units}")
         self.hidden_units = hidden_units
         self.learning_rate = learning_rate
         self.momentum = momentum

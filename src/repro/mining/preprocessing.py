@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import FitError, NotFittedError
+from repro.exceptions import ConfigurationError, FitError, NotFittedError
 from repro.mining.features import FeatureSet
 
 __all__ = ["MatrixEncoder", "EqualFrequencyDiscretiser", "standardise_matrix"]
@@ -155,7 +155,7 @@ class EqualFrequencyDiscretiser:
 
     def __init__(self, n_bins: int = 5):
         if n_bins < 2:
-            raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+            raise ConfigurationError(f"n_bins must be >= 2, got {n_bins}")
         self.n_bins = n_bins
         self._edges: np.ndarray | None = None
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.mining.features import Feature, FeatureSet
 from repro.mining.tree.splitting import (
     SplitCandidate,
@@ -62,14 +63,14 @@ class TreeConfig:
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha <= 1:
-            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+            raise ConfigurationError(f"alpha must be in (0, 1], got {self.alpha}")
         if self.min_leaf < 1 or self.min_split < 2 * self.min_leaf:
-            raise ValueError(
+            raise ConfigurationError(
                 "need min_leaf >= 1 and min_split >= 2*min_leaf "
                 f"(got min_leaf={self.min_leaf}, min_split={self.min_split})"
             )
         if self.max_leaves < 2:
-            raise ValueError(f"max_leaves must be >= 2, got {self.max_leaves}")
+            raise ConfigurationError(f"max_leaves must be >= 2, got {self.max_leaves}")
 
 
 @dataclass
@@ -176,7 +177,7 @@ def grow_tree(
     mirroring how an analyst sizes a SAS tree.
     """
     if mode not in ("chi2", "f"):
-        raise ValueError(f"mode must be 'chi2' or 'f', got {mode!r}")
+        raise ConfigurationError(f"mode must be 'chi2' or 'f', got {mode!r}")
     n = features.n_rows
     if n < config.min_split:
         root = TreeNode(0, 0, n, float(np.mean(y)) if n else 0.0)

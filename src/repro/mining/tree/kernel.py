@@ -33,6 +33,8 @@ import threading
 
 import numpy as np
 
+from repro.exceptions import KernelBuildError
+
 __all__ = ["NativeKernel", "native_kernel", "native_kernel_status"]
 
 #: Environment switch: set to any non-empty value to force the
@@ -169,7 +171,7 @@ def _build_and_load() -> NativeKernel:
     if not os.path.exists(so_path):
         compiler = shutil.which("cc") or shutil.which("gcc")
         if compiler is None:
-            raise RuntimeError("no C compiler on PATH")
+            raise KernelBuildError("no C compiler on PATH")
         os.makedirs(cache, mode=0o700, exist_ok=True)
         src_path = os.path.join(cache, f"repro_tree_kernel_{digest}.c")
         with open(src_path, "w") as handle:
@@ -184,11 +186,11 @@ def _build_and_load() -> NativeKernel:
             timeout=120,
         )
         if result.returncode != 0:
-            raise RuntimeError(
+            raise KernelBuildError(
                 f"kernel build failed: {result.stderr.strip()[:500]}"
             )
         os.replace(build_path, so_path)
-    return NativeKernel(ctypes.CDLL(so_path), so_path)
+    return NativeKernel(ctypes.CDLL(so_path), so_path)  # repro: ignore[REP005] -- the dlopen handle is a process-lifetime cache shared by every plan; it is never closed by design
 
 
 def native_kernel() -> NativeKernel | None:

@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
+from repro.exceptions import ConfigurationError
 from repro.parallel.tasks import SweepTask, TaskResult, execute_task
 from repro.parallel.timing import StageTiming, StageTimings, TaskTiming
 
@@ -115,7 +116,7 @@ class SweepExecutor:
         if backend is None:
             backend = "serial" if self.n_jobs == 1 else "process"
         if backend not in available_backends():
-            raise ValueError(
+            raise ConfigurationError(
                 f"backend must be one of {available_backends()}, "
                 f"got {backend!r}"
             )

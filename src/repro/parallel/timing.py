@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.exceptions import ConfigurationError, StageNotFoundError
+
 __all__ = ["TaskTiming", "StageTiming", "StageTimings"]
 
 
@@ -66,7 +68,9 @@ class StageTiming:
         with the same record type the sweep engine times stages with.
         """
         if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
+            raise ConfigurationError(
+                f"percentile must be in [0, 100], got {q}"
+            )
         if not self.tasks:
             return float("nan")
         ordered = sorted(t.seconds for t in self.tasks)
@@ -115,7 +119,7 @@ class StageTimings:
         for s in self.stages:
             if s.stage == name:
                 return s
-        raise KeyError(f"no stage named {name!r} was timed")
+        raise StageNotFoundError(name)
 
     def render(self) -> str:
         """Fixed-width timing table (the CLI ``--timings`` output)."""

@@ -193,7 +193,7 @@ def calibrate_crash_process(
 
     def objective(x: np.ndarray) -> float:
         counts = simulate(build(x))
-        if counts.sum() == 0:
+        if not counts.any():
             return 1e6
         cdf = weighted_count_cdf(counts, thresholds)
         err = sum(

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.roads.segments import GeneratedSegments
 
 __all__ = ["CrashProcessParams", "CrashOutcome", "CrashProcess", "STUDY_YEARS"]
@@ -213,7 +214,7 @@ class CrashProcess:
     ) -> np.ndarray:
         weights = np.asarray(self.params.year_weights, dtype=np.float64)
         if weights.shape != (len(STUDY_YEARS),) or (weights <= 0).any():
-            raise ValueError(
+            raise ConfigurationError(
                 f"year_weights must be {len(STUDY_YEARS)} positive values"
             )
         probs = weights / weights.sum()

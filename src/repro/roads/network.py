@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.roads.attributes import REGIONS, ROAD_CLASSES, TERRAIN_TYPES
 
 __all__ = ["Town", "Route", "SegmentSkeleton", "RoadNetwork"]
@@ -115,7 +116,7 @@ class RoadNetwork:
             the minimum spanning tree to create alternative routes.
         """
         if n_towns < 2:
-            raise ValueError(f"need at least 2 towns, got {n_towns}")
+            raise ConfigurationError(f"need at least 2 towns, got {n_towns}")
         net = cls()
         xs = rng.uniform(0, extent_km, size=n_towns)
         ys = rng.uniform(0, extent_km, size=n_towns)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datatable import CategoricalColumn, DataTable, NumericColumn
+from repro.exceptions import ConfigurationError
 from repro.roads.attributes import (
     ROAD_ATTRIBUTES,
     SEAL_TYPES,
@@ -96,7 +97,7 @@ class SegmentAttributeSampler:
     ) -> GeneratedSegments:
         n = len(skeletons)
         if n == 0:
-            raise ValueError("cannot sample attributes for an empty network")
+            raise ConfigurationError("cannot sample attributes for an empty network")
         road_class = np.array([s.road_class for s in skeletons])
         terrain = np.array([s.terrain for s in skeletons])
         region = np.array([s.region for s in skeletons])

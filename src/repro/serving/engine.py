@@ -27,6 +27,7 @@ import queue
 import threading
 import time
 from collections import OrderedDict
+from typing import Any
 
 from repro.core.deployment import CrashPronenessScorer
 from repro.datatable import DataTable
@@ -176,7 +177,9 @@ class ScoringEngine:
         self.n_scored = 0
         self.bulk_batches = 0
         self.bulk_rows = 0
-        self._bulk_executor = None
+        # SweepExecutor is imported lazily in _ensure_bulk_executor, so
+        # the attribute cannot carry the concrete type here.
+        self._bulk_executor: Any = None
         self._bulk_payload: dict | None = None
         self._bulk_lock = threading.Lock()
         self._queue: queue.Queue = queue.Queue()

@@ -247,6 +247,7 @@ class ScoringService:
             def _dispatch(self, method: str) -> None:
                 endpoint = f"{method} {self.path}"
                 start = time.perf_counter()
+                error_type = None
                 try:
                     if method == "GET":
                         status, payload = service.handle_get(self.path)
@@ -262,6 +263,7 @@ class ScoringService:
                                 endpoint,
                                 time.perf_counter() - start,
                                 error=True,
+                                error_type="BodyTooLarge",
                             )
                             self._respond(413, {
                                 "error": (
@@ -284,14 +286,18 @@ class ScoringService:
                         status, payload = service.handle_post(self.path, body)
                 except ServingError as exc:
                     status, payload = 400, {"error": str(exc)}
+                    error_type = type(exc).__name__
                 except ReproError as exc:
                     status, payload = 400, {"error": str(exc)}
+                    error_type = type(exc).__name__
                 except Exception as exc:  # pragma: no cover - defensive
                     status, payload = 500, {"error": f"internal error: {exc}"}
+                    error_type = type(exc).__name__
                 service.metrics.observe(
                     endpoint,
                     time.perf_counter() - start,
                     error=status >= 400,
+                    error_type=error_type,
                 )
                 self._respond(status, payload)
 

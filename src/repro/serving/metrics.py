@@ -9,13 +9,18 @@ requests, so ``--timings``-style rendering, percentile maths and the
 
 from __future__ import annotations
 
+import logging
 import threading
+from collections import Counter
 from contextlib import contextmanager
 from time import perf_counter
 
+from repro.exceptions import ReproError
 from repro.parallel.timing import StageTiming, StageTimings, TaskTiming
 
 __all__ = ["RequestMetrics"]
+
+logger = logging.getLogger("repro.serving.metrics")
 
 
 class RequestMetrics:
@@ -25,9 +30,14 @@ class RequestMetrics:
         self._lock = threading.Lock()
         self._stages: dict[str, StageTiming] = {}
         self._errors: dict[str, int] = {}
+        self._error_types: dict[str, Counter] = {}
 
     def observe(
-        self, endpoint: str, seconds: float, error: bool = False
+        self,
+        endpoint: str,
+        seconds: float,
+        error: bool = False,
+        error_type: str | None = None,
     ) -> None:
         """Record one request against ``endpoint`` (e.g. ``POST /v1/score``)."""
         with self._lock:
@@ -35,6 +45,7 @@ class RequestMetrics:
             if stage is None:
                 stage = self._stages[endpoint] = StageTiming(stage=endpoint)
                 self._errors[endpoint] = 0
+                self._error_types[endpoint] = Counter()
             stage.tasks.append(
                 TaskTiming(
                     key=f"{endpoint}#{len(stage.tasks)}", seconds=seconds
@@ -43,15 +54,39 @@ class RequestMetrics:
             stage.wall_seconds += seconds
             if error:
                 self._errors[endpoint] += 1
+                self._error_types[endpoint][error_type or "unknown"] += 1
 
     @contextmanager
     def timed(self, endpoint: str):
-        """Context manager timing one request; exceptions count as errors."""
+        """Context manager timing one request; exceptions count as errors.
+
+        Library failures (:class:`ReproError`) are expected
+        request-level errors: counted by type and re-raised for the
+        caller's error handling.  Anything else is a bug in the serving
+        stack itself, so it is additionally logged with its traceback —
+        never discarded — before propagating.
+        """
         start = perf_counter()
         try:
             yield
-        except Exception:
-            self.observe(endpoint, perf_counter() - start, error=True)
+        except ReproError as exc:
+            self.observe(
+                endpoint,
+                perf_counter() - start,
+                error=True,
+                error_type=type(exc).__name__,
+            )
+            raise
+        except Exception as exc:
+            self.observe(
+                endpoint,
+                perf_counter() - start,
+                error=True,
+                error_type=type(exc).__name__,
+            )
+            logger.exception(
+                "unexpected %s handling %s", type(exc).__name__, endpoint
+            )
             raise
         self.observe(endpoint, perf_counter() - start)
 
@@ -77,6 +112,7 @@ class RequestMetrics:
                 stage = self._stages[endpoint]
                 record = stage.latency_summary()
                 record["errors"] = self._errors[endpoint]
+                record["error_types"] = dict(self._error_types[endpoint])
                 out[endpoint] = record
             return out
 

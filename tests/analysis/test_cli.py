@@ -1,0 +1,110 @@
+"""CLI exit codes for both entry points.
+
+``repro-study lint`` and ``python -m repro.analysis`` share one
+argument surface; the contract is 0 = clean, 1 = findings, 2 = usage
+or configuration error, and ``--json`` always parses.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as analysis_main
+from repro.cli import build_parser, main as study_main
+
+CLEAN_SOURCE = "VERSION = 1\n"
+
+BAD_SOURCE = """\
+import numpy as np
+
+
+def sample():
+    return np.random.default_rng().random()
+"""
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    tree = tmp_path / "clean"
+    tree.mkdir()
+    (tree / "ok.py").write_text(CLEAN_SOURCE)
+    return tree
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    tree = tmp_path / "dirty"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BAD_SOURCE)
+    return tree
+
+
+def lint(args, tmp_path):
+    """Run the standalone entry point with an isolated baseline path."""
+    return analysis_main(
+        [*args, "--baseline", str(tmp_path / "baseline.json")]
+    )
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, clean_tree, capsys):
+        assert lint([str(clean_tree)], clean_tree) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_tree, capsys):
+        assert lint([str(dirty_tree)], dirty_tree) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, clean_tree, capsys):
+        code = lint([str(clean_tree), "--select", "REP999"], clean_tree)
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint([str(tmp_path / "nowhere")], tmp_path) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_json_is_parseable_and_carries_verdict(self, dirty_tree, capsys):
+        assert lint([str(dirty_tree), "--json"], dirty_tree) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "REP001"
+
+    def test_json_clean(self, clean_tree, capsys):
+        assert lint([str(clean_tree), "--json"], clean_tree) == 0
+        assert json.loads(capsys.readouterr().out)["clean"] is True
+
+
+class TestWriteBaseline:
+    def test_write_then_rerun_is_clean(self, dirty_tree, capsys):
+        assert lint([str(dirty_tree), "--write-baseline"], dirty_tree) == 0
+        assert (dirty_tree / "baseline.json").exists()
+        capsys.readouterr()
+        assert lint([str(dirty_tree)], dirty_tree) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+
+class TestStudyCliIntegration:
+    def test_lint_subcommand_registered(self):
+        assert "lint" in build_parser().format_help()
+
+    def test_repro_study_lint_exit_codes(self, dirty_tree, clean_tree, capsys):
+        baseline = str(dirty_tree / "baseline.json")
+        assert (
+            study_main(["lint", str(clean_tree), "--baseline", baseline]) == 0
+        )
+        assert (
+            study_main(["lint", str(dirty_tree), "--baseline", baseline]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "REP001" in out
+
+    def test_repro_study_lint_json(self, dirty_tree, capsys):
+        baseline = str(dirty_tree / "baseline.json")
+        code = study_main(
+            ["lint", str(dirty_tree), "--json", "--baseline", baseline]
+        )
+        assert code == 1
+        assert json.loads(capsys.readouterr().out)["summary"]["total"] == 1

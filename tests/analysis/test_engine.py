@@ -1,0 +1,160 @@
+"""Engine plumbing: discovery, fingerprints, baseline round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    analyze_paths,
+    discover_files,
+)
+from repro.exceptions import AnalysisError, ReproError
+
+BAD_SOURCE = """\
+import numpy as np
+
+
+def sample():
+    return np.random.default_rng().random()
+"""
+
+
+def make_finding(line=5, snippet="    return np.random.default_rng().random()"):
+    return Finding(
+        path="pkg/sample.py",
+        line=line,
+        col=12,
+        rule_id="REP001",
+        message="unseeded rng",
+        snippet=snippet,
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_line_moves(self):
+        """Edits above a finding must not churn the baseline."""
+        assert make_finding(line=5).fingerprint() == make_finding(line=90).fingerprint()
+
+    def test_whitespace_normalised(self):
+        dense = make_finding(snippet="return  np.random.default_rng().random()")
+        spaced = make_finding(
+            snippet="  return np.random.default_rng().random()  "
+        )
+        assert dense.fingerprint() == spaced.fingerprint()
+
+    def test_distinct_rules_distinct_fingerprints(self):
+        other = Finding(
+            path="pkg/sample.py",
+            line=5,
+            col=12,
+            rule_id="REP003",
+            message="unseeded rng",
+            snippet="    return np.random.default_rng().random()",
+        )
+        assert make_finding().fingerprint() != other.fingerprint()
+
+
+class TestDiscovery:
+    def test_recurses_and_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-310.py").write_text("")
+        (tmp_path / "top.py").write_text("y = 2\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        found = discover_files([tmp_path])
+        assert [p.name for p in found] == ["a.py", "top.py"]
+
+    def test_missing_path_is_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            discover_files([tmp_path / "nowhere"])
+
+    def test_analysis_error_is_repro_error(self):
+        assert issubclass(AnalysisError, ReproError)
+
+
+class TestBaselineRoundTrip:
+    def test_save_load_partition(self, tmp_path):
+        """Findings written to a baseline stop failing the run."""
+        target = tmp_path / "bad.py"
+        target.write_text(BAD_SOURCE)
+        baseline_path = tmp_path / "baseline.json"
+
+        first = analyze_paths([target])
+        assert len(first.findings) == 1 and not first.baselined
+
+        baseline = Baseline()
+        baseline.save(baseline_path, first.findings)
+        assert len(baseline) == 1
+
+        reloaded = Baseline.load(baseline_path)
+        second = analyze_paths([target], baseline=reloaded)
+        assert not second.findings
+        assert len(second.baselined) == 1
+        assert second.clean
+
+    def test_baseline_is_a_multiset(self, tmp_path):
+        """One grandfathered offence does not cover a second identical one."""
+        target = tmp_path / "bad.py"
+        target.write_text(BAD_SOURCE)
+        report = analyze_paths([target])
+        baseline = Baseline.from_findings(report.findings)
+
+        doubled = report.findings * 2
+        new, old = baseline.partition(doubled)
+        assert len(old) == 1 and len(new) == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_corrupt_json_is_analysis_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            Baseline.load(path)
+
+    def test_wrong_layout_is_analysis_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format_version": 99, "findings": []}))
+        with pytest.raises(AnalysisError):
+            Baseline.load(path)
+
+    def test_saved_file_is_versioned_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline().save(path, [make_finding()])
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["tool"] == "repro.analysis"
+        entry = payload["findings"][0]
+        assert entry["rule"] == "REP001"
+        assert entry["count"] == 1
+        assert entry["fingerprint"] == make_finding().fingerprint()
+
+
+class TestSelect:
+    def test_select_restricts_rules(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD_SOURCE)
+        report = analyze_paths([target], select=["REP003"])
+        assert report.clean
+
+    def test_unknown_rule_is_analysis_error(self, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        with pytest.raises(AnalysisError):
+            analyze_paths([target], select=["REP999"])
+
+
+class TestLintReport:
+    def test_counts_by_rule_sorted(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            BAD_SOURCE + "\n\ndef worse(k):\n    raise ValueError(k)\n"
+        )
+        report = analyze_paths([target])
+        assert report.counts_by_rule() == {"REP001": 1, "REP004": 1}
+        assert not report.clean
+        assert report.checked_files == [str(target)]

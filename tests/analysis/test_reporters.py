@@ -1,0 +1,84 @@
+"""Reporter contracts: the text verdict line and the JSON schema."""
+
+import json
+
+from repro.analysis import analyze_paths, render_json, render_text
+from repro.analysis.reporters import JSON_FORMAT_VERSION
+
+BAD_SOURCE = """\
+import numpy as np
+
+
+def sample():
+    return np.random.default_rng().random()
+"""
+
+
+def report_for(tmp_path, source=BAD_SOURCE):
+    target = tmp_path / "sample.py"
+    target.write_text(source)
+    return analyze_paths([target])
+
+
+class TestTextReporter:
+    def test_finding_lines_and_verdict(self, tmp_path):
+        text = render_text(report_for(tmp_path))
+        assert "REP001" in text
+        assert "sample.py:5:" in text
+        assert "checked 1 file(s): 1 finding(s), 0 baselined, 0 suppressed" in text
+        assert "[REP001=1]" in text
+
+    def test_clean_run_has_no_rule_tally(self, tmp_path):
+        text = render_text(report_for(tmp_path, source="x = 1\n"))
+        assert text == "checked 1 file(s): 0 finding(s), 0 baselined, 0 suppressed"
+
+
+class TestJsonReporter:
+    def test_schema_keys(self, tmp_path):
+        payload = json.loads(render_json(report_for(tmp_path)))
+        assert set(payload) == {
+            "format_version",
+            "tool",
+            "clean",
+            "checked_files",
+            "rules",
+            "findings",
+            "baselined",
+            "summary",
+        }
+        assert payload["format_version"] == JSON_FORMAT_VERSION
+        assert payload["tool"] == "repro.analysis"
+        assert payload["clean"] is False
+        assert payload["checked_files"] == 1
+
+    def test_rules_catalog_covers_all_rules(self, tmp_path):
+        payload = json.loads(render_json(report_for(tmp_path)))
+        assert sorted(payload["rules"]) == [
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+        ]
+        assert all(isinstance(v, str) and v for v in payload["rules"].values())
+
+    def test_finding_entry_schema(self, tmp_path):
+        payload = json.loads(render_json(report_for(tmp_path)))
+        (entry,) = payload["findings"]
+        assert set(entry) == {
+            "path", "line", "col", "rule", "message", "snippet", "fingerprint",
+        }
+        assert entry["rule"] == "REP001"
+        assert entry["line"] == 5
+        assert entry["snippet"].strip().startswith("return")
+
+    def test_summary_block(self, tmp_path):
+        payload = json.loads(render_json(report_for(tmp_path)))
+        assert payload["summary"] == {
+            "total": 1,
+            "by_rule": {"REP001": 1},
+            "baselined": 0,
+            "suppressed": 0,
+        }
+
+    def test_clean_payload(self, tmp_path):
+        payload = json.loads(render_json(report_for(tmp_path, source="x = 1\n")))
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["summary"]["total"] == 0

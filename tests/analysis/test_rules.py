@@ -1,0 +1,428 @@
+"""Per-rule fixtures: bad code finds, suppressed code passes.
+
+Each rule gets at least one snippet that fails before suppression and
+passes once a *justified* pragma is attached — the contract ISSUE 4's
+acceptance criteria pin.
+"""
+
+import textwrap
+
+from repro.analysis import ENGINE_RULE_ID, RULES, analyze_source
+
+
+def findings_for(code, select=None):
+    findings, _ = analyze_source(textwrap.dedent(code), select=select)
+    return findings
+
+
+def rule_ids(code, select=None):
+    return [f.rule_id for f in findings_for(code, select)]
+
+
+def assert_suppressible(code, rule_id):
+    """The snippet's finding disappears under a justified pragma."""
+    lines = textwrap.dedent(code).splitlines()
+    flagged, _ = analyze_source("\n".join(lines))
+    target = [f for f in flagged if f.rule_id == rule_id]
+    assert target, f"fixture produced no {rule_id} finding to suppress"
+    line_no = target[0].line
+    lines[line_no - 1] += f"  # repro: ignore[{rule_id}] -- fixture-approved exception"
+    cleaned, n_suppressed = analyze_source("\n".join(lines))
+    assert not [f for f in cleaned if f.rule_id == rule_id]
+    assert n_suppressed >= 1
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert sorted(RULES) == [
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+        ]
+
+    def test_rules_have_descriptions(self):
+        for rule in RULES.values():
+            assert rule.name and rule.description
+
+
+class TestREP001Determinism:
+    def test_unseeded_default_rng_flagged(self):
+        code = """
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().random()
+        """
+        assert "REP001" in rule_ids(code)
+
+    def test_seeded_default_rng_ok(self):
+        code = """
+            import numpy as np
+
+            def sample(seed):
+                return np.random.default_rng(seed).random()
+        """
+        assert "REP001" not in rule_ids(code)
+
+    def test_module_level_np_random_flagged(self):
+        code = """
+            import numpy as np
+
+            def sample():
+                np.random.seed(0)
+                return np.random.rand(3)
+        """
+        assert rule_ids(code).count("REP001") == 2
+
+    def test_stdlib_random_flagged(self):
+        code = """
+            import random
+
+            def sample():
+                return random.random()
+        """
+        assert "REP001" in rule_ids(code)
+
+    def test_generator_annotation_not_flagged(self):
+        code = """
+            import numpy as np
+
+            def sample(rng: np.random.Generator) -> float:
+                return rng.random()
+        """
+        assert "REP001" not in rule_ids(code)
+
+    def test_local_variable_named_random_not_flagged(self):
+        code = """
+            def sample(random):
+                return random.choice()
+        """
+        assert "REP001" not in rule_ids(code)
+
+    def test_suppressible_with_justification(self):
+        assert_suppressible(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().random()
+            """,
+            "REP001",
+        )
+
+
+class TestREP002LockHygiene:
+    def test_bare_acquire_release_flagged(self):
+        code = """
+            import threading
+
+            lock = threading.Lock()
+
+            def work():
+                lock.acquire()
+                try:
+                    pass
+                finally:
+                    lock.release()
+        """
+        assert rule_ids(code).count("REP002") == 2
+
+    def test_with_lock_ok(self):
+        code = """
+            import threading
+
+            lock = threading.Lock()
+
+            def work():
+                with lock:
+                    return 1
+        """
+        assert "REP002" not in rule_ids(code)
+
+    def test_blocking_call_under_lock_flagged(self):
+        code = """
+            import threading
+            import time
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def work(self):
+                    with self._lock:
+                        time.sleep(1.0)
+        """
+        assert "REP002" in rule_ids(code)
+
+    def test_subprocess_under_lock_flagged(self):
+        code = """
+            import subprocess
+            import threading
+
+            _build_lock = threading.Lock()
+
+            def build():
+                with _build_lock:
+                    subprocess.run(["cc"])
+        """
+        assert "REP002" in rule_ids(code)
+
+    def test_blocking_call_in_nested_def_not_flagged(self):
+        """Lexical scope only: defining a function under a lock is fine."""
+        code = """
+            import threading
+            import time
+
+            lock = threading.Lock()
+
+            def work():
+                with lock:
+                    def later():
+                        time.sleep(1.0)
+                    return later
+        """
+        assert "REP002" not in rule_ids(code)
+
+    def test_suppressible_with_justification(self):
+        assert_suppressible(
+            """
+            import threading
+
+            lock = threading.Lock()
+
+            def work():
+                lock.acquire()
+            """,
+            "REP002",
+        )
+
+
+class TestREP003NumericSafety:
+    def test_computed_float_equality_flagged(self):
+        code = """
+            import numpy as np
+
+            def degenerate(x):
+                return np.std(x) == 0
+        """
+        assert "REP003" in rule_ids(code)
+
+    def test_division_equality_flagged(self):
+        code = """
+            def check(a, b, c):
+                return a / b == c
+        """
+        assert "REP003" in rule_ids(code)
+
+    def test_non_integral_literal_flagged(self):
+        code = """
+            def check(x):
+                return x == 0.3
+        """
+        assert "REP003" in rule_ids(code)
+
+    def test_nan_literal_comparison_flagged(self):
+        code = """
+            def check(x):
+                return x == float("nan")
+        """
+        findings = findings_for(code)
+        assert any(
+            f.rule_id == "REP003" and "isnan" in f.message for f in findings
+        )
+
+    def test_integral_sentinel_allowlisted(self):
+        """The repo's sentinel pattern: bound value vs exact 0.0/1.0."""
+        code = """
+            def r_squared_guard(ss_total, expected):
+                if ss_total == 0.0:
+                    return float("nan")
+                return expected == 1.0
+        """
+        assert "REP003" not in rule_ids(code)
+
+    def test_int_comparisons_not_flagged(self):
+        code = """
+            def count_check(n, k):
+                return n == 0 or n != k
+        """
+        assert "REP003" not in rule_ids(code)
+
+    def test_suppressible_with_justification(self):
+        assert_suppressible(
+            """
+            import numpy as np
+
+            def degenerate(x):
+                return np.std(x) == 0
+            """,
+            "REP003",
+        )
+
+
+class TestREP004ExceptionHygiene:
+    def test_bare_except_flagged(self):
+        code = """
+            def swallow():
+                try:
+                    risky()
+                except:
+                    pass
+        """
+        assert "REP004" in rule_ids(code)
+
+    def test_silent_broad_except_flagged(self):
+        code = """
+            def swallow():
+                try:
+                    risky()
+                except Exception:
+                    return None
+        """
+        assert "REP004" in rule_ids(code)
+
+    def test_broad_except_that_reraises_ok(self):
+        code = """
+            def surface(metrics):
+                try:
+                    risky()
+                except Exception:
+                    metrics.count_error()
+                    raise
+        """
+        assert "REP004" not in rule_ids(code)
+
+    def test_broad_except_that_uses_exception_ok(self):
+        code = """
+            def surface(log):
+                try:
+                    risky()
+                except Exception as exc:
+                    log.warning("failed: %s", exc)
+        """
+        assert "REP004" not in rule_ids(code)
+
+    def test_builtin_raise_flagged(self):
+        code = """
+            def configure(k):
+                if k < 1:
+                    raise ValueError(f"k must be >= 1, got {k}")
+        """
+        assert "REP004" in rule_ids(code)
+
+    def test_repro_exception_raise_ok(self):
+        code = """
+            from repro.exceptions import ConfigurationError
+
+            def configure(k):
+                if k < 1:
+                    raise ConfigurationError(f"k must be >= 1, got {k}")
+        """
+        assert "REP004" not in rule_ids(code)
+
+    def test_type_error_allowlisted(self):
+        """Programming errors stay builtin per the hierarchy's contract."""
+        code = """
+            def strict(x):
+                if not isinstance(x, str):
+                    raise TypeError("x must be a string")
+                raise NotImplementedError
+        """
+        assert "REP004" not in rule_ids(code)
+
+    def test_suppressible_with_justification(self):
+        assert_suppressible(
+            """
+            def configure(k):
+                raise ValueError(k)
+            """,
+            "REP004",
+        )
+
+
+class TestREP005ResourceHygiene:
+    def test_unbound_open_flagged(self):
+        code = """
+            import json
+
+            def load(path):
+                return json.load(open(path))
+        """
+        assert "REP005" in rule_ids(code)
+
+    def test_with_open_ok(self):
+        code = """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+        """
+        assert "REP005" not in rule_ids(code)
+
+    def test_contextlib_closing_ok(self):
+        code = """
+            import socket
+            from contextlib import closing
+
+            def probe(host):
+                with closing(socket.socket()) as sock:
+                    return sock
+        """
+        assert "REP005" not in rule_ids(code)
+
+    def test_cdll_outside_with_flagged(self):
+        code = """
+            import ctypes
+
+            def load_kernel(path):
+                return ctypes.CDLL(path)
+        """
+        assert "REP005" in rule_ids(code)
+
+    def test_suppressible_with_justification(self):
+        assert_suppressible(
+            """
+            import ctypes
+
+            def load_kernel(path):
+                return ctypes.CDLL(path)
+            """,
+            "REP005",
+        )
+
+
+class TestSuppressionHygiene:
+    def test_unjustified_pragma_is_engine_finding(self):
+        code = """
+            import numpy as np
+
+            def sample():
+                return np.random.default_rng().random()  # repro: ignore[REP001]
+        """
+        findings = findings_for(code)
+        assert [f.rule_id for f in findings] == [ENGINE_RULE_ID]
+        assert "justification" in findings[0].message
+
+    def test_unused_justified_pragma_is_engine_finding(self):
+        code = """
+            def fine():
+                return 1  # repro: ignore[REP003] -- nothing here needs this
+        """
+        findings = findings_for(code)
+        assert [f.rule_id for f in findings] == [ENGINE_RULE_ID]
+        assert "unused" in findings[0].message
+
+    def test_pragma_without_rule_list_is_engine_finding(self):
+        code = """
+            def fine():
+                return 1  # repro: ignore -- blanket silence
+        """
+        assert ENGINE_RULE_ID in rule_ids(code)
+
+    def test_pragma_inside_string_literal_ignored(self):
+        code = '''
+            PATTERN = "# repro: ignore[REP001] -- not a real pragma"
+        '''
+        assert findings_for(code) == []
+
+    def test_syntax_error_is_engine_finding(self):
+        findings, _ = analyze_source("def broken(:\n    pass\n")
+        assert [f.rule_id for f in findings] == [ENGINE_RULE_ID]
+        assert "parse" in findings[0].message

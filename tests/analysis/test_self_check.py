@@ -1,0 +1,38 @@
+"""The analyzer's own gate: ``src/`` lints clean with the repo baseline.
+
+This is the test form of the CI lint job — if a change introduces a
+REP001–REP005 violation anywhere under ``src/`` (or leaves a stale
+pragma behind), it fails here before it fails in CI.
+"""
+
+from pathlib import Path
+
+from repro.analysis import DEFAULT_BASELINE_NAME, Baseline, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_src_lints_clean():
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_NAME)
+    report = analyze_paths([SRC], baseline=baseline)
+    assert report.clean, "\n".join(f.render() for f in report.findings)
+    assert len(report.checked_files) > 50
+
+
+def test_committed_baseline_is_empty():
+    """ISSUE 4 policy: the baseline exists for the future, holds nothing."""
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_NAME)
+    assert len(baseline) == 0
+
+
+def test_every_suppression_in_src_is_justified():
+    """Redundant with REP000, but cheap and explicit: no mute buttons."""
+    from repro.analysis import scan_suppressions
+
+    for path in sorted(SRC.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        for pragma in scan_suppressions(path.read_text(encoding="utf-8")).values():
+            assert pragma.justified, f"{path}:{pragma.line} lacks a justification"
+            assert pragma.rule_ids, f"{path}:{pragma.line} names no rules"
