@@ -12,7 +12,14 @@ Python:
   CSV output; ``--bulk`` shards the pass across a process pool);
 * ``serve`` — serve a directory of scorers over HTTP;
 * ``wetdry`` — the stage-1 wet/dry differentiation analysis;
+* ``trace`` — inspect ``--trace-out`` span files (waterfall rendering);
 * ``lint`` — run the project's static-analysis rules (REP001–REP005).
+
+Observability: ``study``, ``score`` and ``serve`` accept
+``--trace-out PATH`` (``-`` for stdout) to record every span of the
+run as JSON lines — rendered afterwards with ``repro-study trace
+show PATH``.  ``serve`` additionally takes ``--access-log PATH|-``
+for one structured JSON line per HTTP request.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.analysis.cli import add_lint_arguments, run_lint
@@ -69,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage wall times, task counts and cache stats",
     )
+    study.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record spans of the run as JSON lines to PATH "
+        "('-' for stdout); inspect with 'repro-study trace show'",
+    )
 
     cal = sub.add_parser("calibrate", help="re-derive the calibration")
     cal.add_argument("--probe", type=int, default=20000)
@@ -109,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="bulk workers: 0 = all cores (default), N = pool of N; "
         "only used with --bulk",
+    )
+    score.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record spans of the scoring pass as JSON lines to PATH "
+        "('-' for stdout)",
     )
 
     serve = sub.add_parser("serve", help="serve scorers over HTTP")
@@ -154,10 +176,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="refuse request bodies above this size with HTTP 413 "
         "(0 disables the limit)",
     )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record request/engine spans as JSON lines to PATH "
+        "('-' for stdout)",
+    )
+    serve.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="write one structured JSON line per HTTP request to PATH "
+        "('-' for stdout)",
+    )
 
     wet = sub.add_parser("wetdry", help="wet/dry crash differentiation")
     wet.add_argument("--seed", type=int, default=0)
     wet.add_argument("--segments", type=int, default=6000)
+
+    trace = sub.add_parser("trace", help="inspect --trace-out span files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    show = trace_sub.add_parser(
+        "show", help="render a trace file as per-trace waterfalls"
+    )
+    show.add_argument("trace_file", type=Path)
+    show.add_argument(
+        "--width",
+        type=int,
+        default=32,
+        help="bar width of the waterfall rendering",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -165,6 +214,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
     return parser
+
+
+@contextmanager
+def _cli_tracer(trace_out: str | None):
+    """Activate tracing for one CLI run when ``--trace-out`` was given.
+
+    Installs an enabled tracer (streaming to a JSON-lines sink) as the
+    process-wide default, so every instrumentation site in the library
+    records into it — including threads the command spawns.  Restores
+    the previous default and closes the sink afterwards.
+    """
+    if trace_out is None:
+        yield None
+        return
+    from repro.obs import JsonlSpanSink, Tracer, set_default_tracer
+
+    sink = JsonlSpanSink(trace_out)
+    tracer = Tracer(enabled=True, sink=sink)
+    previous = set_default_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_default_tracer(previous)
+        n_spans = sink.n_spans
+        sink.close()
+        if str(trace_out) != "-":
+            print(
+                f"wrote {n_spans} spans -> {trace_out}", file=sys.stderr
+            )
 
 
 def _make_dataset(args):
@@ -197,9 +275,10 @@ def _cmd_study(args) -> int:
     study = CrashPronenessStudy(
         dataset, seed=args.seed, repeats=args.repeats
     )
-    report = study.run_full_study(
-        n_clusters=args.clusters, n_jobs=args.jobs
-    )
+    with _cli_tracer(args.trace_out):
+        report = study.run_full_study(
+            n_clusters=args.clusters, n_jobs=args.jobs
+        )
     for phase, label in ((report.phase1, "Phase 1"), (report.phase2, "Phase 2")):
         print(render_table(
             ["Target", "R2", "NPV", "PPV", "MCPV", "misclass", "leaves"],
@@ -274,12 +353,15 @@ def _cmd_train(args) -> int:
 def _cmd_score(args) -> int:
     scorer = CrashPronenessScorer.load(args.model_path)
     table = read_csv(args.segments_csv)
-    if args.bulk:
-        from repro.serving.bulk import score_table_sharded
+    with _cli_tracer(args.trace_out):
+        if args.bulk:
+            from repro.serving.bulk import score_table_sharded
 
-        probabilities = score_table_sharded(scorer, table, n_jobs=args.jobs)
-    else:
-        probabilities = scorer.score(table)
+            probabilities = score_table_sharded(
+                scorer, table, n_jobs=args.jobs
+            )
+        else:
+            probabilities = scorer.score(table)
     ranked_all = scorer.treatment_list(table, probabilities=probabilities)
     ranked = ranked_all[: args.top] if args.top is not None else ranked_all
     if args.out is not None:
@@ -339,31 +421,51 @@ def _cmd_score(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.serving import ScoringService
 
-    service = ScoringService(
-        args.model_dir,
-        host=args.host,
-        port=args.port,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        cache_size=args.cache_size,
-        bulk_jobs=args.bulk_jobs,
-        bulk_threshold=args.bulk_threshold,
-        max_body_bytes=args.max_body_bytes,
-    )
-    names = ", ".join(service.registry.names()) or "none"
-    print(f"serving {len(service.registry)} scorer(s) [{names}]")
-    print(f"listening on http://{args.host}:{args.port}")
-    print(
-        "endpoints: GET /healthz | GET /models | GET /metrics | "
-        "POST /v1/score | POST /v1/score/batch"
-    )
+    with _cli_tracer(args.trace_out) as tracer:
+        service = ScoringService(
+            args.model_dir,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            cache_size=args.cache_size,
+            bulk_jobs=args.bulk_jobs,
+            bulk_threshold=args.bulk_threshold,
+            max_body_bytes=args.max_body_bytes,
+            tracer=tracer,
+            access_log=args.access_log,
+        )
+        names = ", ".join(service.registry.names()) or "none"
+        print(f"serving {len(service.registry)} scorer(s) [{names}]")
+        print(f"listening on http://{args.host}:{args.port}")
+        print(
+            "endpoints: GET /healthz | GET /models | "
+            "GET /metrics[?format=prometheus] | "
+            "POST /v1/score | POST /v1/score/batch"
+        )
+        try:
+            service.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+            print(service.metrics.render())
+        finally:
+            service.close()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import read_spans, render_waterfall
+
+    spans = read_spans(args.trace_file)
     try:
-        service.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
-        print(service.metrics.render())
-    finally:
-        service.close()
+        print(render_waterfall(spans, width=args.width))
+    except BrokenPipeError:
+        # `trace show ... | head` closing the pipe early is normal use,
+        # not an error.  Detach stdout so interpreter shutdown doesn't
+        # raise a second time flushing the dead pipe.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -386,6 +488,7 @@ _COMMANDS = {
     "score": _cmd_score,
     "serve": _cmd_serve,
     "wetdry": _cmd_wetdry,
+    "trace": _cmd_trace,
     "lint": run_lint,
 }
 

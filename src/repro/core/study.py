@@ -66,6 +66,7 @@ from repro.mining import (
     RegressionTree,
     TreeConfig,
 )
+from repro.obs.trace import span as obs_span
 from repro.parallel.cache import ThresholdDatasetCache
 from repro.parallel.executor import SweepExecutor
 from repro.parallel.tasks import SweepTask
@@ -370,10 +371,15 @@ class CrashPronenessStudy:
         survive class-count filtering.
         """
         build = cache.get if cache is not None else build_threshold_dataset
-        return [
-            (offset, build(table, threshold))
-            for offset, threshold in enumerate(sorted(thresholds))
-        ]
+        with obs_span(
+            "study.build_datasets",
+            n_thresholds=len(thresholds),
+            cached=cache is not None,
+        ):
+            return [
+                (offset, build(table, threshold))
+                for offset, threshold in enumerate(sorted(thresholds))
+            ]
 
     def _sweep(
         self,
@@ -624,7 +630,9 @@ class CrashPronenessStudy:
         differs.
         """
         cache = ThresholdDatasetCache()
-        with SweepExecutor(n_jobs=n_jobs) as executor:
+        with obs_span(
+            "study.run_full_study", n_jobs=n_jobs, seed=self.seed
+        ), SweepExecutor(n_jobs=n_jobs) as executor:
             pipeline = CrispDmPipeline()
             pipeline.register(
                 CrispDmStage.DATA_UNDERSTANDING,

@@ -73,6 +73,13 @@ class AnalysisError(ReproError):
     are results, not errors."""
 
 
+class ObservabilityError(ReproError):
+    """A tracing/metrics artefact could not be read or rendered (bad
+    span payload, malformed trace file, invalid Prometheus exposition)
+    — never raised on the recording hot path, which must not fail
+    requests."""
+
+
 class NotFittedError(ReproError):
     """``predict``/``transform`` was called before ``fit``."""
 

@@ -45,6 +45,7 @@ from repro.exceptions import TreeCompileError
 from repro.mining.features import FeatureSet
 from repro.mining.tree import kernel as _kernel
 from repro.mining.tree.structure import TreeNode, route_rows
+from repro.obs.trace import span as obs_span
 
 __all__ = [
     "PLAN_FORMAT_VERSION",
@@ -196,27 +197,36 @@ class TreePlan:
         if backend != "numpy" and n > 0:
             native = _kernel.native_kernel()
             if native is not None:
-                return native.score_block(
-                    kind=self.kind,
-                    feature=self.feature,
-                    threshold=self.threshold,
-                    le_child=self.le_child,
-                    gt_child=self.gt_child,
-                    nan_child=self.nan_child,
-                    lut_offset=self.lut_offset,
-                    lut=self.lut,
-                    prediction=self.prediction,
-                    node_id=self.node_id,
-                    numeric_cols=numeric_cols,
-                    code_cols=code_cols,
-                    n_rows=n,
-                )
+                with obs_span(
+                    "plan.evaluate",
+                    rows=n,
+                    backend="native",
+                    nodes=self.n_nodes,
+                ):
+                    return native.score_block(
+                        kind=self.kind,
+                        feature=self.feature,
+                        threshold=self.threshold,
+                        le_child=self.le_child,
+                        gt_child=self.gt_child,
+                        nan_child=self.nan_child,
+                        lut_offset=self.lut_offset,
+                        lut=self.lut,
+                        prediction=self.prediction,
+                        node_id=self.node_id,
+                        numeric_cols=numeric_cols,
+                        code_cols=code_cols,
+                        n_rows=n,
+                    )
             if backend == "native":
                 raise TreeCompileError(
                     "native kernel requested but unavailable: "
                     + _kernel.native_kernel_status()
                 )
-        return self._evaluate_numpy(numeric_cols, code_cols, n)
+        with obs_span(
+            "plan.evaluate", rows=n, backend="numpy", nodes=self.n_nodes
+        ):
+            return self._evaluate_numpy(numeric_cols, code_cols, n)
 
     def _evaluate_numpy(
         self,
@@ -581,10 +591,13 @@ class CompiledScoringMixin:
         """The compiled plan, or ``None`` when the tree won't lower."""
         if self._plan is None and not self._plan_failed:
             try:
-                self._plan = compile_tree(
-                    self.root,
-                    plan_inputs(self.input_names, self.vocabularies),
-                )
+                with obs_span("plan.compile") as compile_span:
+                    self._plan = compile_tree(
+                        self.root,
+                        plan_inputs(self.input_names, self.vocabularies),
+                    )
+                    if compile_span is not None:
+                        compile_span.attrs["nodes"] = self._plan.n_nodes
             except TreeCompileError:
                 self._plan_failed = True
         return self._plan

@@ -1,0 +1,81 @@
+"""Structured JSON access log for the scoring service.
+
+One JSON object per completed HTTP request (``serve --access-log``):
+timestamp, method, path, status, response bytes, wall duration in
+milliseconds, the request's trace id (joins a log line to its span
+tree in the ``--trace-out`` file), and the error type when the
+request failed.  Lines are newline-delimited JSON flushed per write,
+so ``tail -f | jq`` works on a live server and a killed process loses
+at most one line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = ["AccessLog"]
+
+
+class AccessLog:
+    """Thread-safe JSON-lines request log.
+
+    ``target`` is a path (appended to) or ``"-"`` for stdout.  One
+    handler thread per connection writes here, hence the lock; the
+    write itself is a single line + flush, so the lock is held only
+    around buffered file-object calls (no blocking network I/O).
+    """
+
+    def __init__(self, target: str | Path):
+        self._lock = threading.Lock()
+        self.n_lines = 0
+        if str(target) == "-":
+            self._handle = sys.stdout
+            self._owns_handle = False
+        else:
+            self._handle = open(  # repro: ignore[REP005] -- the log outlives any 'with' scope (it spans the server's lifetime); close() is the explicit finalizer, called from ScoringService.close()
+                target, "a", encoding="utf-8"
+            )
+            self._owns_handle = True
+        self.path = str(target)
+
+    def write(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        n_bytes: int,
+        duration_ms: float,
+        trace_id: str | None = None,
+        error_type: str | None = None,
+    ) -> None:
+        record = {
+            "ts": datetime.now(timezone.utc).isoformat(),
+            "method": method,
+            "path": path,
+            "status": status,
+            "bytes": n_bytes,
+            "duration_ms": round(duration_ms, 3),
+            "trace_id": trace_id,
+            "error_type": error_type,
+        }
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.n_lines += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_handle:
+                self._handle.close()
+                self._owns_handle = False
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,88 @@
+"""Span sinks and trace-file IO.
+
+:class:`JsonlSpanSink` is the write side of ``--trace-out``: one JSON
+object per finished span, one span per line, flushed per line so a
+killed process loses at most the span being written.
+:func:`read_spans` is the read side used by ``repro-study trace show``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from pathlib import Path
+
+from repro.exceptions import ObservabilityError
+from repro.obs.span import Span
+
+__all__ = ["JsonlSpanSink", "read_spans"]
+
+
+class JsonlSpanSink:
+    """Callable sink appending one JSON line per span.
+
+    ``target`` is a path (appended to) or ``"-"`` for stdout.  The
+    sink is thread-safe: serving handler threads and the study's
+    collection path may finish spans concurrently.
+    """
+
+    def __init__(self, target: str | Path):
+        self._lock = threading.Lock()
+        self.n_spans = 0
+        if str(target) == "-":
+            self._handle = sys.stdout
+            self._owns_handle = False
+        else:
+            self._handle = open(  # repro: ignore[REP005] -- the sink outlives any 'with' scope (spans stream in for the process lifetime); close() is the explicit finalizer and the CLI calls it
+                target, "a", encoding="utf-8"
+            )
+            self._owns_handle = True
+        self.path = str(target)
+
+    def __call__(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.n_spans += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_handle:
+                self._handle.close()
+                self._owns_handle = False
+
+    def __enter__(self) -> "JsonlSpanSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_spans(path: str | Path) -> list[Span]:
+    """Parse a JSON-lines trace file back into spans.
+
+    Raises :class:`ObservabilityError` naming the offending line for
+    anything that is not valid span JSON — a truncated final line from
+    a killed writer is the one tolerated corruption (it is skipped).
+    """
+    spans: list[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                break  # torn final write from a killed process
+            raise ObservabilityError(
+                f"{path}:{lineno}: not valid span JSON: {exc}"
+            ) from exc
+        try:
+            spans.append(Span.from_dict(payload))
+        except ObservabilityError as exc:
+            raise ObservabilityError(f"{path}:{lineno}: {exc}") from exc
+    return spans

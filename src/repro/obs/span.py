@@ -1,0 +1,139 @@
+"""Span records: the unit of tracing.
+
+A :class:`Span` is one timed operation — a sweep stage, an HTTP
+request, a kernel evaluation — tagged with the trace it belongs to and
+the span that caused it.  Spans form trees: every span carries its
+trace id plus its parent's span id, so a collection of spans from any
+number of threads *and processes* reassembles into one waterfall as
+long as the ids were propagated (see
+:meth:`repro.obs.trace.Tracer.span` and the ``trace_context`` field of
+:class:`~repro.parallel.tasks.SweepTask`).
+
+Design constraints:
+
+* **picklable** — spans ship across the process-pool boundary inside
+  :class:`~repro.parallel.tasks.TaskResult`, so they are plain
+  dataclasses of primitives;
+* **JSON-safe** — :meth:`Span.to_dict` / :meth:`Span.from_dict` are
+  the JSON-lines trace-file format (``--trace-out`` /
+  ``repro-study trace show``);
+* **comparable clocks** — ``start_time`` is wall-clock epoch seconds
+  (comparable across forked workers on one host); ``duration`` is a
+  ``perf_counter`` delta (monotonic, never negative).
+
+Timings are measurements, not results: the model numbers of a traced
+run are bit-identical to an untraced one — spans never touch the data
+path or any seeded RNG.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+
+from repro.exceptions import ObservabilityError
+
+__all__ = ["SpanContext", "Span", "new_trace_id", "new_span_id"]
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a live span.
+
+    This is what crosses boundaries — stored in a ``contextvars``
+    variable inside a process, shipped inside ``SweepTask`` across the
+    process pool — so child spans can point at their parent without
+    holding the parent object.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed operation.
+
+    ``status`` is ``"ok"`` unless the traced block raised, in which
+    case it is ``"error"`` and ``error_type`` names the exception
+    class.  ``attrs`` carries small JSON-safe key/values (threshold,
+    batch size, backend, ...).
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    start_time: float = 0.0
+    duration: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    status: str = "ok"
+    error_type: str | None = None
+
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (one trace-file line)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "attrs": self.attrs,
+            "status": self.status,
+            "error_type": self.error_type,
+        }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output.
+
+        Raises :class:`ObservabilityError` for payloads that do not
+        carry the required fields with sensible types.
+        """
+        if not isinstance(data, dict):
+            raise ObservabilityError(
+                f"span payload must be an object, got {type(data).__name__}"
+            )
+        try:
+            span = cls(
+                name=str(data["name"]),
+                trace_id=str(data["trace_id"]),
+                span_id=str(data["span_id"]),
+                parent_id=(
+                    None
+                    if data.get("parent_id") is None
+                    else str(data["parent_id"])
+                ),
+                start_time=float(data.get("start_time", 0.0)),
+                duration=float(data.get("duration", 0.0)),
+                attrs=dict(data.get("attrs") or {}),
+                status=str(data.get("status", "ok")),
+                error_type=(
+                    None
+                    if data.get("error_type") is None
+                    else str(data["error_type"])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(
+                f"malformed span payload: {exc}"
+            ) from exc
+        return span

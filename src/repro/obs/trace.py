@@ -1,0 +1,255 @@
+"""The tracer: nested spans with ``contextvars`` propagation.
+
+One :class:`Tracer` collects the spans of one observed run — a CLI
+study, a serving process — into a bounded in-memory ring plus an
+optional per-span sink (e.g. the JSON-lines writer in
+:mod:`repro.obs.sinks`).  Instrumentation sites never pass span
+objects around; they write one line::
+
+    with trace.span("stage.fit", threshold=8):
+        ...
+
+and parenting happens through two context variables:
+
+``current tracer``
+    Which tracer is recording in this context.  The process-wide
+    default tracer is *disabled*, so instrumented library code costs a
+    single attribute check when nobody is tracing; ``use_tracer``
+    activates a real tracer for a scope (a CLI run, one HTTP request's
+    handler thread, one pool task).
+``current span``
+    The :class:`~repro.obs.span.SpanContext` new spans parent onto.
+    ``Tracer.span`` sets it on entry and restores it on exit, so
+    nesting is lexical within a thread and explicit across boundaries
+    (pass ``parent=...`` with a shipped context).
+
+Cross-process propagation: the executor captures its current context
+into each :class:`~repro.parallel.tasks.SweepTask`; the worker runs the
+task under a fresh local tracer whose root span parents onto that
+shipped context, and the finished spans travel back inside
+``TaskResult`` for :meth:`Tracer.absorb` — one connected tree per
+request or study, regardless of backend.
+
+Tracing is a measurement layer: enabling it never changes model
+outputs (spans touch no RNG and no data), and a disabled tracer's
+``span()`` returns a shared no-op context manager.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterable, Iterator
+
+from repro.obs.span import Span, SpanContext, new_span_id, new_trace_id
+
+__all__ = [
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+    "span",
+    "current_context",
+    "get_default_tracer",
+    "set_default_tracer",
+]
+
+#: Default ring-buffer capacity: enough for a full study trace while
+#: bounding a long-lived server (older spans are dropped, counted in
+#: :attr:`Tracer.dropped`).
+DEFAULT_MAX_SPANS = 20_000
+
+_current_tracer: ContextVar["Tracer | None"] = ContextVar(
+    "repro_obs_current_tracer", default=None
+)
+_current_span: ContextVar[SpanContext | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class _NullSpanHandle:
+    """Shared no-op handle returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class _SpanHandle:
+    """Context manager recording one span into its tracer."""
+
+    __slots__ = ("_tracer", "_span", "_token", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._span.start_time = time.time()
+        self._token = _current_span.set(self._span.context())
+        self._t0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.duration = time.perf_counter() - self._t0
+        _current_span.reset(self._token)
+        if exc_type is not None:
+            self._span.status = "error"
+            self._span.error_type = exc_type.__name__
+        self._tracer._record(self._span)
+        return False
+
+
+class Tracer:
+    """Thread-safe span recorder with a bounded buffer and a sink.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled tracer records nothing and its :meth:`span` is a
+        shared no-op — the default process-wide tracer is disabled so
+        instrumentation is free until someone opts in.
+    sink:
+        Optional callable invoked once per finished span (e.g.
+        :class:`~repro.obs.sinks.JsonlSpanSink`).  Called outside the
+        buffer lock.
+    max_spans:
+        Ring-buffer capacity; the oldest spans are evicted beyond it
+        and counted in :attr:`dropped`.  ``None`` means unbounded
+        (tests only — a server must stay bounded).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sink: Callable[[Span], None] | None = None,
+        max_spans: int | None = DEFAULT_MAX_SPANS,
+    ):
+        self.enabled = enabled
+        self.sink = sink
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # -- recording ---------------------------------------------------------
+    def span(self, name: str, parent: SpanContext | None = None, **attrs):
+        """Context manager for one timed operation.
+
+        The new span parents onto ``parent`` when given (a shipped
+        cross-boundary context), else onto the context's current span;
+        with neither it becomes the root of a fresh trace.  The block's
+        exception (if any) marks the span ``status="error"`` and is
+        re-raised untouched.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        ctx = parent if parent is not None else _current_span.get()
+        if ctx is not None:
+            trace_id, parent_id = ctx.trace_id, ctx.span_id
+        else:
+            trace_id, parent_id = new_trace_id(), None
+        return _SpanHandle(
+            self,
+            Span(
+                name=name,
+                trace_id=trace_id,
+                span_id=new_span_id(),
+                parent_id=parent_id,
+                attrs=attrs,
+            ),
+        )
+
+    def _record(self, span: Span) -> None:
+        sink = self.sink
+        with self._lock:
+            if (
+                self._spans.maxlen is not None
+                and len(self._spans) == self._spans.maxlen
+            ):
+                self.dropped += 1
+            self._spans.append(span)
+        if sink is not None:
+            sink(span)
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        """Adopt spans recorded elsewhere (pool workers) into this
+        tracer's buffer and sink — the collection half of the
+        cross-process propagation scheme."""
+        for span in spans:
+            self._record(span)
+
+    # -- read side ---------------------------------------------------------
+    def current_context(self) -> SpanContext | None:
+        """The context new spans would parent onto (None when idle or
+        disabled)."""
+        if not self.enabled:
+            return None
+        return _current_span.get()
+
+    def finished(self) -> list[Span]:
+        """Snapshot of the recorded spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> list[Span]:
+        """Remove and return all recorded spans (worker hand-off)."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+            return spans
+
+
+_default_tracer = Tracer(enabled=False)
+
+
+def get_default_tracer() -> Tracer:
+    """The process-wide fallback tracer (disabled until replaced)."""
+    return _default_tracer
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide fallback tracer; returns the old one."""
+    global _default_tracer
+    old, _default_tracer = _default_tracer, tracer
+    return old
+
+
+def current_tracer() -> Tracer:
+    """The context's active tracer, falling back to the default."""
+    tracer = _current_tracer.get()
+    return tracer if tracer is not None else _default_tracer
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Make ``tracer`` the context's active tracer for the block."""
+    token = _current_tracer.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _current_tracer.reset(token)
+
+
+def span(name: str, parent: SpanContext | None = None, **attrs):
+    """``current_tracer().span(...)`` — the one-line instrumentation
+    entry point used across the library."""
+    return current_tracer().span(name, parent=parent, **attrs)
+
+
+def current_context() -> SpanContext | None:
+    """``current_tracer().current_context()`` for call sites."""
+    return current_tracer().current_context()

@@ -1,0 +1,101 @@
+"""Per-trace waterfall rendering (``repro-study trace show``).
+
+Reassembles a flat span list into trees (one per trace id) and renders
+each as an indented waterfall: name, offset from the trace start,
+duration, and a proportional bar.  Spans whose parent never arrived
+(dropped by the ring buffer, lost worker) are promoted to roots rather
+than hidden, so a partial trace still renders.
+"""
+
+from __future__ import annotations
+
+from repro.obs.span import Span
+
+__all__ = ["group_traces", "render_waterfall"]
+
+
+def group_traces(spans: list[Span]) -> list[list[Span]]:
+    """Spans grouped by trace id, traces ordered by earliest start."""
+    by_trace: dict[str, list[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    groups = list(by_trace.values())
+    groups.sort(key=lambda g: min(s.start_time for s in g))
+    return groups
+
+
+def _sorted_children(spans: list[Span]) -> dict[str | None, list[Span]]:
+    """parent span id → children ordered by start time (id tiebreak)."""
+    ids = {s.span_id for s in spans}
+    children: dict[str | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start_time, s.span_id))
+    return children
+
+
+def _bar(offset: float, duration: float, total: float, width: int) -> str:
+    if total <= 0.0:
+        return " " * width
+    lead = min(width - 1, int(width * offset / total))
+    length = max(1, round(width * duration / total))
+    length = min(length, width - lead)
+    return " " * lead + "#" * length + " " * (width - lead - length)
+
+
+def render_waterfall(spans: list[Span], width: int = 32) -> str:
+    """Fixed-width text waterfall of every trace in ``spans``."""
+    if not spans:
+        return "no spans"
+    blocks: list[str] = []
+    for group in group_traces(spans):
+        children = _sorted_children(group)
+        t0 = min(s.start_time for s in group)
+        total = max(
+            max(s.end_time for s in group) - t0,
+            max(s.duration for s in group),
+        )
+        label_width = max(
+            len("  " * depth + s.name)
+            for depth, s in _walk(children)
+        )
+        lines = [
+            f"trace {group[0].trace_id}  "
+            f"({len(group)} span{'s' if len(group) != 1 else ''}, "
+            f"{1000 * total:.1f} ms)"
+        ]
+        for depth, span in _walk(children):
+            label = ("  " * depth + span.name).ljust(label_width)
+            offset = span.start_time - t0
+            mark = f"  ! {span.error_type}" if span.status == "error" else ""
+            attrs = _attr_summary(span)
+            lines.append(
+                f"  {label}  {1000 * offset:8.1f}ms "
+                f"{1000 * span.duration:9.2f}ms "
+                f"|{_bar(offset, span.duration, total, width)}|"
+                f"{attrs}{mark}"
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def _walk(children: dict[str | None, list[Span]]):
+    """Depth-first (depth, span) pairs from the promoted roots down."""
+    stack = [(0, span) for span in reversed(children.get(None, []))]
+    while stack:
+        depth, span = stack.pop()
+        yield depth, span
+        for child in reversed(children.get(span.span_id, [])):
+            stack.append((depth + 1, child))
+
+
+def _attr_summary(span: Span, limit: int = 4) -> str:
+    if not span.attrs:
+        return ""
+    parts = [
+        f"{key}={span.attrs[key]}"
+        for key in list(span.attrs)[:limit]
+    ]
+    return "  " + " ".join(parts)

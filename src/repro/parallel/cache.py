@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.trace import span as obs_span
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.thresholds import ThresholdDataset
     from repro.datatable import DataTable
@@ -46,9 +48,15 @@ class ThresholdDatasetCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
-            return entry
+            with obs_span(
+                "cache.threshold_dataset", threshold=int(threshold), hit=True
+            ):
+                return entry
         self.misses += 1
-        dataset = build_threshold_dataset(table, threshold)
+        with obs_span(
+            "cache.threshold_dataset", threshold=int(threshold), hit=False
+        ):
+            dataset = build_threshold_dataset(table, threshold)
         self._entries[key] = dataset
         self._tables[key[0]] = table
         return dataset

@@ -21,6 +21,7 @@ to release the workers.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -28,6 +29,7 @@ from contextlib import contextmanager
 from typing import Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.obs import trace as obs_trace
 from repro.parallel.tasks import SweepTask, TaskResult, execute_task
 from repro.parallel.timing import StageTiming, StageTimings, TaskTiming
 
@@ -142,9 +144,34 @@ class SweepExecutor:
     def run(
         self, tasks: Sequence[SweepTask], stage: str = "sweep"
     ) -> list[TaskResult]:
-        """Run a task batch; results come back in submission order."""
+        """Run a task batch; results come back in submission order.
+
+        When a tracer is active in this context, the batch runs under
+        an ``executor.run`` span whose context is shipped inside every
+        task; worker-side spans come back in the results and are
+        absorbed here, stitching serial and process backends into the
+        same connected trace.
+        """
+        tracer = obs_trace.current_tracer()
         start = time.perf_counter()
-        results = self._backend.run(list(tasks))
+        if tracer.enabled:
+            with tracer.span(
+                "executor.run",
+                stage=stage,
+                backend=self.backend_name,
+                n_tasks=len(tasks),
+            ) as run_span:
+                ctx = run_span.context()
+                results = self._backend.run(
+                    [
+                        dataclasses.replace(task, trace_context=ctx)
+                        for task in tasks
+                    ]
+                )
+                for result in results:
+                    tracer.absorb(result.spans)
+        else:
+            results = self._backend.run(list(tasks))
         self.timings.stages.append(
             StageTiming(
                 stage=stage,
@@ -164,7 +191,8 @@ class SweepExecutor:
         """Time a non-task stage (selection, clustering) into the record."""
         start = time.perf_counter()
         try:
-            yield
+            with obs_trace.span(f"stage.{stage}", backend=self.backend_name):
+                yield
         finally:
             self.timings.stages.append(
                 StageTiming(

@@ -19,6 +19,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.span import Span, SpanContext
+from repro.obs.trace import Tracer, use_tracer
+
 __all__ = ["SweepTask", "TaskResult", "execute_task"]
 
 
@@ -40,6 +43,13 @@ class SweepTask:
         ``"supporting-bayes"``, ...).
     threshold:
         The CP-k threshold the task models, if any.
+    trace_context:
+        Optional shipped span context of the dispatching executor.
+        When set, the worker wraps the call in a ``task.<key>`` span
+        parented onto it and returns the recorded spans inside the
+        result, so a cross-process sweep reassembles into one trace.
+        ``None`` (the default, when nobody is tracing) keeps the task
+        payload and the hot path identical to an uninstrumented build.
     """
 
     key: str
@@ -48,16 +58,23 @@ class SweepTask:
     kwargs: dict = field(default_factory=dict)
     stage: str = ""
     threshold: int | None = None
+    trace_context: SpanContext | None = None
 
 
 @dataclass(frozen=True)
 class TaskResult:
-    """A task's return value plus its measured wall time."""
+    """A task's return value plus its measured wall time.
+
+    ``spans`` holds the worker-side span records when the task was
+    dispatched with a ``trace_context`` (empty otherwise); the executor
+    absorbs them into the dispatching tracer on collection.
+    """
 
     key: str
     value: Any
     seconds: float
     threshold: int | None = None
+    spans: tuple[Span, ...] = ()
 
 
 def execute_task(task: SweepTask) -> TaskResult:
@@ -67,12 +84,36 @@ def execute_task(task: SweepTask) -> TaskResult:
     backend calls it inline, the process backend ships it to pool
     workers.  Timing happens inside the worker so per-task seconds
     reflect compute, not queueing.
+
+    When the task carries a ``trace_context``, the call runs under a
+    fresh local tracer (not the worker's process-wide default) whose
+    root span parents onto the shipped context — in-process backends
+    get the same treatment so serial and process traces have identical
+    shape.
     """
+    if task.trace_context is None:
+        start = time.perf_counter()
+        value = task.fn(*task.args, **task.kwargs)
+        return TaskResult(
+            key=task.key,
+            value=value,
+            seconds=time.perf_counter() - start,
+            threshold=task.threshold,
+        )
+    tracer = Tracer(enabled=True, max_spans=None)
     start = time.perf_counter()
-    value = task.fn(*task.args, **task.kwargs)
+    with use_tracer(tracer):
+        with tracer.span(
+            f"task.{task.key}",
+            parent=task.trace_context,
+            stage=task.stage,
+            threshold=task.threshold,
+        ):
+            value = task.fn(*task.args, **task.kwargs)
     return TaskResult(
         key=task.key,
         value=value,
         seconds=time.perf_counter() - start,
         threshold=task.threshold,
+        spans=tuple(tracer.drain()),
     )

@@ -36,7 +36,7 @@ from repro.serving.bulk import (
     shard_bounds,
 )
 from repro.serving.engine import LRUResultCache, ScoringEngine
-from repro.serving.http import ScoringService
+from repro.serving.http import ScoringService, TextResponse
 from repro.serving.metrics import RequestMetrics
 from repro.serving.registry import RegisteredScorer, ScorerRegistry
 
@@ -44,6 +44,7 @@ __all__ = [
     "LRUResultCache",
     "ScoringEngine",
     "ScoringService",
+    "TextResponse",
     "RequestMetrics",
     "RegisteredScorer",
     "ScorerRegistry",

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.deployment import CrashPronenessScorer, payload_checksum
 from repro.datatable import CategoricalColumn, DataTable, NumericColumn
 from repro.exceptions import ServingError
+from repro.obs.trace import span as obs_span
 from repro.parallel import SweepExecutor, SweepTask
 
 __all__ = [
@@ -95,14 +96,16 @@ def _worker_scorer(payload: dict) -> CrashPronenessScorer:
 
 def _score_row_shard(payload: dict, rows: list[dict]) -> list[float]:
     """Worker entry point: score one shard of request rows."""
-    scorer = _worker_scorer(payload)
-    table = build_request_table(rows, scorer.input_schema())
-    return [float(p) for p in scorer.score(table)]
+    with obs_span("bulk.score_shard", rows=len(rows)):
+        scorer = _worker_scorer(payload)
+        table = build_request_table(rows, scorer.input_schema())
+        return [float(p) for p in scorer.score(table)]
 
 
 def _score_table_shard(payload: dict, shard: DataTable) -> np.ndarray:
     """Worker entry point: score one shard of a segment table."""
-    return _worker_scorer(payload).score(shard)
+    with obs_span("bulk.score_shard", rows=shard.n_rows):
+        return _worker_scorer(payload).score(shard)
 
 
 def _run_sharded(

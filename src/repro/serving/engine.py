@@ -32,6 +32,7 @@ from typing import Any
 from repro.core.deployment import CrashPronenessScorer
 from repro.datatable import DataTable
 from repro.exceptions import ServingError
+from repro.obs import trace as obs_trace
 from repro.serving.bulk import build_request_table, score_rows_sharded
 
 __all__ = ["LRUResultCache", "ScoringEngine"]
@@ -91,14 +92,26 @@ class LRUResultCache:
 
 
 class _Pending:
-    """One queued row and the event its caller blocks on."""
+    """One queued row and the event its caller blocks on.
 
-    __slots__ = ("row", "probability", "error", "_event")
+    ``trace_context`` is the submitting request's span context (None
+    when nobody is tracing): the micro-batch worker thread runs in no
+    request's context, so the link from a request to the batch that
+    scored its row must travel with the row.  ``enqueued_at`` feeds the
+    batch span's queue-wait attribute.
+    """
 
-    def __init__(self, row: dict):
+    __slots__ = (
+        "row", "probability", "error", "enqueued_at",
+        "trace_context", "_event",
+    )
+
+    def __init__(self, row: dict, trace_context=None):
         self.row = row
         self.probability: float | None = None
         self.error: Exception | None = None
+        self.enqueued_at = time.monotonic()
+        self.trace_context = trace_context
         self._event = threading.Event()
 
     def resolve(self, probability: float) -> None:
@@ -144,6 +157,12 @@ class ScoringEngine:
         Minimum batch row count before :meth:`score_batch` shards
         across the process pool; smaller batches stay on the
         micro-batcher, whose latency they benefit from.
+    tracer:
+        The :class:`~repro.obs.trace.Tracer` that receives the
+        micro-batch worker's spans.  The worker thread runs in no
+        request's context, so it cannot rely on the context-local
+        tracer; ``None`` (default) falls back to the process-wide
+        default tracer at batch time.
     """
 
     def __init__(
@@ -155,6 +174,7 @@ class ScoringEngine:
         cache_size: int = 1024,
         bulk_jobs: int = 1,
         bulk_threshold: int = 2048,
+        tracer: obs_trace.Tracer | None = None,
     ):
         if max_batch < 1:
             raise ServingError(f"max_batch must be >= 1, got {max_batch}")
@@ -170,6 +190,7 @@ class ScoringEngine:
         self.max_wait_ms = max_wait_ms
         self.bulk_jobs = bulk_jobs
         self.bulk_threshold = bulk_threshold
+        self._tracer = tracer
         self.schema = scorer.input_schema()
         self.input_names = list(self.schema)
         self.cache = LRUResultCache(cache_size)
@@ -248,43 +269,52 @@ class ScoringEngine:
         if validate:
             for i, row in enumerate(rows):
                 self.validate_row(row, i)
-        results: list[float | None] = [None] * len(rows)
-        keys = [self.canonical_key(row) for row in rows]
-        fresh: OrderedDict[tuple, list[int]] = OrderedDict()
-        for i, key in enumerate(keys):
-            cached = self.cache.get(key)
-            if cached is not None:
-                results[i] = cached
-            else:
-                fresh.setdefault(key, []).append(i)
-        if fresh:
-            table = self._build_table(
-                [rows[indices[0]] for indices in fresh.values()]
-            )
-            probabilities = self.scorer.score(table)
-            if len(probabilities) != len(fresh):
-                raise ServingError(
-                    f"scorer {self.name!r} returned {len(probabilities)} "
-                    f"probabilities for {len(fresh)} distinct rows"
+        with obs_trace.span(
+            "engine.score_rows", rows=len(rows)
+        ) as score_span:
+            results: list[float | None] = [None] * len(rows)
+            keys = [self.canonical_key(row) for row in rows]
+            fresh: OrderedDict[tuple, list[int]] = OrderedDict()
+            for i, key in enumerate(keys):
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[i] = cached
+                else:
+                    fresh.setdefault(key, []).append(i)
+            if score_span is not None:
+                score_span.attrs["cache_hits"] = len(rows) - sum(
+                    len(ix) for ix in fresh.values()
                 )
-            for (key, indices), p in zip(fresh.items(), probabilities):
-                value = float(p)
-                self.cache.put(key, value)
-                for i in indices:
-                    results[i] = value
-        # Every slot must be filled by the cache or the fresh pass.
-        # The old ``[r for r in results if r is not None]`` filter
-        # silently *dropped* unfilled slots, shifting every later
-        # probability onto the wrong row; losing a row is an internal
-        # invariant violation and must be loud.
-        unfilled = [i for i, r in enumerate(results) if r is None]
-        if unfilled:
-            raise ServingError(
-                f"engine {self.name!r} lost row(s) {unfilled[:5]} of "
-                f"{len(rows)} in a scoring pass"
-            )
-        self.n_scored += len(rows)
-        return results  # fully populated: list[float]
+                score_span.attrs["fresh_rows"] = len(fresh)
+            if fresh:
+                table = self._build_table(
+                    [rows[indices[0]] for indices in fresh.values()]
+                )
+                probabilities = self.scorer.score(table)
+                if len(probabilities) != len(fresh):
+                    raise ServingError(
+                        f"scorer {self.name!r} returned "
+                        f"{len(probabilities)} probabilities for "
+                        f"{len(fresh)} distinct rows"
+                    )
+                for (key, indices), p in zip(fresh.items(), probabilities):
+                    value = float(p)
+                    self.cache.put(key, value)
+                    for i in indices:
+                        results[i] = value
+            # Every slot must be filled by the cache or the fresh pass.
+            # The old ``[r for r in results if r is not None]`` filter
+            # silently *dropped* unfilled slots, shifting every later
+            # probability onto the wrong row; losing a row is an internal
+            # invariant violation and must be loud.
+            unfilled = [i for i, r in enumerate(results) if r is None]
+            if unfilled:
+                raise ServingError(
+                    f"engine {self.name!r} lost row(s) {unfilled[:5]} of "
+                    f"{len(rows)} in a scoring pass"
+                )
+            self.n_scored += len(rows)
+            return results  # fully populated: list[float]
 
     def _build_table(self, rows: list[dict]) -> DataTable:
         return build_request_table(rows, self.schema)
@@ -295,7 +325,7 @@ class ScoringEngine:
         if self._closed:
             raise ServingError(f"engine {self.name!r} is closed")
         self.validate_row(row, index)
-        pending = _Pending(row)
+        pending = _Pending(row, trace_context=obs_trace.current_context())
         self._queue.put(pending)
         return pending
 
@@ -314,8 +344,9 @@ class ScoringEngine:
         """
         if not isinstance(rows, list) or not rows:
             raise ServingError("rows must be a non-empty list of objects")
-        pending = [self.submit(row, i) for i, row in enumerate(rows)]
-        return [p.wait(timeout) for p in pending]
+        with obs_trace.span("engine.score_many", rows=len(rows)):
+            pending = [self.submit(row, i) for i, row in enumerate(rows)]
+            return [p.wait(timeout) for p in pending]
 
     # -- process-sharded bulk scoring ---------------------------------------
     def _bulk_eligible(self, rows: list) -> bool:
@@ -356,10 +387,13 @@ class ScoringEngine:
             raise ServingError("rows must be a non-empty list of objects")
         if not self._bulk_eligible(rows):
             return self.score_many(rows, timeout)
-        for i, row in enumerate(rows):
-            self.validate_row(row, i)
-        executor, payload = self._ensure_bulk_executor()
-        probabilities = score_rows_sharded(payload, rows, executor)
+        with obs_trace.span(
+            "engine.score_batch", rows=len(rows), bulk_jobs=self.bulk_jobs
+        ):
+            for i, row in enumerate(rows):
+                self.validate_row(row, i)
+            executor, payload = self._ensure_bulk_executor()
+            probabilities = score_rows_sharded(payload, rows, executor)
         self.bulk_batches += 1
         self.bulk_rows += len(rows)
         self.n_scored += len(rows)
@@ -385,6 +419,30 @@ class ScoringEngine:
                     break
                 batch.append(item)
             self.batch_sizes.append(len(batch))
+            self._score_pendings(batch)
+            if self._stopping:
+                break
+
+    def _score_pendings(self, batch: list[_Pending]) -> None:
+        """Score one assembled micro-batch and resolve its waiters.
+
+        Runs in the worker thread, which has no request context: the
+        batch span goes to the engine's own tracer and parents onto the
+        *first* pending's shipped context (the request that opened the
+        batch), carrying the batch size and that request's queue wait.
+        """
+        tracer = (
+            self._tracer
+            if self._tracer is not None
+            else obs_trace.get_default_tracer()
+        )
+        queue_wait = time.monotonic() - batch[0].enqueued_at
+        with obs_trace.use_tracer(tracer), tracer.span(
+            "engine.batch",
+            parent=batch[0].trace_context,
+            batch_size=len(batch),
+            queue_wait_ms=round(1000.0 * queue_wait, 3),
+        ):
             try:
                 probabilities = self.score_rows(
                     [p.row for p in batch], validate=False
@@ -395,8 +453,6 @@ class ScoringEngine:
             else:
                 for p, probability in zip(batch, probabilities):
                     p.resolve(probability)
-            if self._stopping:
-                break
 
     # -- lifecycle & stats -------------------------------------------------
     def close(self) -> None:

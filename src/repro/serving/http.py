@@ -7,7 +7,8 @@ behind a :class:`http.server.ThreadingHTTPServer`:
 * ``GET  /healthz``          — liveness + registry size + uptime;
 * ``GET  /models``           — refresh the registry and list artefacts;
 * ``GET  /metrics``          — per-endpoint request counters / latency
-  percentiles plus per-engine batch and cache stats;
+  percentiles plus per-engine batch and cache stats (JSON), or the
+  Prometheus text exposition with ``?format=prometheus``;
 * ``POST /v1/score``         — ``{"model": ..., "row": {...}}`` → one
   probability (concurrent calls micro-batch inside the engine);
 * ``POST /v1/score/batch``   — ``{"model": ..., "rows": [...]}`` → a
@@ -16,23 +17,49 @@ behind a :class:`http.server.ThreadingHTTPServer`:
 One handler thread per connection (ThreadingHTTPServer) feeds the
 engines' micro-batch queues, which is where the concurrency pays off:
 N in-flight requests become ~N/max_batch model passes.
+
+Observability: every request runs under an ``http.request`` span of
+the service's tracer (handler thread → engine queue → bulk shard
+workers reassemble into one trace, see :mod:`repro.obs.trace`), the
+optional access log gets one JSON line per completed request carrying
+that trace id, and metrics label requests by a *fixed* route table —
+unknown paths share one ``"<METHOD> [unknown]"`` label so probe scans
+cannot explode the metric cardinality.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import ReproError, ServingError
+from repro.obs.accesslog import AccessLog
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.trace import Tracer, use_tracer
 from repro.serving.engine import ScoringEngine
 from repro.serving.metrics import RequestMetrics
 from repro.serving.registry import ScorerRegistry
 
-__all__ = ["ScoringService"]
+__all__ = ["ScoringService", "TextResponse"]
+
+logger = logging.getLogger("repro.serving.http")
+
+#: The known route table.  Metrics endpoint labels come only from this
+#: set — any other path is labelled ``"<METHOD> [unknown]"`` so a
+#: scanner hitting a million distinct 404 paths produces one metric
+#: series, not a million.
+_GET_ROUTES = ("/healthz", "/models", "/metrics")
+_POST_ROUTES = ("/v1/score", "/v1/score/batch")
+
+#: error_type fallbacks for statuses whose handler returns an error
+#: payload without raising (so no exception class is available).
+_STATUS_ERROR_TYPES = {404: "NotFound", 413: "BodyTooLarge"}
 
 
 def _jsonable(value):
@@ -44,6 +71,22 @@ def _jsonable(value):
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     return value
+
+
+class TextResponse:
+    """A plain-text response payload (e.g. the Prometheus exposition).
+
+    Handlers return it in place of a JSON dict when the body must ship
+    verbatim with a specific Content-Type.
+    """
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(
+        self, text: str, content_type: str = "text/plain; charset=utf-8"
+    ):
+        self.text = text
+        self.content_type = content_type
 
 
 class ScoringService:
@@ -67,6 +110,17 @@ class ScoringService:
     max_body_bytes:
         Request bodies above this size are refused with HTTP 413
         before a byte is read; ``0`` disables the limit.
+    tracer:
+        The service's :class:`~repro.obs.trace.Tracer`.  Every request
+        runs under an ``http.request`` span of this tracer and the
+        engines record their batch spans into it.  ``None`` (default)
+        installs a disabled tracer — zero-cost until the CLI passes a
+        real one (``serve --trace-out``).
+    access_log:
+        Structured JSON request log: an :class:`~repro.obs.accesslog.
+        AccessLog`, a path, or ``"-"`` for stdout.  A path/``"-"`` is
+        opened here and closed by :meth:`close`; ``None`` disables
+        logging.
     """
 
     def __init__(
@@ -81,6 +135,8 @@ class ScoringService:
         bulk_jobs: int = 1,
         bulk_threshold: int = 2048,
         max_body_bytes: int = 8 * 1024 * 1024,
+        tracer: Tracer | None = None,
+        access_log: AccessLog | str | Path | None = None,
     ):
         if max_body_bytes < 0:
             raise ServingError(
@@ -100,6 +156,15 @@ class ScoringService:
         self.bulk_jobs = bulk_jobs
         self.bulk_threshold = bulk_threshold
         self.max_body_bytes = max_body_bytes
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._owns_access_log = access_log is not None and not isinstance(
+            access_log, AccessLog
+        )
+        self.access_log = (
+            AccessLog(access_log)
+            if self._owns_access_log
+            else (access_log if isinstance(access_log, AccessLog) else None)
+        )
         self.metrics = RequestMetrics()
         self._engines: dict[str, ScoringEngine] = {}
         self._engines_lock = threading.Lock()
@@ -131,6 +196,7 @@ class ScoringService:
                     cache_size=self.cache_size,
                     bulk_jobs=self.bulk_jobs,
                     bulk_threshold=self.bulk_threshold,
+                    tracer=self.tracer,
                 )
                 self._engines[name] = engine
         if stale is not None:
@@ -160,8 +226,22 @@ class ScoringService:
             raise ServingError(f"'cutoff' must be in [0, 1], got {cutoff}")
         return float(cutoff)
 
+    def endpoint_label(self, method: str, path: str) -> str:
+        """The metrics label for a request — fixed-cardinality.
+
+        Known routes label as ``"<METHOD> <path>"``; everything else —
+        including every probing 404 — shares ``"<METHOD> [unknown]"``.
+        """
+        routes = _GET_ROUTES if method == "GET" else _POST_ROUTES
+        if path in routes:
+            return f"{method} {path}"
+        return f"{method} [unknown]"
+
     # -- request handling --------------------------------------------------
-    def handle_get(self, path: str) -> tuple[int, dict]:
+    def handle_get(
+        self, path: str, query: dict[str, str] | None = None
+    ) -> tuple[int, dict | TextResponse]:
+        query = query or {}
         if path == "/healthz":
             return 200, {
                 "status": "ok",
@@ -178,11 +258,26 @@ class ScoringService:
         if path == "/metrics":
             with self._engines_lock:
                 engines = dict(self._engines)
+            stats = {
+                name: engine.stats() for name, engine in engines.items()
+            }
+            fmt = query.get("format", "json")
+            if fmt == "prometheus":
+                text = render_prometheus(
+                    self.metrics.prometheus_snapshot(),
+                    engines=stats,
+                    uptime_seconds=time.monotonic() - self._started_at,
+                    n_models=len(self.registry.names()),
+                )
+                return 200, TextResponse(text, content_type=CONTENT_TYPE)
+            if fmt != "json":
+                raise ServingError(
+                    f"unknown metrics format {fmt!r} "
+                    f"(expected 'json' or 'prometheus')"
+                )
             return 200, {
                 "endpoints": self.metrics.summary(),
-                "engines": {
-                    name: engine.stats() for name, engine in engines.items()
-                },
+                "engines": stats,
             }
         return 404, {"error": f"no route for GET {path}"}
 
@@ -236,21 +331,30 @@ class ScoringService:
             def log_message(self, *args) -> None:  # quiet by default
                 pass
 
-            def _respond(self, status: int, payload: dict) -> None:
-                data = json.dumps(_jsonable(payload)).encode("utf-8")
+            def _respond(
+                self, status: int, payload: dict | TextResponse
+            ) -> int:
+                if isinstance(payload, TextResponse):
+                    data = payload.text.encode("utf-8")
+                    content_type = payload.content_type
+                else:
+                    data = json.dumps(_jsonable(payload)).encode("utf-8")
+                    content_type = "application/json"
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(data)))
                 self.end_headers()
                 self.wfile.write(data)
+                return len(data)
 
-            def _dispatch(self, method: str) -> None:
-                endpoint = f"{method} {self.path}"
-                start = time.perf_counter()
-                error_type = None
+            def _handle(
+                self, method: str, path: str, query: dict[str, str]
+            ) -> tuple[int, dict | TextResponse, str | None]:
+                """Route one request; returns (status, payload,
+                error_type) and never raises."""
                 try:
                     if method == "GET":
-                        status, payload = service.handle_get(self.path)
+                        status, payload = service.handle_get(path, query)
                     else:
                         length = int(self.headers.get("Content-Length") or 0)
                         limit = service.max_body_bytes
@@ -259,19 +363,12 @@ class ScoringService:
                             # would desynchronise keep-alive, so the
                             # connection is closed after responding.
                             self.close_connection = True
-                            service.metrics.observe(
-                                endpoint,
-                                time.perf_counter() - start,
-                                error=True,
-                                error_type="BodyTooLarge",
-                            )
-                            self._respond(413, {
+                            return 413, {
                                 "error": (
                                     f"request body of {length} bytes "
                                     f"exceeds the {limit}-byte limit"
                                 ),
-                            })
-                            return
+                            }, "BodyTooLarge"
                         raw = self.rfile.read(length) if length else b""
                         try:
                             body = json.loads(raw) if raw else {}
@@ -283,23 +380,82 @@ class ScoringService:
                             raise ServingError(
                                 "request body must be a JSON object"
                             )
-                        status, payload = service.handle_post(self.path, body)
-                except ServingError as exc:
-                    status, payload = 400, {"error": str(exc)}
-                    error_type = type(exc).__name__
+                        status, payload = service.handle_post(path, body)
                 except ReproError as exc:
-                    status, payload = 400, {"error": str(exc)}
-                    error_type = type(exc).__name__
+                    return 400, {"error": str(exc)}, type(exc).__name__
                 except Exception as exc:  # pragma: no cover - defensive
-                    status, payload = 500, {"error": f"internal error: {exc}"}
-                    error_type = type(exc).__name__
+                    return (
+                        500,
+                        {"error": f"internal error: {exc}"},
+                        type(exc).__name__,
+                    )
+                error_type = (
+                    _STATUS_ERROR_TYPES.get(status, f"HTTP{status}")
+                    if status >= 400
+                    else None
+                )
+                return status, payload, error_type
+
+            def _dispatch(self, method: str) -> None:
+                parsed = urlsplit(self.path)
+                path = parsed.path
+                query = {
+                    key: values[0]
+                    for key, values in parse_qs(parsed.query).items()
+                }
+                endpoint = service.endpoint_label(method, path)
+                tracer = service.tracer
+                trace_id = None
+                start = time.perf_counter()
+                with use_tracer(tracer), tracer.span(
+                    "http.request", method=method, path=path
+                ) as request_span:
+                    if request_span is not None:
+                        trace_id = request_span.trace_id
+                    status, payload, error_type = self._handle(
+                        method, path, query
+                    )
+                    if request_span is not None and error_type is not None:
+                        request_span.status = "error"
+                        request_span.error_type = error_type
+                elapsed = time.perf_counter() - start
                 service.metrics.observe(
                     endpoint,
-                    time.perf_counter() - start,
+                    elapsed,
                     error=status >= 400,
                     error_type=error_type,
                 )
-                self._respond(status, payload)
+                n_bytes = 0
+                try:
+                    n_bytes = self._respond(status, payload)
+                except Exception as exc:
+                    # The request was already counted; losing the
+                    # response must not lose the error.  record_error
+                    # keeps the failure visible in /metrics (a second
+                    # observe() would double-count the request), the
+                    # connection is dropped, and the exception stops
+                    # here — re-raising inside the handler thread would
+                    # only vanish into ThreadingHTTPServer.
+                    error_type = error_type or type(exc).__name__
+                    service.metrics.record_error(
+                        endpoint, type(exc).__name__
+                    )
+                    logger.exception(
+                        "failed to write %s response for %s",
+                        status,
+                        endpoint,
+                    )
+                    self.close_connection = True
+                if service.access_log is not None:
+                    service.access_log.write(
+                        method=method,
+                        path=path,
+                        status=status,
+                        n_bytes=n_bytes,
+                        duration_ms=1000.0 * elapsed,
+                        trace_id=trace_id,
+                        error_type=error_type,
+                    )
 
             def do_GET(self) -> None:
                 self._dispatch("GET")
@@ -348,6 +504,8 @@ class ScoringService:
             engines, self._engines = dict(self._engines), {}
         for engine in engines.values():
             engine.close()
+        if self.access_log is not None and self._owns_access_log:
+            self.access_log.close()
 
     def __enter__(self) -> "ScoringService":
         return self

@@ -1,15 +1,35 @@
-"""Per-endpoint request counters and latency histograms.
+"""Per-endpoint request counters and latency histograms — bounded.
 
-The serving layer measures itself with the same record types the sweep
-engine uses (:mod:`repro.parallel.timing`): each HTTP endpoint is a
-:class:`~repro.parallel.timing.StageTiming` whose tasks are individual
-requests, so ``--timings``-style rendering, percentile maths and the
-``StageTimings`` aggregate all come for free.
+Earlier revisions stored one :class:`~repro.parallel.timing.TaskTiming`
+per request, so a long-lived server's metrics grew without bound (the
+unbounded-memory bug this module now fixes).  The per-endpoint record
+keeps three bounded structures instead:
+
+* **exact scalars** — request count, summed/maximum seconds, error
+  count and per-type error counts are plain counters, exact forever;
+* **fixed histogram buckets** — one counter per bound in
+  :data:`BUCKET_BOUNDS`, feeding the Prometheus exposition
+  (:meth:`RequestMetrics.prometheus_snapshot`);
+* **a latency reservoir** — Algorithm R over at most
+  :data:`RESERVOIR_SIZE` samples, driven by an inline 64-bit LCG (no
+  stdlib RNG, deterministic given the arrival order).
+
+Semantics change vs. the unbounded version: ``count`` / ``mean`` /
+``max`` / error counters stay exact, but percentiles (``p50`` /
+``p95`` / ``p99``) are computed over the reservoir — exact up to
+``RESERVOIR_SIZE`` requests per endpoint, a uniform sample beyond
+that.  ``to_stage_timings`` likewise carries at most one sampled task
+per reservoir slot while ``wall_seconds`` remains the exact sum.
+
+``errors`` can exceed ``count``: :meth:`RequestMetrics.record_error`
+counts failures that happen *after* the request was timed (response
+serialisation, socket writes) without a second latency observation.
 """
 
 from __future__ import annotations
 
 import logging
+import math
 import threading
 from collections import Counter
 from contextlib import contextmanager
@@ -18,19 +38,122 @@ from time import perf_counter
 from repro.exceptions import ReproError
 from repro.parallel.timing import StageTiming, StageTimings, TaskTiming
 
-__all__ = ["RequestMetrics"]
+__all__ = ["RequestMetrics", "BUCKET_BOUNDS", "RESERVOIR_SIZE"]
 
 logger = logging.getLogger("repro.serving.metrics")
 
+#: Histogram bucket upper bounds in seconds (Prometheus ``le`` values);
+#: the implicit final bucket is ``+Inf``.
+BUCKET_BOUNDS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Latency samples kept per endpoint; percentiles are exact below this
+#: many requests and reservoir-sampled beyond it.
+RESERVOIR_SIZE = 512
+
+# 64-bit LCG (Knuth's MMIX constants): deterministic, seedless-stdlib-
+# free randomness for reservoir replacement decisions.  Metrics need
+# uniformity, not unpredictability.
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+class _EndpointRecord:
+    """Bounded per-endpoint accumulator (all access under the owner's
+    lock)."""
+
+    __slots__ = (
+        "count", "sum_seconds", "max_seconds", "errors", "error_types",
+        "bucket_counts", "samples", "_rng_state",
+    )
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+        self.errors = 0
+        self.error_types: Counter = Counter()
+        self.bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)  # [+Inf last]
+        self.samples: list[float] = []
+        self._rng_state = 0x9E3779B97F4A7C15
+
+    def _next_random(self, bound: int) -> int:
+        """Uniform int in [0, bound) from the record's LCG stream."""
+        self._rng_state = (
+            self._rng_state * _LCG_MULT + _LCG_INC
+        ) & _LCG_MASK
+        return (self._rng_state >> 33) % bound
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            if seconds <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        # Algorithm R: keep the first RESERVOIR_SIZE samples, then
+        # replace a uniformly chosen slot with probability size/count.
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(seconds)
+        else:
+            slot = self._next_random(self.count)
+            if slot < RESERVOIR_SIZE:
+                self.samples[slot] = seconds
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the reservoir (NaN when empty)."""
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        rank = math.ceil(q / 100.0 * len(ordered)) - 1
+        return ordered[max(0, min(rank, len(ordered) - 1))]
+
+    def summary(self) -> dict:
+        if self.count == 0:
+            nan = float("nan")
+            record = {
+                "count": 0, "mean": nan, "p50": nan,
+                "p95": nan, "p99": nan, "max": nan,
+            }
+        else:
+            record = {
+                "count": self.count,
+                "mean": self.sum_seconds / self.count,
+                "p50": self.percentile(50),
+                "p95": self.percentile(95),
+                "p99": self.percentile(99),
+                "max": self.max_seconds,
+            }
+        record["errors"] = self.errors
+        record["error_types"] = dict(self.error_types)
+        return record
+
 
 class RequestMetrics:
-    """Thread-safe request counters + latency histograms per endpoint."""
+    """Thread-safe bounded request counters + latency histograms.
+
+    The write-path API (:meth:`observe`, :meth:`timed`) and the read
+    side (:meth:`summary`, :meth:`to_stage_timings`, :meth:`render`)
+    are unchanged from the unbounded implementation; see the module
+    docstring for the percentile-sampling semantics.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._stages: dict[str, StageTiming] = {}
-        self._errors: dict[str, int] = {}
-        self._error_types: dict[str, Counter] = {}
+        self._endpoints: dict[str, _EndpointRecord] = {}
+
+    def _record(self, endpoint: str) -> _EndpointRecord:
+        record = self._endpoints.get(endpoint)
+        if record is None:
+            record = self._endpoints[endpoint] = _EndpointRecord()
+        return record
 
     def observe(
         self,
@@ -41,20 +164,24 @@ class RequestMetrics:
     ) -> None:
         """Record one request against ``endpoint`` (e.g. ``POST /v1/score``)."""
         with self._lock:
-            stage = self._stages.get(endpoint)
-            if stage is None:
-                stage = self._stages[endpoint] = StageTiming(stage=endpoint)
-                self._errors[endpoint] = 0
-                self._error_types[endpoint] = Counter()
-            stage.tasks.append(
-                TaskTiming(
-                    key=f"{endpoint}#{len(stage.tasks)}", seconds=seconds
-                )
-            )
-            stage.wall_seconds += seconds
+            record = self._record(endpoint)
+            record.observe(seconds)
             if error:
-                self._errors[endpoint] += 1
-                self._error_types[endpoint][error_type or "unknown"] += 1
+                record.errors += 1
+                record.error_types[error_type or "unknown"] += 1
+
+    def record_error(self, endpoint: str, error_type: str) -> None:
+        """Count an error with no latency observation.
+
+        For failures after the request was already observed — response
+        serialisation, the socket write — so nothing silently vanishes
+        from the error counters.  ``errors`` may exceed ``count`` as a
+        result.
+        """
+        with self._lock:
+            record = self._record(endpoint)
+            record.errors += 1
+            record.error_types[error_type or "unknown"] += 1
 
     @contextmanager
     def timed(self, endpoint: str):
@@ -94,41 +221,75 @@ class RequestMetrics:
     def request_count(self, endpoint: str | None = None) -> int:
         with self._lock:
             if endpoint is not None:
-                stage = self._stages.get(endpoint)
-                return stage.n_tasks if stage is not None else 0
-            return sum(s.n_tasks for s in self._stages.values())
+                record = self._endpoints.get(endpoint)
+                return record.count if record is not None else 0
+            return sum(r.count for r in self._endpoints.values())
 
     def error_count(self, endpoint: str | None = None) -> int:
         with self._lock:
             if endpoint is not None:
-                return self._errors.get(endpoint, 0)
-            return sum(self._errors.values())
+                record = self._endpoints.get(endpoint)
+                return record.errors if record is not None else 0
+            return sum(r.errors for r in self._endpoints.values())
 
     def summary(self) -> dict[str, dict]:
         """endpoint → counters + latency percentiles, for ``GET /metrics``."""
         with self._lock:
+            return {
+                endpoint: self._endpoints[endpoint].summary()
+                for endpoint in sorted(self._endpoints)
+            }
+
+    def prometheus_snapshot(self) -> dict[str, dict]:
+        """endpoint → exact counters + *cumulative* histogram buckets.
+
+        The shape :func:`repro.obs.prometheus.render_prometheus`
+        consumes: ``buckets`` is ``[(le_bound, cumulative_count), ...]``
+        over :data:`BUCKET_BOUNDS` (the renderer adds the ``+Inf``
+        bucket from ``count``).
+        """
+        with self._lock:
             out: dict[str, dict] = {}
-            for endpoint in sorted(self._stages):
-                stage = self._stages[endpoint]
-                record = stage.latency_summary()
-                record["errors"] = self._errors[endpoint]
-                record["error_types"] = dict(self._error_types[endpoint])
-                out[endpoint] = record
+            for endpoint in sorted(self._endpoints):
+                record = self._endpoints[endpoint]
+                cumulative = 0
+                buckets = []
+                for bound, n in zip(
+                    BUCKET_BOUNDS, record.bucket_counts
+                ):
+                    cumulative += n
+                    buckets.append((bound, cumulative))
+                out[endpoint] = {
+                    "count": record.count,
+                    "sum_seconds": record.sum_seconds,
+                    "errors": record.errors,
+                    "error_types": dict(record.error_types),
+                    "buckets": buckets,
+                }
             return out
 
     def to_stage_timings(self) -> StageTimings:
-        """The whole request log as a sweep-style ``StageTimings``."""
+        """The request log as a sweep-style ``StageTimings``.
+
+        ``wall_seconds`` per endpoint is the exact latency sum; the
+        task list carries the (at most ``RESERVOIR_SIZE``) sampled
+        latencies, so ``n_tasks`` can undercount busy endpoints —
+        ``request_count`` is the exact figure.
+        """
         with self._lock:
             return StageTimings(
                 backend="serving",
                 n_jobs=1,
                 stages=[
                     StageTiming(
-                        stage=s.stage,
-                        wall_seconds=s.wall_seconds,
-                        tasks=list(s.tasks),
+                        stage=endpoint,
+                        wall_seconds=record.sum_seconds,
+                        tasks=[
+                            TaskTiming(key=f"{endpoint}#{i}", seconds=s)
+                            for i, s in enumerate(record.samples)
+                        ],
                     )
-                    for s in self._stages.values()
+                    for endpoint, record in self._endpoints.items()
                 ],
             )
 

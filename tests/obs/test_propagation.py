@@ -1,0 +1,119 @@
+"""Cross-boundary trace propagation through the sweep executor.
+
+The tentpole guarantee: one dispatching context yields ONE connected
+span tree whether tasks run in-process (serial backend) or in pool
+workers (process backend), and the two backends produce the same tree
+shape.
+"""
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.obs.trace import span as obs_span
+from repro.parallel import SweepExecutor, SweepTask
+
+N_TASKS = 4
+
+
+def _traced_square(x):
+    # Worker-side instrumentation: must end up parented under the
+    # shipped task span, in the dispatcher's trace.
+    with obs_span("work.square", x=x):
+        return x * x
+
+
+def _tasks():
+    return [
+        SweepTask(
+            key=f"prop/sq-{i}",
+            fn=_traced_square,
+            args=(i,),
+            stage="prop",
+            threshold=i,
+        )
+        for i in range(N_TASKS)
+    ]
+
+
+def _run_traced(n_jobs):
+    tracer = Tracer(max_spans=None)
+    with SweepExecutor(n_jobs=n_jobs) as executor, use_tracer(tracer):
+        results = executor.run(_tasks(), stage="prop")
+    return tracer.finished(), results
+
+
+def _tree_shape(spans):
+    """(name, parent name) pairs — backend-independent tree shape."""
+    by_id = {s.span_id: s for s in spans}
+    return sorted(
+        (s.name, by_id[s.parent_id].name if s.parent_id else None)
+        for s in spans
+    )
+
+
+@pytest.mark.parametrize("n_jobs", [1, 2], ids=["serial", "process"])
+class TestConnectedTrace:
+    def test_results_unaffected_by_tracing(self, n_jobs):
+        _, results = _run_traced(n_jobs)
+        assert [r.value for r in results] == [i * i for i in range(N_TASKS)]
+
+    def test_single_connected_tree(self, n_jobs):
+        spans, _ = _run_traced(n_jobs)
+        assert len(spans) == 1 + 2 * N_TASKS
+        assert len({s.trace_id for s in spans}) == 1
+
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert [r.name for r in roots] == ["executor.run"]
+        # Every non-root span's parent is present: no orphans.
+        assert all(
+            s.parent_id in by_id for s in spans if s.parent_id is not None
+        )
+
+        run_span = roots[0]
+        assert run_span.attrs["backend"] == (
+            "serial" if n_jobs == 1 else "process"
+        )
+        assert run_span.attrs["n_tasks"] == N_TASKS
+
+        task_spans = [s for s in spans if s.name.startswith("task.")]
+        assert sorted(s.name for s in task_spans) == [
+            f"task.prop/sq-{i}" for i in range(N_TASKS)
+        ]
+        assert all(s.parent_id == run_span.span_id for s in task_spans)
+
+        work_spans = [s for s in spans if s.name == "work.square"]
+        task_ids = {s.span_id for s in task_spans}
+        assert len(work_spans) == N_TASKS
+        assert all(s.parent_id in task_ids for s in work_spans)
+
+    def test_task_span_carries_stage_and_threshold(self, n_jobs):
+        spans, _ = _run_traced(n_jobs)
+        task_span = next(s for s in spans if s.name == "task.prop/sq-2")
+        assert task_span.attrs["stage"] == "prop"
+        assert task_span.attrs["threshold"] == 2
+
+
+class TestBackendParity:
+    def test_serial_and_process_trees_have_identical_shape(self):
+        serial_spans, _ = _run_traced(1)
+        process_spans, _ = _run_traced(2)
+        assert _tree_shape(serial_spans) == _tree_shape(process_spans)
+
+
+class TestUntracedPath:
+    @pytest.mark.parametrize("n_jobs", [1, 2], ids=["serial", "process"])
+    def test_no_tracer_ships_no_context_and_no_spans(self, n_jobs):
+        with SweepExecutor(n_jobs=n_jobs) as executor:
+            results = executor.run(_tasks(), stage="prop")
+        assert [r.value for r in results] == [i * i for i in range(N_TASKS)]
+        assert all(r.spans == () for r in results)
+
+    def test_timed_stage_emits_a_stage_span_when_tracing(self):
+        tracer = Tracer(max_spans=None)
+        with SweepExecutor(n_jobs=1) as executor, use_tracer(tracer):
+            with executor.timed_stage("selection"):
+                pass
+        (stage_span,) = tracer.finished()
+        assert stage_span.name == "stage.selection"
+        assert stage_span.attrs["backend"] == "serial"

@@ -1,0 +1,78 @@
+"""JSON-lines trace files: write with the sink, read back, corruption."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import JsonlSpanSink, Span, Tracer, read_spans
+
+
+def _make_span(i: int) -> Span:
+    return Span(
+        name=f"s{i}",
+        trace_id="t" * 32,
+        span_id=f"{i:016x}",
+        start_time=float(i),
+        duration=0.5,
+        attrs={"i": i},
+    )
+
+
+class TestJsonlSpanSink:
+    def test_roundtrip_through_read_spans(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSpanSink(path) as sink:
+            for i in range(3):
+                sink(_make_span(i))
+            assert sink.n_spans == 3
+        assert read_spans(path) == [_make_span(i) for i in range(3)]
+
+    def test_appends_across_reopens(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSpanSink(path) as sink:
+            sink(_make_span(0))
+        with JsonlSpanSink(path) as sink:
+            sink(_make_span(1))
+        assert [s.name for s in read_spans(path)] == ["s0", "s1"]
+
+    def test_as_tracer_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSpanSink(path) as sink:
+            tracer = Tracer(sink=sink)
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        names = [s.name for s in read_spans(path)]
+        assert names == ["inner", "outer"]
+
+
+class TestReadSpans:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as handle:
+            handle.write(json.dumps(_make_span(0).to_dict()) + "\n")
+            handle.write('{"name": "torn", "trace')  # killed mid-write
+        assert [s.name for s in read_spans(path)] == ["s0"]
+
+    def test_corrupt_interior_line_is_loud(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps(_make_span(0).to_dict()) + "\n")
+        with pytest.raises(ObservabilityError, match=":1:"):
+            read_spans(path)
+
+    def test_valid_json_bad_span_is_loud(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "x"}\n' + "\n")
+        with pytest.raises(ObservabilityError, match=":1:"):
+            read_spans(path)
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as handle:
+            handle.write("\n")
+            handle.write(json.dumps(_make_span(0).to_dict()) + "\n")
+            handle.write("\n")
+        assert [s.name for s in read_spans(path)] == ["s0"]

@@ -1,0 +1,188 @@
+"""Tracer semantics: nesting, parenting, error status, bounds."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Span,
+    SpanContext,
+    Tracer,
+    current_context,
+    current_tracer,
+    get_default_tracer,
+    set_default_tracer,
+    span,
+    use_tracer,
+)
+from repro.exceptions import ObservabilityError
+
+
+class TestTracerBasics:
+    def test_nested_spans_share_trace_and_link_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        spans = tracer.finished()
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert all(s.duration >= 0.0 for s in spans)
+        assert all(s.status == "ok" for s in spans)
+
+    def test_sibling_spans_get_distinct_ids(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.span_id != b.span_id
+        assert a.parent_id == b.parent_id
+
+    def test_explicit_parent_overrides_context(self):
+        tracer = Tracer()
+        shipped = SpanContext(trace_id="t" * 32, span_id="p" * 16)
+        with tracer.span("ambient"):
+            with tracer.span("child", parent=shipped) as child:
+                pass
+        assert child.trace_id == shipped.trace_id
+        assert child.parent_id == shipped.span_id
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (recorded,) = tracer.finished()
+        assert recorded.status == "error"
+        assert recorded.error_type == "ValueError"
+
+    def test_attrs_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("stage.fit", threshold=8, backend="serial"):
+            pass
+        (recorded,) = tracer.finished()
+        assert recorded.attrs == {"threshold": 8, "backend": "serial"}
+
+    def test_drain_empties_the_buffer(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        assert [s.name for s in tracer.drain()] == ["one"]
+        assert tracer.finished() == []
+
+    def test_absorb_adopts_foreign_spans(self):
+        tracer = Tracer()
+        foreign = Span(name="worker", trace_id="t" * 32, span_id="w" * 16)
+        tracer.absorb([foreign])
+        assert tracer.finished() == [foreign]
+
+    def test_sink_receives_each_finished_span(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in seen] == ["inner", "outer"]
+
+
+class TestDisabledTracer:
+    def test_span_is_noop_and_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible") as handle:
+            assert handle is None
+        assert len(tracer) == 0
+        assert tracer.current_context() is None
+
+    def test_default_tracer_is_disabled(self):
+        assert not get_default_tracer().enabled
+        with span("library.site") as handle:
+            assert handle is None
+
+
+class TestRingBuffer:
+    def test_oldest_spans_drop_beyond_capacity(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.finished()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_unbounded_tracer_never_drops(self):
+        tracer = Tracer(max_spans=None)
+        for i in range(100):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 100
+        assert tracer.dropped == 0
+
+
+class TestContextPlumbing:
+    def test_use_tracer_scopes_the_active_tracer(self):
+        tracer = Tracer()
+        before = current_tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with span("scoped"):
+                pass
+        assert current_tracer() is before
+        assert [s.name for s in tracer.finished()] == ["scoped"]
+
+    def test_set_default_tracer_swaps_and_restores(self):
+        tracer = Tracer()
+        previous = set_default_tracer(tracer)
+        try:
+            with span("global"):
+                pass
+        finally:
+            assert set_default_tracer(previous) is tracer
+        assert [s.name for s in tracer.finished()] == ["global"]
+
+    def test_current_context_reflects_the_open_span(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_context() is None
+            with tracer.span("open") as open_span:
+                ctx = current_context()
+                assert ctx == open_span.context()
+            assert current_context() is None
+
+    def test_context_does_not_leak_across_threads(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            seen["context"] = tracer.current_context()
+
+        with use_tracer(tracer), tracer.span("main-thread"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["context"] is None
+
+
+class TestSpanSerialisation:
+    def test_roundtrip(self):
+        original = Span(
+            name="stage.fit",
+            trace_id="t" * 32,
+            span_id="s" * 16,
+            parent_id="p" * 16,
+            start_time=12.5,
+            duration=0.25,
+            attrs={"threshold": 8},
+            status="error",
+            error_type="MiningError",
+        )
+        assert Span.from_dict(original.to_dict()) == original
+
+    @pytest.mark.parametrize(
+        "payload", [None, [], "span", {"name": "x"}, {"trace_id": "t"}]
+    )
+    def test_malformed_payload_is_loud(self, payload):
+        with pytest.raises(ObservabilityError):
+            Span.from_dict(payload)

@@ -1,0 +1,86 @@
+"""Waterfall rendering of reassembled span trees."""
+
+from repro.obs import Span, group_traces, render_waterfall
+
+TRACE_A = "a" * 32
+TRACE_B = "b" * 32
+
+
+def _span(name, span_id, parent_id=None, start=0.0, duration=0.1,
+          trace_id=TRACE_A, **kwargs):
+    return Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        start_time=start,
+        duration=duration,
+        **kwargs,
+    )
+
+
+def _tree():
+    return [
+        _span("root", "r" * 16, start=10.0, duration=0.4),
+        _span("child-late", "c1" * 8, "r" * 16, start=10.2, duration=0.1),
+        _span("child-early", "c2" * 8, "r" * 16, start=10.05, duration=0.1),
+        _span("grandchild", "g" * 16, "c2" * 8, start=10.06, duration=0.05),
+    ]
+
+
+class TestGroupTraces:
+    def test_groups_by_trace_id_ordered_by_start(self):
+        late = _span("late", "1" * 16, start=50.0, trace_id=TRACE_B)
+        groups = group_traces(_tree() + [late])
+        assert [g[0].trace_id for g in groups] == [TRACE_A, TRACE_B]
+        assert len(groups[0]) == 4 and len(groups[1]) == 1
+
+
+class TestRenderWaterfall:
+    def test_empty_input(self):
+        assert render_waterfall([]) == "no spans"
+
+    def test_header_and_indentation(self):
+        text = render_waterfall(_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith(f"trace {TRACE_A}  (4 spans,")
+        # Depth-first with children ordered by start time.
+        names = [line.split()[0] for line in lines[1:]]
+        assert names == ["root", "child-early", "grandchild", "child-late"]
+        assert "    grandchild" in lines[3]  # depth 2 → two indent levels
+
+    def test_error_spans_are_marked(self):
+        spans = [
+            _span("root", "r" * 16, start=0.0),
+            _span("bad", "x" * 16, "r" * 16, start=0.01,
+                  status="error", error_type="ServingError"),
+        ]
+        assert "! ServingError" in render_waterfall(spans)
+
+    def test_orphan_spans_are_promoted_to_roots(self):
+        orphan = _span("orphan", "o" * 16, parent_id="gone" * 4, start=10.1)
+        text = render_waterfall([_tree()[0], orphan])
+        lines = text.splitlines()
+        # Rendered at depth 0 despite the dangling parent id.
+        assert any(line.strip().startswith("orphan") for line in lines)
+        assert not any(line.startswith("    orphan") for line in lines)
+
+    def test_attrs_appear_in_the_row(self):
+        spans = [_span("root", "r" * 16, attrs={"rows": 60, "hit": True})]
+        text = render_waterfall(spans)
+        assert "rows=60" in text and "hit=True" in text
+
+    def test_bars_fit_the_requested_width(self):
+        for width in (8, 32):
+            text = render_waterfall(_tree(), width=width)
+            for line in text.splitlines()[1:]:
+                bar = line.split("|")[1]
+                assert len(bar) == width
+                assert set(bar) <= {"#", " "}
+                assert "#" in bar
+
+    def test_multiple_traces_render_as_blocks(self):
+        other = _span("other", "z" * 16, start=99.0, trace_id=TRACE_B)
+        text = render_waterfall(_tree() + [other])
+        assert text.count("trace ") == 2
+        assert "\n\n" in text

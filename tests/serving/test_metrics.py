@@ -5,6 +5,7 @@ import threading
 import pytest
 
 from repro.serving import RequestMetrics
+from repro.serving.metrics import BUCKET_BOUNDS, RESERVOIR_SIZE
 
 
 class TestObserve:
@@ -83,3 +84,79 @@ class TestSummaries:
         text = metrics.render()
         assert "POST /v1/score" in text
         assert "p95 ms" in text
+
+
+class TestBoundedMemory:
+    """The unbounded-memory fix: storage stays capped, counters exact."""
+
+    def test_storage_is_bounded_and_counters_stay_exact(self):
+        metrics = RequestMetrics()
+        n = 3 * RESERVOIR_SIZE
+        for i in range(n):
+            metrics.observe("POST /v1/score", (i % 100 + 1) / 1000.0)
+        record = metrics._endpoints["POST /v1/score"]
+        assert len(record.samples) == RESERVOIR_SIZE
+        summary = metrics.summary()["POST /v1/score"]
+        assert summary["count"] == n
+        assert summary["max"] == 0.100
+        # Reservoir percentiles stay inside the observed value range
+        # and ordered, even though they are sampled.
+        assert 0.001 <= summary["p50"] <= summary["p95"] <= 0.100
+
+    def test_percentiles_exact_below_reservoir_size(self):
+        metrics = RequestMetrics()
+        for ms in range(1, RESERVOIR_SIZE + 1):
+            metrics.observe("e", ms / 1000.0)
+        record = metrics._endpoints["e"]
+        assert len(record.samples) == RESERVOIR_SIZE
+        assert metrics.summary()["e"]["p50"] == RESERVOIR_SIZE / 2 / 1000.0
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            metrics = RequestMetrics()
+            for i in range(2000):
+                metrics.observe("e", (i % 37) / 1000.0)
+            return list(metrics._endpoints["e"].samples)
+
+        assert fill() == fill()
+
+
+class TestRecordError:
+    def test_counts_without_a_latency_observation(self):
+        metrics = RequestMetrics()
+        metrics.observe("GET /healthz", 0.001)
+        metrics.record_error("GET /healthz", "BrokenPipeError")
+        summary = metrics.summary()["GET /healthz"]
+        assert summary["count"] == 1
+        assert summary["errors"] == 1
+        assert summary["error_types"] == {"BrokenPipeError": 1}
+
+    def test_errors_may_exceed_count(self):
+        metrics = RequestMetrics()
+        metrics.record_error("GET /healthz", "TypeError")
+        assert metrics.error_count("GET /healthz") == 1
+        assert metrics.request_count("GET /healthz") == 0
+
+
+class TestPrometheusSnapshot:
+    def test_buckets_are_cumulative(self):
+        metrics = RequestMetrics()
+        for seconds in (0.0005, 0.002, 0.002, 0.03, 99.0):
+            metrics.observe("e", seconds)
+        snapshot = metrics.prometheus_snapshot()["e"]
+        assert snapshot["count"] == 5
+        assert snapshot["sum_seconds"] == pytest.approx(99.0345)
+        bounds = [bound for bound, _ in snapshot["buckets"]]
+        assert bounds == list(BUCKET_BOUNDS)
+        counts = [n for _, n in snapshot["buckets"]]
+        assert counts == sorted(counts)
+        # 99.0 s lands beyond every finite bound: only the renderer's
+        # +Inf bucket (== count) covers it.
+        assert counts[-1] == 4
+
+    def test_error_types_included(self):
+        metrics = RequestMetrics()
+        metrics.observe("e", 0.01, error=True, error_type="ServingError")
+        snapshot = metrics.prometheus_snapshot()["e"]
+        assert snapshot["errors"] == 1
+        assert snapshot["error_types"] == {"ServingError": 1}

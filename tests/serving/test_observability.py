@@ -1,0 +1,262 @@
+"""End-to-end observability of the scoring service.
+
+The acceptance test of the tracing tentpole lives here: one bulk
+``POST /v1/score/batch`` must come back as a SINGLE connected span
+tree — handler thread → engine → executor → pool workers — with every
+parent/child link intact.  Alongside it: the Prometheus exposition
+endpoint, fixed-cardinality 404 labels, the structured access log, and
+the post-``timed()`` error accounting.
+"""
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import Tracer, validate_exposition
+from repro.obs.prometheus import CONTENT_TYPE
+from repro.serving import ScoringService
+
+
+def _get(service, path):
+    with urllib.request.urlopen(service.url + path, timeout=10) as response:
+        return (
+            response.status,
+            dict(response.headers),
+            response.read().decode("utf-8"),
+        )
+
+
+def _post(service, path, payload):
+    request = urllib.request.Request(
+        service.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def _wait_for_spans(tracer, names, timeout=5.0):
+    """Spans finishing on worker threads can trail the HTTP response."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        spans = tracer.finished()
+        if names <= {s.name for s in spans}:
+            return spans
+    raise AssertionError(
+        f"expected spans {names}, got "
+        f"{sorted({s.name for s in tracer.finished()})}"
+    )
+
+
+class TestBulkRequestTrace:
+    def test_one_batch_post_yields_one_connected_trace(
+        self, model_dir, segment_rows
+    ):
+        tracer = Tracer(max_spans=None)
+        with ScoringService(
+            model_dir,
+            port=0,
+            bulk_jobs=2,
+            bulk_threshold=10,
+            tracer=tracer,
+        ).start() as service:
+            out = _post(
+                service, "/v1/score/batch", {"rows": segment_rows}
+            )
+        assert out["count"] == len(segment_rows)
+
+        spans = tracer.finished()
+        names = {s.name for s in spans}
+        assert {
+            "http.request",
+            "engine.score_batch",
+            "executor.run",
+            "bulk.score_shard",
+        } <= names
+
+        # SINGLE connected trace: one trace id, one root, no orphans.
+        assert len({s.trace_id for s in spans}) == 1
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert [r.name for r in roots] == ["http.request"]
+        assert all(
+            s.parent_id in by_id for s in spans if s.parent_id is not None
+        )
+
+        def parent_of(span):
+            return by_id[span.parent_id]
+
+        # The queue-wait → fan-out → per-worker chain, link by link.
+        batch_span = next(s for s in spans if s.name == "engine.score_batch")
+        assert parent_of(batch_span).name == "http.request"
+        run_span = next(s for s in spans if s.name == "executor.run")
+        assert parent_of(run_span).name == "engine.score_batch"
+        task_spans = [
+            s for s in spans if s.name.startswith("task.bulk-score/shard-")
+        ]
+        assert len(task_spans) == 2  # bulk_jobs=2 → two shards
+        assert all(s.parent_id == run_span.span_id for s in task_spans)
+        shard_spans = [s for s in spans if s.name == "bulk.score_shard"]
+        assert len(shard_spans) == 2
+        assert {parent_of(s).span_id for s in shard_spans} == {
+            s.span_id for s in task_spans
+        }
+        assert sum(s.attrs["rows"] for s in shard_spans) == len(segment_rows)
+        # Worker-side kernel evaluation rides inside the shard spans.
+        evaluate_spans = [s for s in spans if s.name == "plan.evaluate"]
+        assert evaluate_spans
+        shard_ids = {s.span_id for s in shard_spans}
+        assert all(s.parent_id in shard_ids for s in evaluate_spans)
+
+
+class TestMicroBatchTrace:
+    def test_single_score_connects_through_the_batch_worker(
+        self, model_dir, segment_rows
+    ):
+        tracer = Tracer(max_spans=None)
+        with ScoringService(
+            model_dir, port=0, max_wait_ms=5.0, tracer=tracer
+        ).start() as service:
+            out = _post(service, "/v1/score", {"row": segment_rows[0]})
+            assert 0.0 <= out["probability"] <= 1.0
+            spans = _wait_for_spans(
+                tracer, {"http.request", "engine.batch", "engine.score_rows"}
+            )
+
+        assert len({s.trace_id for s in spans}) == 1
+        by_id = {s.span_id: s for s in spans}
+        batch_span = next(s for s in spans if s.name == "engine.batch")
+        # The batch worker thread has no request context: the link is
+        # the shipped _Pending.trace_context.
+        assert by_id[batch_span.parent_id].name == "http.request"
+        assert batch_span.attrs["batch_size"] >= 1
+        assert batch_span.attrs["queue_wait_ms"] >= 0.0
+        score_span = next(s for s in spans if s.name == "engine.score_rows")
+        assert by_id[score_span.parent_id].name == "engine.batch"
+
+
+class TestPrometheusEndpoint:
+    def test_exposition_parses_and_carries_traffic(
+        self, model_dir, segment_rows
+    ):
+        with ScoringService(model_dir, port=0).start() as service:
+            _post(service, "/v1/score", {"row": segment_rows[0]})
+            _get(service, "/healthz")
+            status, headers, text = _get(
+                service, "/metrics?format=prometheus"
+            )
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        assert validate_exposition(text) > 0
+        assert (
+            'repro_requests_total{endpoint="POST /v1/score"} 1'
+            in text.splitlines()
+        )
+        assert "repro_engine_rows_scored_total" in text
+        assert "repro_uptime_seconds" in text
+
+    def test_json_metrics_remain_the_default(self, model_dir):
+        with ScoringService(model_dir, port=0).start() as service:
+            status, headers, body = _get(service, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert set(json.loads(body)) == {"endpoints", "engines"}
+
+    def test_unknown_format_is_a_request_error(self, model_dir):
+        with ScoringService(model_dir, port=0).start() as service:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(service, "/metrics?format=xml")
+            assert excinfo.value.code == 400
+
+
+class TestUnknownPathLabels:
+    def test_probe_scans_share_one_metric_series(self, model_dir):
+        with ScoringService(model_dir, port=0).start() as service:
+            for i in range(3):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _get(service, f"/probe/{i}")
+                assert excinfo.value.code == 404
+            summary = service.metrics.summary()
+        assert summary["GET [unknown]"]["count"] == 3
+        assert summary["GET [unknown]"]["error_types"] == {"NotFound": 3}
+        assert not any("/probe/" in endpoint for endpoint in summary)
+
+
+class TestAccessLog:
+    def test_one_json_line_per_request_with_trace_join(
+        self, model_dir, segment_rows, tmp_path
+    ):
+        log_path = tmp_path / "access.jsonl"
+        tracer = Tracer(max_spans=None)
+        with ScoringService(
+            model_dir, port=0, tracer=tracer, access_log=log_path
+        ).start() as service:
+            _get(service, "/healthz")
+            _post(service, "/v1/score", {"row": segment_rows[0]})
+            with pytest.raises(urllib.error.HTTPError):
+                _get(service, "/nope")
+
+        lines = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        assert [(l["method"], l["path"], l["status"]) for l in lines] == [
+            ("GET", "/healthz", 200),
+            ("POST", "/v1/score", 200),
+            ("GET", "/nope", 404),
+        ]
+        for line in lines:
+            assert line["bytes"] > 0
+            assert line["duration_ms"] >= 0.0
+            assert line["ts"].startswith("20")
+        assert lines[0]["error_type"] is None
+        assert lines[2]["error_type"] == "NotFound"
+        # Each line's trace id joins to that request's span tree.
+        request_spans = {
+            s.attrs["path"]: s.trace_id
+            for s in tracer.finished()
+            if s.name == "http.request"
+        }
+        for line in lines:
+            assert line["trace_id"] == request_spans[line["path"]]
+
+    def test_untraced_service_logs_null_trace_ids(self, model_dir, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        with ScoringService(
+            model_dir, port=0, access_log=log_path
+        ).start() as service:
+            _get(service, "/healthz")
+        (line,) = [
+            json.loads(l) for l in log_path.read_text().splitlines()
+        ]
+        assert line["trace_id"] is None
+
+
+class TestRespondFailureAccounting:
+    def test_serialisation_failure_still_counts_as_an_error(self, model_dir):
+        with ScoringService(model_dir, port=0).start() as service:
+            # A payload json.dumps cannot serialise: the failure happens
+            # in _respond, after metrics.timed-equivalent observation.
+            service.handle_get = lambda path, query=None: (
+                200,
+                {"oops": object()},
+            )
+            with pytest.raises(
+                (
+                    urllib.error.URLError,
+                    http.client.HTTPException,
+                    ConnectionError,
+                )
+            ):
+                _get(service, "/healthz")
+            summary = service.metrics.summary()["GET /healthz"]
+        # Observed once as a (200) request, then the write failure is
+        # recorded on top — visible, not double-counted.
+        assert summary["count"] == 1
+        assert summary["errors"] == 1
+        assert summary["error_types"] == {"TypeError": 1}
