@@ -11,6 +11,10 @@ Python:
 * ``score`` — score a segment CSV with a saved scorer (table, JSON or
   CSV output; ``--bulk`` shards the pass across a process pool);
 * ``serve`` — serve a directory of scorers over HTTP;
+* ``loadtest`` — generate deterministic load against a scoring service
+  (self-hosted or ``--url``), report per-endpoint throughput and
+  latency percentiles, cross-check client/server request counts, and
+  gate the exit code on declarative ``--slo`` specs;
 * ``wetdry`` — the stage-1 wet/dry differentiation analysis;
 * ``trace`` — inspect ``--trace-out`` span files (waterfall rendering);
 * ``lint`` — run the project's static-analysis rules (REP001–REP005).
@@ -189,6 +193,73 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write one structured JSON line per HTTP request to PATH "
         "('-' for stdout)",
+    )
+
+    load = sub.add_parser(
+        "loadtest",
+        help="load-test a scoring service and gate on SLOs",
+    )
+    load.add_argument(
+        "model_dir",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="model directory to self-host (omit with --url)",
+    )
+    load.add_argument(
+        "--url",
+        default=None,
+        help="target an already-running service instead of self-hosting",
+    )
+    load.add_argument(
+        "--profile",
+        default="mixed",
+        help="workload mix: mixed | score | batch | browse",
+    )
+    load.add_argument("--duration", type=float, default=5.0,
+                      help="measured window in seconds")
+    load.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="open-loop offered load in req/s (0 = closed loop)",
+    )
+    load.add_argument(
+        "--arrival",
+        choices=("fixed", "poisson"),
+        default="poisson",
+        help="open-loop arrival process (only used with --rate)",
+    )
+    load.add_argument("--clients", type=int, default=4,
+                      help="concurrent keep-alive connections")
+    load.add_argument("--warmup", type=float, default=1.0,
+                      help="warmup seconds before the measured window")
+    load.add_argument("--seed", type=int, default=7,
+                      help="workload-schedule seed (same seed, same requests)")
+    load.add_argument("--model", default=None,
+                      help="model name to score against (default: the only one)")
+    load.add_argument("--batch-size", type=int, default=16,
+                      help="rows per /v1/score/batch request")
+    load.add_argument("--segments", type=int, default=2000,
+                      help="synthetic segments to draw payload rows from")
+    load.add_argument(
+        "--slo",
+        action="append",
+        type=Path,
+        default=[],
+        metavar="SPEC",
+        help="SLO spec file (JSON; repeatable); any violation exits 1",
+    )
+    load.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report")
+    load.add_argument("--slowest", type=int, default=5,
+                      help="how many slowest requests to report")
+    load.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record the self-hosted server's spans as JSON lines "
+        "('-' for stdout; ignored with --url)",
     )
 
     wet = sub.add_parser("wetdry", help="wet/dry crash differentiation")
@@ -453,6 +524,143 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _loadtest_rows(args, input_schema) -> list[dict]:
+    """Schema-shaped payload rows from a synthetic dataset."""
+    config = small_config(n_segments=args.segments, n_towns=18)
+    dataset = QDTMRSyntheticGenerator(config).generate(seed=args.seed)
+    table = dataset.segment_table
+    expected = list(input_schema)
+    n = min(table.n_rows, 512)
+    return [
+        {name: row[name] for name in expected}
+        for row in (table.row(i) for i in range(n))
+    ]
+
+
+def _cmd_loadtest(args) -> int:
+    from repro.loadtest import LoadTest, SLOSpec
+
+    if (args.model_dir is None) == (args.url is None):
+        print(
+            "loadtest needs exactly one target: a model_dir to "
+            "self-host, or --url for a running service",
+            file=sys.stderr,
+        )
+        return 2
+    # Load the SLO specs before spending minutes generating load.
+    specs = [SLOSpec.load(path) for path in args.slo]
+
+    service = None
+    try:
+        if args.model_dir is not None:
+            from repro.obs import JsonlSpanSink, Tracer
+            from repro.serving import ScoringService
+
+            sink = (
+                JsonlSpanSink(args.trace_out)
+                if args.trace_out is not None
+                else None
+            )
+            tracer = Tracer(enabled=True, sink=sink)
+            service = ScoringService(
+                args.model_dir, port=0, tracer=tracer
+            ).start()
+            url = service.url
+            names = service.registry.names()
+            entry = service.registry.get(
+                args.model if args.model is not None else
+                (names[0] if names else "<empty>")
+            )
+            input_schema = entry.scorer.input_schema()
+            print(
+                f"self-hosting {len(service.registry)} scorer(s) "
+                f"at {url}",
+                file=sys.stderr,
+            )
+        else:
+            import urllib.request
+
+            url = args.url
+            with urllib.request.urlopen(
+                url.rstrip("/") + "/models", timeout=10
+            ) as response:
+                models = json.loads(response.read())["models"]
+            by_name = {m["name"]: m for m in models}
+            name = args.model or (
+                models[0]["name"] if len(models) == 1 else None
+            )
+            if name is None or name not in by_name:
+                available = ", ".join(sorted(by_name)) or "none"
+                print(
+                    f"pick a --model (available: {available})",
+                    file=sys.stderr,
+                )
+                return 2
+            input_schema = by_name[name]["inputs"]
+
+        rows = _loadtest_rows(args, input_schema)
+        test = LoadTest(
+            url,
+            rows,
+            service=service,
+            profile=args.profile,
+            clients=args.clients,
+            duration=args.duration,
+            rate=args.rate,
+            arrival=args.arrival,
+            warmup=args.warmup,
+            seed=args.seed,
+            model=args.model,
+            batch_size=args.batch_size,
+            slowest_k=args.slowest,
+        )
+        report = test.run()
+    finally:
+        if service is not None:
+            service.close()
+            if args.trace_out is not None:
+                n_spans = service.tracer.sink.n_spans
+                service.tracer.sink.close()
+                if str(args.trace_out) != "-":
+                    print(
+                        f"wrote {n_spans} spans -> {args.trace_out}",
+                        file=sys.stderr,
+                    )
+
+    violations = []
+    for spec in specs:
+        violations.extend(spec.evaluate(report))
+    if args.json:
+        payload = report.to_dict()
+        payload["slo"] = {
+            "specs": [spec.name for spec in specs],
+            "violations": [v.describe() for v in violations],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        for violation in violations:
+            print(f"SLO VIOLATION: {violation.describe()}")
+    if not report.parity_ok:
+        print(
+            "FAIL: client/server request counts disagree — requests "
+            "were lost",
+            file=sys.stderr,
+        )
+        return 1
+    if violations:
+        print(
+            f"FAIL: {len(violations)} SLO violation(s)", file=sys.stderr
+        )
+        return 1
+    if specs:
+        print(
+            f"PASS: {sum(len(s.rules) for s in specs)} SLO rule(s) held",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import read_spans, render_waterfall
 
@@ -487,6 +695,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "score": _cmd_score,
     "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
     "wetdry": _cmd_wetdry,
     "trace": _cmd_trace,
     "lint": run_lint,

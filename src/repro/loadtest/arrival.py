@@ -1,0 +1,79 @@
+"""Arrival processes for the load generator.
+
+Two generator disciplines drive the harness (Schroeder et al.'s
+closed/open distinction):
+
+* **closed loop** — a fixed number of clients issue requests
+  back-to-back; the offered load adapts to the server's speed, so
+  throughput measures capacity but latency hides queueing (a slow
+  server simply receives fewer requests).
+* **open loop** — requests are released on a precomputed schedule
+  regardless of completions, the way independent users arrive.  A slow
+  server falls behind the schedule and the backlog shows up as
+  latency, which is why SLO checks run open-loop.
+
+Open-loop schedules come in two arrival flavours: ``fixed`` (uniform
+interarrival ``1/rate``) and ``poisson`` (exponential interarrivals,
+the memoryless arrivals of independent users).  Both are pure
+functions of ``(rate, n, seed)`` — the same seed always produces the
+same schedule, which the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ARRIVAL_KINDS", "interarrival_times", "start_offsets"]
+
+#: Supported arrival disciplines.  ``closed`` has no schedule (workers
+#: send back-to-back); ``fixed`` and ``poisson`` are open-loop.
+ARRIVAL_KINDS = ("closed", "fixed", "poisson")
+
+
+def _check_open_loop(kind: str, rate: float, n: int) -> None:
+    if kind not in ARRIVAL_KINDS:
+        raise ConfigurationError(
+            f"unknown arrival kind {kind!r} "
+            f"(expected one of {', '.join(ARRIVAL_KINDS)})"
+        )
+    if kind == "closed":
+        raise ConfigurationError(
+            "closed-loop arrivals have no schedule; interarrival times "
+            "are defined only for 'fixed' and 'poisson'"
+        )
+    if rate <= 0:
+        raise ConfigurationError(
+            f"open-loop arrivals need rate > 0 req/s, got {rate}"
+        )
+    if n < 1:
+        raise ConfigurationError(f"schedule length must be >= 1, got {n}")
+
+
+def interarrival_times(
+    kind: str, rate: float, n: int, seed: int
+) -> np.ndarray:
+    """``n`` interarrival gaps in seconds for an open-loop process.
+
+    ``fixed`` yields a constant ``1/rate``; ``poisson`` draws
+    exponential gaps with mean ``1/rate`` from a generator seeded with
+    ``seed`` — deterministic, so a schedule can be rebuilt exactly.
+    """
+    _check_open_loop(kind, rate, n)
+    if kind == "fixed":
+        return np.full(n, 1.0 / rate)
+    rng = np.random.default_rng(seed)
+    return rng.exponential(scale=1.0 / rate, size=n)
+
+
+def start_offsets(kind: str, rate: float, n: int, seed: int) -> np.ndarray:
+    """Scheduled start offsets (seconds from the run start).
+
+    The first request fires at offset 0 — an open-loop run measures
+    from the first arrival, not from an arbitrary empty gap — and the
+    remaining offsets accumulate the interarrival gaps.
+    """
+    gaps = interarrival_times(kind, rate, n, seed)
+    offsets = np.cumsum(gaps)
+    return offsets - offsets[0]

@@ -1,0 +1,224 @@
+"""Workload profiles: what traffic a load-test run is made of.
+
+A :class:`WorkloadProfile` is a weighted mix of the serving API's
+operations — single scores, batch scores, model listings — and
+:func:`build_schedule` lowers a profile into a concrete, fully
+deterministic list of :class:`PlannedRequest`: which endpoint, which
+payload bytes, and (open loop) when to send it.  Everything is a pure
+function of ``(profile, rows, seed, arrival parameters)``, so two runs
+with the same seed replay the identical request sequence — the
+property that makes before/after comparisons honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.loadtest.arrival import start_offsets
+
+__all__ = [
+    "Operation",
+    "PlannedRequest",
+    "WorkloadProfile",
+    "PROFILES",
+    "get_profile",
+    "build_schedule",
+]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One kind of request a profile can emit."""
+
+    kind: str  #: "score" | "batch" | "models"
+    weight: float
+
+    def endpoint(self) -> str:
+        """The metrics endpoint label this operation lands on."""
+        return {
+            "score": "POST /v1/score",
+            "batch": "POST /v1/score/batch",
+            "models": "GET /models",
+        }[self.kind]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A named weighted mix of operations."""
+
+    name: str
+    operations: tuple[Operation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise ConfigurationError(
+                f"profile {self.name!r} has no operations"
+            )
+        kinds = [op.kind for op in self.operations]
+        if len(set(kinds)) != len(kinds):
+            raise ConfigurationError(
+                f"profile {self.name!r} repeats an operation kind"
+            )
+        for op in self.operations:
+            if op.kind not in ("score", "batch", "models"):
+                raise ConfigurationError(
+                    f"profile {self.name!r}: unknown operation kind "
+                    f"{op.kind!r}"
+                )
+            if op.weight <= 0:
+                raise ConfigurationError(
+                    f"profile {self.name!r}: operation {op.kind!r} needs "
+                    f"weight > 0, got {op.weight}"
+                )
+
+    def weights(self) -> np.ndarray:
+        """Operation weights normalised to sum to 1."""
+        raw = np.array([op.weight for op in self.operations], dtype=float)
+        return raw / raw.sum()
+
+    def describe(self) -> str:
+        weights = self.weights()
+        mix = ", ".join(
+            f"{op.kind} {100 * w:.0f}%"
+            for op, w in zip(self.operations, weights)
+        )
+        return f"{self.name} ({mix})"
+
+
+#: The built-in profiles.  ``mixed`` is the serving-stack default: a
+#: navigation-backend-shaped mix dominated by interactive single
+#: scores, a tail of batch re-scores, and occasional model listings.
+PROFILES: dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        WorkloadProfile(
+            "mixed",
+            (
+                Operation("score", 0.80),
+                Operation("batch", 0.15),
+                Operation("models", 0.05),
+            ),
+        ),
+        WorkloadProfile("score", (Operation("score", 1.0),)),
+        WorkloadProfile("batch", (Operation("batch", 1.0),)),
+        WorkloadProfile(
+            "browse",
+            (Operation("models", 0.5), Operation("score", 0.5)),
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    profile = PROFILES.get(name)
+    if profile is None:
+        raise ConfigurationError(
+            f"unknown workload profile {name!r} "
+            f"(available: {', '.join(sorted(PROFILES))})"
+        )
+    return profile
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One concrete request of a schedule, payload pre-encoded."""
+
+    index: int
+    kind: str
+    method: str
+    path: str
+    endpoint: str
+    body: bytes | None
+    n_rows: int
+    #: Scheduled start offset in seconds (None = closed loop: send as
+    #: soon as a worker is free).
+    offset: float | None = None
+    #: Attributes that never ship over the wire (payload row indices),
+    #: kept for schedule introspection and tests.
+    row_indices: tuple[int, ...] = field(default=(), repr=False)
+
+
+def build_schedule(
+    profile: WorkloadProfile,
+    rows: list[dict],
+    n_requests: int,
+    seed: int,
+    model: str | None = None,
+    batch_size: int = 16,
+    arrival: str = "closed",
+    rate: float = 0.0,
+) -> list[PlannedRequest]:
+    """Lower a profile into ``n_requests`` concrete requests.
+
+    ``rows`` is the payload pool (schema-valid request rows); single
+    scores draw one row per request, batch scores a wrapping window of
+    ``batch_size`` consecutive rows.  All randomness flows from one
+    ``np.random.Generator`` seeded with ``seed``: operation choice,
+    row choice and (``poisson``) interarrival gaps, so the schedule is
+    bit-reproducible.
+    """
+    if not rows:
+        raise ConfigurationError("the payload row pool is empty")
+    if n_requests < 1:
+        raise ConfigurationError(
+            f"n_requests must be >= 1, got {n_requests}"
+        )
+    if batch_size < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    rng = np.random.default_rng(seed)
+    choices = rng.choice(
+        len(profile.operations), size=n_requests, p=profile.weights()
+    )
+    row_starts = rng.integers(0, len(rows), size=n_requests)
+    if arrival == "closed":
+        offsets = [None] * n_requests
+    else:
+        # Interarrival draws get their own stream (seed + 1) so adding
+        # requests never perturbs which operations are chosen.
+        offsets = [
+            float(x)
+            for x in start_offsets(arrival, rate, n_requests, seed + 1)
+        ]
+    schedule: list[PlannedRequest] = []
+    for i in range(n_requests):
+        op = profile.operations[int(choices[i])]
+        start = int(row_starts[i])
+        if op.kind == "models":
+            body = None
+            method = "GET"
+            path = "/models"
+            indices: tuple[int, ...] = ()
+        else:
+            if op.kind == "score":
+                indices = (start,)
+                payload: dict = {"row": rows[start]}
+            else:
+                indices = tuple(
+                    (start + j) % len(rows) for j in range(batch_size)
+                )
+                payload = {"rows": [rows[j] for j in indices]}
+            if model is not None:
+                payload["model"] = model
+            body = json.dumps(payload).encode("utf-8")
+            method = "POST"
+            path = "/v1/score" if op.kind == "score" else "/v1/score/batch"
+        schedule.append(
+            PlannedRequest(
+                index=i,
+                kind=op.kind,
+                method=method,
+                path=path,
+                endpoint=op.endpoint(),
+                body=body,
+                n_rows=len(indices),
+                offset=offsets[i],
+                row_indices=indices,
+            )
+        )
+    return schedule

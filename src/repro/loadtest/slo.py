@@ -1,0 +1,221 @@
+"""Declarative SLOs evaluated against a load-test report.
+
+An SLO file (JSON natively; YAML when PyYAML happens to be installed)
+declares per-endpoint thresholds::
+
+    {
+      "name": "smoke",
+      "rules": [
+        {"endpoint": "POST /v1/score", "max_p99_ms": 250,
+         "max_error_rate": 0.0, "min_throughput_rps": 20},
+        {"endpoint": "*", "max_error_rate": 0.01}
+      ]
+    }
+
+``endpoint`` is an ``fnmatch`` pattern over the serving metrics labels
+(``POST /v1/score``, ``GET /models``, ...).  A rule that matches no
+endpoint in the report is itself a violation — an SLO silently
+checking nothing is the regression-gate failure mode this module
+exists to prevent.  :meth:`SLOSpec.evaluate` returns the violations;
+the CLI turns a non-empty list into exit code 1.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+from repro.loadtest.results import LoadTestReport
+
+__all__ = ["SLORule", "SLOSpec", "SLOViolation"]
+
+#: rule key → (report metric, comparison direction).  ``max_*`` keys
+#: fail when the observed value exceeds the limit, ``min_*`` when it
+#: falls short.
+_RULE_KEYS = {
+    "max_p50_ms": ("p50_ms", "max"),
+    "max_p95_ms": ("p95_ms", "max"),
+    "max_p99_ms": ("p99_ms", "max"),
+    "max_mean_ms": ("mean_ms", "max"),
+    "max_error_rate": ("error_rate", "max"),
+    "min_throughput_rps": ("throughput_rps", "min"),
+}
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """Thresholds for every endpoint matching ``endpoint``."""
+
+    endpoint: str
+    limits: tuple[tuple[str, float], ...]
+
+    @classmethod
+    def from_dict(cls, data: dict, index: int) -> "SLORule":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"SLO rule #{index} must be an object, got "
+                f"{type(data).__name__}"
+            )
+        endpoint = data.get("endpoint")
+        if not isinstance(endpoint, str) or not endpoint:
+            raise ConfigurationError(
+                f"SLO rule #{index} needs a non-empty 'endpoint' pattern"
+            )
+        limits = []
+        for key, value in data.items():
+            if key == "endpoint":
+                continue
+            if key not in _RULE_KEYS:
+                raise ConfigurationError(
+                    f"SLO rule #{index} ({endpoint}): unknown key "
+                    f"{key!r} (expected one of "
+                    f"{', '.join(sorted(_RULE_KEYS))})"
+                )
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise ConfigurationError(
+                    f"SLO rule #{index} ({endpoint}): {key} must be a "
+                    f"number, got {value!r}"
+                )
+            limits.append((key, float(value)))
+        if not limits:
+            raise ConfigurationError(
+                f"SLO rule #{index} ({endpoint}) declares no thresholds"
+            )
+        return cls(endpoint=endpoint, limits=tuple(limits))
+
+
+@dataclass(frozen=True)
+class SLOViolation:
+    """One threshold the measured run failed."""
+
+    endpoint: str
+    pattern: str
+    key: str
+    limit: float
+    observed: float
+
+    def describe(self) -> str:
+        if self.key == "unmatched":
+            return (
+                f"SLO rule {self.pattern!r} matched no endpoint in the "
+                f"report — nothing was checked"
+            )
+        direction = "<=" if self.key.startswith("max_") else ">="
+        return (
+            f"{self.endpoint}: {self.key} violated "
+            f"(observed {self.observed:.4g}, required {direction} "
+            f"{self.limit:g})"
+        )
+
+
+class SLOSpec:
+    """A named list of :class:`SLORule`, loaded from JSON or YAML."""
+
+    def __init__(self, name: str, rules: list[SLORule]):
+        if not rules:
+            raise ConfigurationError(f"SLO spec {name!r} has no rules")
+        self.name = name
+        self.rules = list(rules)
+
+    @classmethod
+    def from_dict(cls, data: dict, source: str = "<dict>") -> "SLOSpec":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"SLO spec {source} must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        raw_rules = data.get("rules")
+        if not isinstance(raw_rules, list):
+            raise ConfigurationError(
+                f"SLO spec {source} needs a 'rules' list"
+            )
+        name = data.get("name", Path(source).stem)
+        rules = [
+            SLORule.from_dict(rule, i) for i, rule in enumerate(raw_rules)
+        ]
+        return cls(name=str(name), rules=rules)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SLOSpec":
+        """Read a spec file; the suffix picks the parser."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read SLO file {path}: {exc}"
+            ) from exc
+        if path.suffix.lower() in (".yaml", ".yml"):
+            data = _parse_yaml(text, path)
+        else:
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"SLO file {path} is not valid JSON: {exc}"
+                ) from exc
+        return cls.from_dict(data, source=str(path))
+
+    def evaluate(self, report: LoadTestReport) -> list[SLOViolation]:
+        """Check every rule against the report's endpoint summaries."""
+        violations: list[SLOViolation] = []
+        for rule in self.rules:
+            matched = [
+                summary
+                for endpoint, summary in report.endpoints.items()
+                if fnmatchcase(endpoint, rule.endpoint)
+            ]
+            if not matched:
+                violations.append(
+                    SLOViolation(
+                        endpoint="",
+                        pattern=rule.endpoint,
+                        key="unmatched",
+                        limit=float("nan"),
+                        observed=float("nan"),
+                    )
+                )
+                continue
+            for summary in matched:
+                for key, limit in rule.limits:
+                    metric, direction = _RULE_KEYS[key]
+                    observed = float(getattr(summary, metric))
+                    failed = (
+                        observed > limit
+                        if direction == "max"
+                        else observed < limit
+                    )
+                    # NaN (no data) never satisfies a threshold.
+                    if math.isnan(observed) or failed:
+                        violations.append(
+                            SLOViolation(
+                                endpoint=summary.endpoint,
+                                pattern=rule.endpoint,
+                                key=key,
+                                limit=limit,
+                                observed=observed,
+                            )
+                        )
+        return violations
+
+
+def _parse_yaml(text: str, path: Path) -> dict:
+    try:
+        import yaml
+    except ImportError:
+        raise ConfigurationError(
+            f"SLO file {path} is YAML but PyYAML is not installed; "
+            "use the JSON form instead"
+        ) from None
+    try:
+        return yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise ConfigurationError(
+            f"SLO file {path} is not valid YAML: {exc}"
+        ) from exc

@@ -107,14 +107,17 @@ def render_prometheus(
     engines: dict[str, dict] | None = None,
     uptime_seconds: float | None = None,
     n_models: int | None = None,
+    registry: dict | None = None,
 ) -> str:
     """Exposition text from a metrics snapshot.
 
     ``endpoints`` is :meth:`RequestMetrics.prometheus_snapshot` output
     (per-endpoint count / sum / errors / error_types / cumulative
-    buckets); ``engines`` maps model name → ``ScoringEngine.stats()``.
-    Output ordering is fully deterministic (sorted label values), which
-    the golden-format test relies on.
+    buckets); ``engines`` maps model name → ``ScoringEngine.stats()``;
+    ``registry`` is :meth:`ScorerRegistry.stats()` (load/refresh
+    counters plus typed reload-failure counters).  Output ordering is
+    fully deterministic (sorted label values), which the golden-format
+    test relies on.
     """
     w = _Writer()
     if uptime_seconds is not None:
@@ -179,6 +182,34 @@ def render_prometheus(
         w.family(metric, "gauge", help_text)
         for model in sorted(engines or {}):
             w.sample(metric, {"model": model}, (engines or {})[model][stat_key])
+
+    if registry is not None:
+        w.family("repro_registry_loads_total", "counter",
+                 "Scorer artefacts (re)loaded from disk.")
+        w.sample("repro_registry_loads_total", {}, registry["loads"])
+        w.family("repro_registry_refreshes_total", "counter",
+                 "Model-directory rescans.")
+        w.sample(
+            "repro_registry_refreshes_total", {}, registry["refreshes"]
+        )
+        w.family("repro_registry_reload_errors_total", "counter",
+                 "Failed hot reloads by model and error type "
+                 "(last-good scorer kept serving).")
+        for key in sorted(registry["reload_errors"]):
+            model, _, error_type = key.partition("/")
+            w.sample(
+                "repro_registry_reload_errors_total",
+                {"model": model, "error_type": error_type},
+                registry["reload_errors"][key],
+            )
+        w.family("repro_registry_degraded_models", "gauge",
+                 "Models currently serving a last-good version because "
+                 "their backing file is bad.")
+        w.sample(
+            "repro_registry_degraded_models",
+            {},
+            len(registry["degraded"]),
+        )
     return w.text()
 
 

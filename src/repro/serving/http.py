@@ -171,6 +171,11 @@ class ScoringService:
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._started_at = time.monotonic()
+        # Graceful-drain bookkeeping: in-flight request count guarded
+        # by a condition close() waits on, so shutdown never cuts a
+        # response off mid-write.
+        self._inflight = 0
+        self._drain_cond = threading.Condition()
 
     # -- engines -----------------------------------------------------------
     def engine(self, name: str) -> ScoringEngine:
@@ -268,6 +273,7 @@ class ScoringService:
                     engines=stats,
                     uptime_seconds=time.monotonic() - self._started_at,
                     n_models=len(self.registry.names()),
+                    registry=self.registry.stats(),
                 )
                 return 200, TextResponse(text, content_type=CONTENT_TYPE)
             if fmt != "json":
@@ -278,6 +284,7 @@ class ScoringService:
             return 200, {
                 "endpoints": self.metrics.summary(),
                 "engines": stats,
+                "registry": self.registry.stats(),
             }
         return 404, {"error": f"no route for GET {path}"}
 
@@ -332,7 +339,10 @@ class ScoringService:
                 pass
 
             def _respond(
-                self, status: int, payload: dict | TextResponse
+                self,
+                status: int,
+                payload: dict | TextResponse,
+                trace_id: str | None = None,
             ) -> int:
                 if isinstance(payload, TextResponse):
                     data = payload.text.encode("utf-8")
@@ -343,15 +353,23 @@ class ScoringService:
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(data)))
+                if trace_id is not None:
+                    self.send_header("X-Repro-Trace-Id", trace_id)
                 self.end_headers()
                 self.wfile.write(data)
+                # Flush here, not in handle_one_request: the buffered
+                # wfile surfaces a dead client (BrokenPipe/reset) at
+                # flush time, and only inside _dispatch's try block can
+                # that be counted as a client_abort.
+                self.wfile.flush()
                 return len(data)
 
             def _handle(
                 self, method: str, path: str, query: dict[str, str]
-            ) -> tuple[int, dict | TextResponse, str | None]:
+            ) -> tuple[int, dict | TextResponse | None, str | None]:
                 """Route one request; returns (status, payload,
-                error_type) and never raises."""
+                error_type) and never raises.  A ``None`` payload
+                means the client is gone — nothing to respond to."""
                 try:
                     if method == "GET":
                         status, payload = service.handle_get(path, query)
@@ -369,7 +387,18 @@ class ScoringService:
                                     f"exceeds the {limit}-byte limit"
                                 ),
                             }, "BodyTooLarge"
-                        raw = self.rfile.read(length) if length else b""
+                        try:
+                            raw = self.rfile.read(length) if length else b""
+                        except (
+                            BrokenPipeError,
+                            ConnectionResetError,
+                        ):
+                            # The client hung up mid-upload.  Status
+                            # 499 (nginx's "client closed request")
+                            # labels it; payload None skips the
+                            # response entirely.
+                            self.close_connection = True
+                            return 499, None, "client_abort"
                         try:
                             body = json.loads(raw) if raw else {}
                         except json.JSONDecodeError as exc:
@@ -397,6 +426,16 @@ class ScoringService:
                 return status, payload, error_type
 
             def _dispatch(self, method: str) -> None:
+                with service._drain_cond:
+                    service._inflight += 1
+                try:
+                    self._dispatch_inner(method)
+                finally:
+                    with service._drain_cond:
+                        service._inflight -= 1
+                        service._drain_cond.notify_all()
+
+            def _dispatch_inner(self, method: str) -> None:
                 parsed = urlsplit(self.path)
                 path = parsed.path
                 query = {
@@ -426,26 +465,50 @@ class ScoringService:
                     error_type=error_type,
                 )
                 n_bytes = 0
-                try:
-                    n_bytes = self._respond(status, payload)
-                except Exception as exc:
-                    # The request was already counted; losing the
-                    # response must not lose the error.  record_error
-                    # keeps the failure visible in /metrics (a second
-                    # observe() would double-count the request), the
-                    # connection is dropped, and the exception stops
-                    # here — re-raising inside the handler thread would
-                    # only vanish into ThreadingHTTPServer.
-                    error_type = error_type or type(exc).__name__
-                    service.metrics.record_error(
-                        endpoint, type(exc).__name__
-                    )
-                    logger.exception(
-                        "failed to write %s response for %s",
-                        status,
-                        endpoint,
-                    )
-                    self.close_connection = True
+                if payload is not None:
+                    try:
+                        n_bytes = self._respond(
+                            status, payload, trace_id=trace_id
+                        )
+                    except (
+                        BrokenPipeError,
+                        ConnectionResetError,
+                    ):
+                        # The client went away between sending the
+                        # request and reading the response — routine
+                        # under load (timeouts, impatient callers),
+                        # so it gets its own typed counter and a
+                        # debug line, not a stack trace.
+                        error_type = error_type or "client_abort"
+                        service.metrics.record_error(
+                            endpoint, "client_abort"
+                        )
+                        logger.debug(
+                            "client aborted while reading %s response "
+                            "for %s",
+                            status,
+                            endpoint,
+                        )
+                        self.close_connection = True
+                    except Exception as exc:
+                        # The request was already counted; losing the
+                        # response must not lose the error.
+                        # record_error keeps the failure visible in
+                        # /metrics (a second observe() would
+                        # double-count the request), the connection is
+                        # dropped, and the exception stops here —
+                        # re-raising inside the handler thread would
+                        # only vanish into ThreadingHTTPServer.
+                        error_type = error_type or type(exc).__name__
+                        service.metrics.record_error(
+                            endpoint, type(exc).__name__
+                        )
+                        logger.exception(
+                            "failed to write %s response for %s",
+                            status,
+                            endpoint,
+                        )
+                        self.close_connection = True
                 if service.access_log is not None:
                     service.access_log.write(
                         method=method,
@@ -492,9 +555,28 @@ class ScoringService:
         self._server = self._make_server()
         self._server.serve_forever()
 
-    def close(self) -> None:
+    def close(self, drain_timeout: float = 5.0) -> None:
+        """Stop serving, draining in-flight requests first.
+
+        ``shutdown()`` only stops *accepting* connections; requests
+        already inside handler threads keep running.  Closing the
+        engines under them would fail every in-flight response, so
+        close() waits (up to ``drain_timeout`` seconds) for the
+        in-flight count to reach zero before tearing anything down.
+        """
         if self._server is not None:
             self._server.shutdown()
+            with self._drain_cond:
+                drained = self._drain_cond.wait_for(
+                    lambda: self._inflight == 0, timeout=drain_timeout
+                )
+            if not drained:
+                logger.warning(
+                    "drain timeout after %.1fs with %d request(s) "
+                    "in flight; closing anyway",
+                    drain_timeout,
+                    self._inflight,
+                )
             self._server.server_close()
             self._server = None
         if self._thread is not None:

@@ -13,10 +13,21 @@ every lookup and transparently reloads when its ``(mtime_ns, size)``
 changed, so a deploy can drop a retrained artefact into the directory
 and the next request serves it.  A deleted file drops its entry and the
 lookup fails with the remaining names.
+
+Reloads are fault-tolerant: when a *known* scorer's file changes but
+fails to load — corrupt checksum, truncated JSON, a rollback to a
+stale format version — the registry keeps serving the last-good
+scorer, remembers the bad file's stat so the corrupt bytes are parsed
+once rather than per request, and counts the failure in a typed
+``reload_errors`` counter surfaced through :meth:`stats` (and from
+there ``/metrics``).  Only a scorer with no good version yet fails the
+lookup: degraded beats down, but a host that never served a model has
+nothing to degrade to.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -25,6 +36,26 @@ from repro.core.deployment import CrashPronenessScorer
 from repro.exceptions import ReproError, ServingError
 
 __all__ = ["RegisteredScorer", "ScorerRegistry"]
+
+logger = logging.getLogger("repro.serving")
+
+#: (keyword in the load error message, typed counter label).  Checked
+#: in order; first match wins, ``load_error`` is the fallback.
+_ERROR_TYPES = (
+    ("checksum mismatch", "checksum_mismatch"),
+    ("format version", "format_version"),
+    ("not valid json", "invalid_json"),
+    ("cannot read", "read_error"),
+)
+
+
+def _classify_load_error(exc: Exception) -> str:
+    """Map a load failure onto a fixed-cardinality error type label."""
+    message = str(exc).lower()
+    for needle, label in _ERROR_TYPES:
+        if needle in message:
+            return label
+    return "load_error"
 
 
 @dataclass(frozen=True)
@@ -83,6 +114,12 @@ class ScorerRegistry:
         self.model_dir = Path(model_dir)
         self.pattern = pattern
         self._entries: dict[str, RegisteredScorer] = {}
+        #: Stat of the last file that failed to load, per name: while
+        #: the bad file is unchanged the registry serves last-good
+        #: without re-parsing the corrupt bytes on every request.
+        self._failed_stats: dict[str, tuple[int, int]] = {}
+        #: Typed reload-failure counters: (name, error_type) → count.
+        self.reload_errors: dict[tuple[str, str], int] = {}
         self.n_loads = 0
         self.n_refreshes = 0
         if not self.model_dir.is_dir():
@@ -95,16 +132,20 @@ class ScorerRegistry:
         """Re-scan the directory; returns the names (re)loaded.
 
         New files are loaded, changed files reloaded, deleted files
-        dropped.  Any artefact that fails validation — bad JSON, stale
-        format version, checksum mismatch — aborts the refresh with a
-        :class:`ServingError` naming the file: a serving host must not
-        silently skip half its fleet.
+        dropped.  A *new* artefact that fails validation — bad JSON,
+        stale format version, checksum mismatch — aborts the refresh
+        with a :class:`ServingError` naming the file: a serving host
+        must not silently skip half its fleet.  A failed reload of an
+        artefact that already has a good version keeps the last-good
+        scorer and counts the failure instead (see the module
+        docstring).
         """
         self.n_refreshes += 1
         paths = {p.stem: p for p in sorted(self.model_dir.glob(self.pattern))}
         for name in list(self._entries):
             if name not in paths:
                 del self._entries[name]
+                self._failed_stats.pop(name, None)
         loaded = []
         for name, path in paths.items():
             entry = self._entries.get(name)
@@ -115,9 +156,38 @@ class ScorerRegistry:
                 and entry.size == stat.st_size
             ):
                 continue
-            self._entries[name] = self._load(name, path)
+            if entry is None:
+                self._entries[name] = self._load(name, path)
+            else:
+                try:
+                    self._entries[name] = self._load(name, path)
+                except ServingError as exc:
+                    self._record_reload_failure(name, stat, exc)
+                    continue
+            self._failed_stats.pop(name, None)
             loaded.append(name)
         return loaded
+
+    def _record_reload_failure(
+        self, name: str, stat, exc: ServingError
+    ) -> None:
+        """Count a failed reload and pin the bad file's stat."""
+        error_type = _classify_load_error(exc)
+        key = (name, error_type)
+        self.reload_errors[key] = self.reload_errors.get(key, 0) + 1
+        already_seen = self._failed_stats.get(name) == (
+            stat.st_mtime_ns,
+            stat.st_size,
+        )
+        self._failed_stats[name] = (stat.st_mtime_ns, stat.st_size)
+        if not already_seen:
+            logger.warning(
+                "reload of scorer %r failed (%s), keeping last-good "
+                "version: %s",
+                name,
+                error_type,
+                exc,
+            )
 
     def _load(self, name: str, path: Path) -> RegisteredScorer:
         stat = path.stat()
@@ -144,8 +214,12 @@ class ScorerRegistry:
     def get(self, name: str, version: int | None = None) -> RegisteredScorer:
         """The entry for ``name``, hot-reloading if its file changed.
 
-        ``version`` pins an expected format version; a mismatch is a
-        :class:`ServingError` rather than a silently different model.
+        A changed file that fails to load does **not** fail the
+        lookup: the last-good scorer keeps serving and the failure is
+        counted in ``reload_errors`` (the bad file is parsed once, not
+        per request).  ``version`` pins an expected format version; a
+        mismatch is a :class:`ServingError` rather than a silently
+        different model.
         """
         entry = self._entries.get(name)
         if entry is None:
@@ -161,20 +235,53 @@ class ScorerRegistry:
             stat = entry.path.stat()
         except OSError:
             del self._entries[name]
+            self._failed_stats.pop(name, None)
             available = ", ".join(self.names()) or "none"
             raise ServingError(
                 f"scorer {name!r} was removed from {self.model_dir} "
                 f"(available: {available})"
             ) from None
-        if stat.st_mtime_ns != entry.mtime_ns or stat.st_size != entry.size:
-            entry = self._load(name, entry.path)
-            self._entries[name] = entry
+        changed = (
+            stat.st_mtime_ns != entry.mtime_ns or stat.st_size != entry.size
+        )
+        known_bad = self._failed_stats.get(name) == (
+            stat.st_mtime_ns,
+            stat.st_size,
+        )
+        if changed and not known_bad:
+            try:
+                entry = self._load(name, entry.path)
+            except ServingError as exc:
+                self._record_reload_failure(name, stat, exc)
+            else:
+                self._entries[name] = entry
+                self._failed_stats.pop(name, None)
         if version is not None and entry.version != version:
             raise ServingError(
                 f"scorer {name!r} has format version {entry.version}, "
                 f"request pinned v{version}"
             )
         return entry
+
+    def stats(self) -> dict:
+        """Registry health counters for ``/metrics``.
+
+        ``reload_errors`` is keyed ``"<name>/<error_type>"`` — JSON
+        cannot carry tuple keys — and ``degraded`` lists the scorers
+        currently pinned to a last-good version because their backing
+        file is bad.
+        """
+        return {
+            "loads": self.n_loads,
+            "refreshes": self.n_refreshes,
+            "reload_errors": {
+                f"{name}/{error_type}": count
+                for (name, error_type), count in sorted(
+                    self.reload_errors.items()
+                )
+            },
+            "degraded": sorted(self._failed_stats),
+        }
 
     def names(self) -> list[str]:
         return sorted(self._entries)

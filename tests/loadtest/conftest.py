@@ -1,0 +1,40 @@
+"""Load-test fixtures: one trained scorer, its deploy dir and rows.
+
+Mirrors the serving fixtures (training is deterministic and cheap) so
+the load-test suite does not depend on another test package's
+conftest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import CrashPronenessScorer
+
+
+@pytest.fixture(scope="session")
+def loadtest_scorer(small_dataset) -> CrashPronenessScorer:
+    return CrashPronenessScorer.train(
+        small_dataset.crash_instances,
+        threshold=8,
+        seed=11,
+        metadata={"note": "loadtest-tests"},
+    )
+
+
+@pytest.fixture(scope="session")
+def loadtest_model_dir(tmp_path_factory, loadtest_scorer):
+    path = tmp_path_factory.mktemp("loadtest-models")
+    loadtest_scorer.save(path / "cp8.json")
+    return path
+
+
+@pytest.fixture(scope="session")
+def request_rows(small_dataset, loadtest_scorer) -> list[dict]:
+    """Request-shaped rows: segment attributes only, in schema order."""
+    expected = list(loadtest_scorer.input_schema())
+    table = small_dataset.segment_table
+    return [
+        {name: row[name] for name in expected}
+        for row in (table.row(i) for i in range(80))
+    ]

@@ -1,0 +1,60 @@
+"""Arrival processes: determinism, distribution shape, validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.loadtest import interarrival_times, start_offsets
+
+
+class TestFixedRate:
+    def test_uniform_gaps(self):
+        gaps = interarrival_times("fixed", rate=50.0, n=200, seed=1)
+        assert gaps.shape == (200,)
+        assert np.allclose(gaps, 1.0 / 50.0)
+
+    def test_offsets_start_at_zero_and_accumulate(self):
+        offsets = start_offsets("fixed", rate=10.0, n=5, seed=1)
+        assert np.allclose(offsets, [0.0, 0.1, 0.2, 0.3, 0.4])
+
+
+class TestPoisson:
+    def test_same_seed_same_schedule(self):
+        a = start_offsets("poisson", rate=100.0, n=500, seed=7)
+        b = start_offsets("poisson", rate=100.0, n=500, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = start_offsets("poisson", rate=100.0, n=500, seed=7)
+        b = start_offsets("poisson", rate=100.0, n=500, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_mean_gap_matches_rate(self):
+        gaps = interarrival_times("poisson", rate=200.0, n=20_000, seed=3)
+        assert np.all(gaps >= 0)
+        # Exponential(1/rate): the sample mean of 20k draws sits within
+        # a few percent of 1/rate.
+        assert abs(float(gaps.mean()) - 1.0 / 200.0) < 0.001
+
+    def test_offsets_monotone_from_zero(self):
+        offsets = start_offsets("poisson", rate=50.0, n=100, seed=5)
+        assert offsets[0] == 0.0
+        assert np.all(np.diff(offsets) >= 0)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown arrival"):
+            interarrival_times("burst", rate=10.0, n=5, seed=0)
+
+    def test_closed_has_no_schedule(self):
+        with pytest.raises(ConfigurationError, match="closed-loop"):
+            interarrival_times("closed", rate=10.0, n=5, seed=0)
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="rate > 0"):
+            interarrival_times("poisson", rate=0.0, n=5, seed=0)
+
+    def test_length_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            start_offsets("fixed", rate=10.0, n=0, seed=0)

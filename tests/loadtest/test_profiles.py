@@ -1,0 +1,130 @@
+"""Workload profiles and schedule lowering."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.loadtest import (
+    PROFILES,
+    Operation,
+    WorkloadProfile,
+    build_schedule,
+    get_profile,
+)
+
+
+class TestProfiles:
+    def test_builtins_present(self):
+        assert {"mixed", "score", "batch", "browse"} <= set(PROFILES)
+
+    def test_weights_normalise(self):
+        weights = get_profile("mixed").weights()
+        assert abs(float(weights.sum()) - 1.0) < 1e-12
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            get_profile("nope")
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="repeats"):
+            WorkloadProfile(
+                "dup", (Operation("score", 1.0), Operation("score", 2.0))
+            )
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ConfigurationError, match="weight > 0"):
+            WorkloadProfile("w", (Operation("score", 0.0),))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown operation"):
+            WorkloadProfile("k", (Operation("delete", 1.0),))
+
+
+class TestBuildSchedule:
+    def test_same_seed_identical_schedule(self, request_rows):
+        profile = get_profile("mixed")
+        a = build_schedule(profile, request_rows, 200, seed=7)
+        b = build_schedule(profile, request_rows, 200, seed=7)
+        assert a == b
+
+    def test_different_seed_differs(self, request_rows):
+        profile = get_profile("mixed")
+        a = build_schedule(profile, request_rows, 200, seed=7)
+        b = build_schedule(profile, request_rows, 200, seed=8)
+        assert a != b
+
+    def test_mix_roughly_matches_weights(self, request_rows):
+        schedule = build_schedule(
+            get_profile("mixed"), request_rows, 2000, seed=3
+        )
+        counts = {"score": 0, "batch": 0, "models": 0}
+        for planned in schedule:
+            counts[planned.kind] += 1
+        assert 0.7 < counts["score"] / 2000 < 0.9
+        assert 0.05 < counts["batch"] / 2000 < 0.25
+        assert 0.0 < counts["models"] / 2000 < 0.15
+
+    def test_bodies_are_valid_requests(self, request_rows):
+        schedule = build_schedule(
+            get_profile("mixed"),
+            request_rows,
+            100,
+            seed=5,
+            model="cp8",
+            batch_size=4,
+        )
+        for planned in schedule:
+            if planned.kind == "models":
+                assert planned.body is None
+                assert planned.method == "GET"
+                continue
+            payload = json.loads(planned.body)
+            assert payload["model"] == "cp8"
+            if planned.kind == "score":
+                assert payload["row"] == request_rows[planned.row_indices[0]]
+            else:
+                assert len(payload["rows"]) == 4
+                assert payload["rows"] == [
+                    request_rows[i] for i in planned.row_indices
+                ]
+
+    def test_batch_window_wraps(self, request_rows):
+        schedule = build_schedule(
+            get_profile("batch"),
+            request_rows,
+            50,
+            seed=2,
+            batch_size=len(request_rows) + 3,
+        )
+        planned = schedule[0]
+        assert planned.n_rows == len(request_rows) + 3
+        assert max(planned.row_indices) < len(request_rows)
+
+    def test_open_loop_offsets_attached(self, request_rows):
+        schedule = build_schedule(
+            get_profile("score"),
+            request_rows,
+            50,
+            seed=4,
+            arrival="poisson",
+            rate=100.0,
+        )
+        assert schedule[0].offset == 0.0
+        offsets = [planned.offset for planned in schedule]
+        assert offsets == sorted(offsets)
+
+    def test_arrival_stream_independent_of_op_stream(self, request_rows):
+        """Growing the schedule keeps the operation prefix stable."""
+        profile = get_profile("mixed")
+        short = build_schedule(
+            profile, request_rows, 50, seed=9, arrival="fixed", rate=10.0
+        )
+        long = build_schedule(
+            profile, request_rows, 80, seed=9, arrival="fixed", rate=10.0
+        )
+        assert [p.kind for p in long[:50]] == [p.kind for p in short]
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError, match="row pool is empty"):
+            build_schedule(get_profile("score"), [], 10, seed=0)

@@ -1,0 +1,168 @@
+"""SLO spec parsing and evaluation."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.loadtest import LoadTestReport, SLOSpec
+from repro.loadtest.results import EndpointSummary
+
+
+def _report(**overrides):
+    summary = EndpointSummary(
+        endpoint="POST /v1/score",
+        requests=100,
+        errors=0,
+        transport_errors=0,
+        throughput_rps=50.0,
+        mean_ms=4.0,
+        p50_ms=3.0,
+        p95_ms=8.0,
+        p99_ms=12.0,
+        max_ms=20.0,
+    )
+    for key, value in overrides.items():
+        setattr(summary, key, value)
+    return LoadTestReport(
+        profile="score",
+        arrival="closed",
+        seed=7,
+        clients=2,
+        wall_seconds=2.0,
+        endpoints={summary.endpoint: summary},
+        parity=[],
+        n_scrapes=1,
+        scrape_samples=10,
+        slowest=[],
+    )
+
+
+class TestParsing:
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            '{"name": "s", "rules": [{"endpoint": "*", "max_p99_ms": 10}]}'
+        )
+        spec = SLOSpec.load(path)
+        assert spec.name == "s"
+        assert spec.rules[0].limits == (("max_p99_ms", 10.0),)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "prod.json"
+        path.write_text('{"rules": [{"endpoint": "*", "max_p99_ms": 1}]}')
+        assert SLOSpec.load(path).name == "prod"
+
+    def test_repo_smoke_spec_parses(self):
+        from pathlib import Path
+
+        spec = SLOSpec.load(
+            Path(__file__).parents[2] / "benchmarks" / "slo" / "smoke.json"
+        )
+        assert spec.name == "smoke"
+        assert len(spec.rules) == 3
+
+    def test_load_yaml_when_available(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "spec.yaml"
+        path.write_text(
+            "name: y\nrules:\n  - endpoint: '*'\n    max_p99_ms: 5\n"
+        )
+        spec = SLOSpec.load(path)
+        assert spec.name == "y"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            SLOSpec.from_dict(
+                {"rules": [{"endpoint": "*", "max_p42_ms": 1}]}
+            )
+
+    def test_rule_needs_a_threshold(self):
+        with pytest.raises(ConfigurationError, match="no thresholds"):
+            SLOSpec.from_dict({"rules": [{"endpoint": "*"}]})
+
+    def test_threshold_must_be_numeric(self):
+        with pytest.raises(ConfigurationError, match="must be a number"):
+            SLOSpec.from_dict(
+                {"rules": [{"endpoint": "*", "max_p99_ms": "fast"}]}
+            )
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            SLOSpec.load(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            SLOSpec.load(tmp_path / "absent.json")
+
+
+class TestEvaluation:
+    def test_all_green(self):
+        spec = SLOSpec.from_dict(
+            {
+                "rules": [
+                    {
+                        "endpoint": "POST /v1/score",
+                        "max_p99_ms": 100,
+                        "max_error_rate": 0.0,
+                        "min_throughput_rps": 10,
+                    }
+                ]
+            }
+        )
+        assert spec.evaluate(_report()) == []
+
+    def test_max_violated(self):
+        spec = SLOSpec.from_dict(
+            {"rules": [{"endpoint": "*", "max_p99_ms": 5}]}
+        )
+        violations = spec.evaluate(_report(p99_ms=12.0))
+        assert len(violations) == 1
+        assert violations[0].key == "max_p99_ms"
+        assert "required <= 5" in violations[0].describe()
+
+    def test_min_violated(self):
+        spec = SLOSpec.from_dict(
+            {"rules": [{"endpoint": "*", "min_throughput_rps": 999}]}
+        )
+        violations = spec.evaluate(_report())
+        assert [v.key for v in violations] == ["min_throughput_rps"]
+
+    def test_unmatched_pattern_is_a_violation(self):
+        spec = SLOSpec.from_dict(
+            {"rules": [{"endpoint": "GET /missing", "max_p99_ms": 10}]}
+        )
+        violations = spec.evaluate(_report())
+        assert [v.key for v in violations] == ["unmatched"]
+        assert "matched no endpoint" in violations[0].describe()
+
+    def test_nan_metric_always_fails(self):
+        spec = SLOSpec.from_dict(
+            {"rules": [{"endpoint": "*", "max_p99_ms": 1e9}]}
+        )
+        violations = spec.evaluate(_report(p99_ms=float("nan")))
+        assert len(violations) == 1
+        assert math.isnan(violations[0].observed)
+
+    def test_glob_matches_multiple_endpoints(self):
+        report = _report()
+        extra = EndpointSummary(
+            endpoint="POST /v1/score/batch",
+            requests=10,
+            errors=5,
+            transport_errors=0,
+            throughput_rps=5.0,
+            mean_ms=4.0,
+            p50_ms=3.0,
+            p95_ms=8.0,
+            p99_ms=12.0,
+            max_ms=20.0,
+        )
+        report.endpoints[extra.endpoint] = extra
+        spec = SLOSpec.from_dict(
+            {"rules": [{"endpoint": "POST /v1/*", "max_error_rate": 0.0}]}
+        )
+        violations = spec.evaluate(report)
+        assert [v.endpoint for v in violations] == ["POST /v1/score/batch"]

@@ -1,0 +1,121 @@
+"""Regression: a client disconnecting mid-response must not crash the
+handler — it is counted as a typed ``client_abort`` in ``/metrics``.
+
+The failure mode this pins down: ``/v1/score/batch`` responses are
+written into a buffered ``wfile``; when the client is gone the write
+error used to surface at ``handle_one_request``'s implicit flush,
+*outside* the dispatch accounting, so the abort was invisible.  The
+response is now flushed inside ``_respond`` and
+``BrokenPipeError``/``ConnectionResetError`` are caught explicitly.
+
+The deterministic client death: close the socket with ``SO_LINGER``
+(timeout 0), which sends an immediate RST instead of a graceful FIN —
+the server's next write/flush on that connection fails.
+"""
+
+import json
+import socket
+import struct
+import time
+import urllib.request
+
+from repro.serving import ScoringService
+
+
+def _rst_close(sock: socket.socket) -> None:
+    """Close with SO_LINGER(on, 0): RST now, no FIN handshake."""
+    sock.setsockopt(
+        socket.SOL_SOCKET,
+        socket.SO_LINGER,
+        struct.pack("ii", 1, 0),
+    )
+    sock.close()
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestClientAbortMidResponse:
+    def test_batch_disconnect_counts_client_abort(
+        self, model_dir, segment_rows
+    ):
+        # A long micro-batch wait stalls the lone request server-side,
+        # giving the client a deterministic window to die in.
+        with ScoringService(
+            model_dir, port=0, max_wait_ms=400.0, cache_size=0
+        ).start() as service:
+            body = json.dumps({"rows": segment_rows[:8]}).encode()
+            with socket.create_connection(
+                ("127.0.0.1", service.port), timeout=10
+            ) as sock:
+                sock.sendall(
+                    b"POST /v1/score/batch HTTP/1.1\r\n"
+                    b"Host: test\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                # Let the request reach the engine, then die with RST
+                # before the response is written.
+                time.sleep(0.1)
+                _rst_close(sock)
+
+            # The handler hits the dead socket at flush time and must
+            # record a typed client_abort — not crash, not lose the
+            # request.
+            endpoint = "POST /v1/score/batch"
+            assert _wait_for(
+                lambda: service.metrics.summary()
+                .get(endpoint, {})
+                .get("error_types", {})
+                .get("client_abort", 0)
+                == 1
+            ), service.metrics.summary()
+            summary = service.metrics.summary()[endpoint]
+            # The request itself was observed (scored successfully);
+            # the abort rides in record_error, so errors == 1 while
+            # the observation stayed a success.
+            assert summary["count"] == 1
+            assert summary["errors"] == 1
+
+            # The service keeps serving normally afterwards.
+            request = urllib.request.Request(
+                service.url + "/v1/score",
+                data=json.dumps({"row": segment_rows[0]}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                out = json.loads(response.read())
+            assert 0.0 <= out["probability"] <= 1.0
+
+    def test_abort_mid_upload_counts_client_abort(self, model_dir):
+        with ScoringService(model_dir, port=0).start() as service:
+            with socket.create_connection(
+                ("127.0.0.1", service.port), timeout=10
+            ) as sock:
+                # Promise a large body, send half, die with RST: the
+                # handler's rfile.read hits the reset mid-upload.
+                sock.sendall(
+                    b"POST /v1/score/batch HTTP/1.1\r\n"
+                    b"Host: test\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 100000\r\n\r\n"
+                    + b'{"rows": [' + b"x" * 1000
+                )
+                time.sleep(0.05)
+                _rst_close(sock)
+
+            endpoint = "POST /v1/score/batch"
+            assert _wait_for(
+                lambda: service.metrics.summary()
+                .get(endpoint, {})
+                .get("error_types", {})
+                .get("client_abort", 0)
+                == 1
+            ), service.metrics.summary()

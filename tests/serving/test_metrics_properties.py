@@ -1,0 +1,121 @@
+"""Property-based tests: reservoir percentiles and arrival schedules.
+
+Hypothesis drives :class:`RequestMetrics` with arbitrary latency
+streams and checks the invariants the load-test harness leans on:
+
+* below ``RESERVOIR_SIZE`` observations the reservoir holds *every*
+  sample, so percentiles are exactly nearest-rank over the full data;
+* at any count, percentiles are monotone across quantiles, bounded by
+  the observed min/max, and drawn from the observed values;
+* the exact counters (count / mean / max) never degrade, whatever the
+  reservoir does.
+
+Plus the open-loop arrival properties: interarrival gaps are
+non-negative, schedules deterministic in the seed, offsets monotone.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadtest import interarrival_times, start_offsets
+from repro.serving.metrics import RESERVOIR_SIZE, RequestMetrics
+
+latencies = st.floats(
+    min_value=0.0,
+    max_value=60.0,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+def _nearest_rank(values, q):
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered)) - 1
+    return ordered[max(0, min(rank, len(ordered) - 1))]
+
+
+class TestReservoirPercentiles:
+    @given(
+        samples=st.lists(latencies, min_size=1, max_size=RESERVOIR_SIZE),
+        q=st.sampled_from([50, 95, 99]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_below_reservoir_size(self, samples, q):
+        metrics = RequestMetrics()
+        for seconds in samples:
+            metrics.observe("e", seconds)
+        summary = metrics.summary()["e"]
+        assert summary[f"p{q}"] == _nearest_rank(samples, q)
+
+    @given(
+        samples=st.lists(
+            latencies, min_size=1, max_size=2 * RESERVOIR_SIZE
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_and_bounded_for_any_count(self, samples):
+        metrics = RequestMetrics()
+        for seconds in samples:
+            metrics.observe("e", seconds)
+        summary = metrics.summary()["e"]
+        p50, p95, p99 = summary["p50"], summary["p95"], summary["p99"]
+        # Quantile monotonicity holds whatever the reservoir sampled.
+        assert p50 <= p95 <= p99
+        # Every percentile is one of the observed values, inside the
+        # observed range.
+        assert min(samples) <= p50 and p99 <= max(samples)
+        observed = set(samples)
+        assert {p50, p95, p99} <= observed
+
+    @given(
+        samples=st.lists(
+            latencies, min_size=1, max_size=2 * RESERVOIR_SIZE
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_counters_never_degrade(self, samples):
+        metrics = RequestMetrics()
+        for seconds in samples:
+            metrics.observe("e", seconds)
+        summary = metrics.summary()["e"]
+        assert summary["count"] == len(samples)
+        assert summary["max"] == max(samples)
+        assert math.isclose(
+            summary["mean"],
+            sum(samples) / len(samples),
+            rel_tol=1e-9,
+            abs_tol=1e-12,
+        )
+
+
+class TestArrivalProperties:
+    @given(
+        kind=st.sampled_from(["fixed", "poisson"]),
+        rate=st.floats(min_value=0.5, max_value=5000.0),
+        n=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gaps_nonnegative_and_deterministic(self, kind, rate, n, seed):
+        a = interarrival_times(kind, rate, n, seed)
+        b = interarrival_times(kind, rate, n, seed)
+        assert (a >= 0).all()
+        assert (a == b).all()
+
+    @given(
+        kind=st.sampled_from(["fixed", "poisson"]),
+        rate=st.floats(min_value=0.5, max_value=5000.0),
+        n=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_start_at_zero_and_are_monotone(
+        self, kind, rate, n, seed
+    ):
+        offsets = start_offsets(kind, rate, n, seed)
+        assert offsets[0] == 0.0
+        assert all(
+            offsets[i] <= offsets[i + 1] for i in range(len(offsets) - 1)
+        )

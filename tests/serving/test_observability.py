@@ -165,7 +165,7 @@ class TestPrometheusEndpoint:
             status, headers, body = _get(service, "/metrics")
         assert status == 200
         assert headers["Content-Type"] == "application/json"
-        assert set(json.loads(body)) == {"endpoints", "engines"}
+        assert set(json.loads(body)) == {"endpoints", "engines", "registry"}
 
     def test_unknown_format_is_a_request_error(self, model_dir):
         with ScoringService(model_dir, port=0).start() as service:

@@ -1,0 +1,131 @@
+"""Tier-2 concurrency stress: 64 client threads against one service.
+
+Marked ``slow`` (excluded from tier 1; run with ``-m slow``).  The
+invariants under sustained mixed load:
+
+* zero dropped responses — every request gets an HTTP answer;
+* exact client/server count parity per endpoint;
+* for a sample of traced requests, each trace id resolves to ONE
+  connected span tree rooted at ``http.request``.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.obs import Tracer
+from repro.serving import ScoringService
+
+pytestmark = pytest.mark.slow
+
+N_THREADS = 64
+REQUESTS_PER_THREAD = 30
+
+
+class TestStress:
+    def test_64_threads_mixed_load(self, model_dir, segment_rows):
+        tracer = Tracer(max_spans=None)
+        service = ScoringService(
+            model_dir, port=0, tracer=tracer
+        ).start()
+        results: list[list[tuple[str, int, str | None]]] = [
+            [] for _ in range(N_THREADS)
+        ]
+        errors: list[Exception] = []
+
+        def worker(worker_id: int) -> None:
+            mine = results[worker_id]
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", service.port, timeout=60
+            )
+            try:
+                for i in range(REQUESTS_PER_THREAD):
+                    pick = (worker_id + i) % 10
+                    if pick < 7:
+                        path, endpoint = "/v1/score", "POST /v1/score"
+                        body = json.dumps(
+                            {"row": segment_rows[(worker_id + i) % len(segment_rows)]}
+                        )
+                    elif pick < 9:
+                        path = "/v1/score/batch"
+                        endpoint = "POST /v1/score/batch"
+                        body = json.dumps({"rows": segment_rows[:5]})
+                    else:
+                        path, endpoint, body = "/models", "GET /models", None
+                    if body is None:
+                        connection.request("GET", path)
+                    else:
+                        connection.request(
+                            "POST",
+                            path,
+                            body=body,
+                            headers={"Content-Type": "application/json"},
+                        )
+                    response = connection.getresponse()
+                    response.read()
+                    mine.append(
+                        (
+                            endpoint,
+                            response.status,
+                            response.getheader("X-Repro-Trace-Id"),
+                        )
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                connection.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"stress-{i}")
+            for i in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        try:
+            assert errors == []
+            flat = [r for chunk in results for r in chunk]
+            # Zero dropped responses: every request came back, all 200.
+            assert len(flat) == N_THREADS * REQUESTS_PER_THREAD
+            assert all(status == 200 for _, status, _ in flat)
+
+            # Exact count parity against the server's own counters.
+            summary = service.metrics.summary()
+            for endpoint in (
+                "POST /v1/score",
+                "POST /v1/score/batch",
+                "GET /models",
+            ):
+                client_count = sum(
+                    1 for e, _, _ in flat if e == endpoint
+                )
+                assert summary[endpoint]["count"] == client_count
+                assert summary[endpoint]["errors"] == 0
+
+            # Sampled trace trees are each ONE connected tree.
+            spans = tracer.finished()
+            by_trace: dict[str, list] = {}
+            for span in spans:
+                by_trace.setdefault(span.trace_id, []).append(span)
+            sampled = [
+                trace_id
+                for _, _, trace_id in flat[:: len(flat) // 50]
+                if trace_id is not None
+            ]
+            assert sampled, "no trace ids came back"
+            for trace_id in sampled:
+                tree = by_trace[trace_id]
+                ids = {s.span_id for s in tree}
+                roots = [s for s in tree if s.parent_id is None]
+                assert [r.name for r in roots] == ["http.request"]
+                assert all(
+                    s.parent_id in ids
+                    for s in tree
+                    if s.parent_id is not None
+                )
+        finally:
+            service.close()

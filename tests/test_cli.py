@@ -18,9 +18,29 @@ class TestParser:
             "train",
             "score",
             "serve",
+            "loadtest",
             "wetdry",
         ):
             assert command in text
+
+    def test_loadtest_options_registered(self):
+        args = build_parser().parse_args(
+            [
+                "loadtest",
+                "models",
+                "--profile",
+                "mixed",
+                "--duration",
+                "5",
+                "--seed",
+                "7",
+            ]
+        )
+        assert args.command == "loadtest"
+        assert args.profile == "mixed"
+        assert args.duration == 5.0
+        assert args.seed == 7
+        assert args.rate == 0.0  # closed loop by default
 
     def test_serve_options_registered(self):
         args = build_parser().parse_args(
@@ -140,6 +160,118 @@ class TestCommands:
         assert ((probabilities >= 0) & (probabilities <= 1)).all()
         # The CSV is ranked descending and agrees with the JSON head.
         assert float(probabilities[0]) == first["probability"]
+
+    def test_loadtest_self_host_and_slo_gate(self, tmp_path, capsys):
+        model_dir = tmp_path / "models"
+        model_dir.mkdir()
+        assert main(
+            [
+                "train",
+                str(model_dir / "cp8.json"),
+                "--segments",
+                "1200",
+                "--seed",
+                "5",
+            ]
+        ) == 0
+        capsys.readouterr()
+        slo = tmp_path / "slo.json"
+        slo.write_text(
+            '{"rules": [{"endpoint": "POST /v1/score",'
+            ' "max_error_rate": 0.0, "max_p99_ms": 60000}]}'
+        )
+        code = main(
+            [
+                "loadtest",
+                str(model_dir),
+                "--profile",
+                "score",
+                "--duration",
+                "0.6",
+                "--warmup",
+                "0.2",
+                "--segments",
+                "400",
+                "--seed",
+                "7",
+                "--slo",
+                str(slo),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Load test: profile score" in out
+        assert "parity POST /v1/score" in out
+        assert "prometheus scrapes" in out
+
+        # An impossible SLO flips the exit code to 1.
+        strict = tmp_path / "strict.json"
+        strict.write_text(
+            '{"rules": [{"endpoint": "POST /v1/score",'
+            ' "max_p99_ms": 0.0001}]}'
+        )
+        code = main(
+            [
+                "loadtest",
+                str(model_dir),
+                "--profile",
+                "score",
+                "--duration",
+                "0.4",
+                "--warmup",
+                "0",
+                "--segments",
+                "400",
+                "--seed",
+                "7",
+                "--slo",
+                str(strict),
+            ]
+        )
+        assert code == 1
+        assert "SLO VIOLATION" in capsys.readouterr().out
+
+    def test_loadtest_json_report(self, tmp_path, capsys):
+        model_dir = tmp_path / "models"
+        model_dir.mkdir()
+        assert main(
+            [
+                "train",
+                str(model_dir / "cp8.json"),
+                "--segments",
+                "1200",
+                "--seed",
+                "5",
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "loadtest",
+                str(model_dir),
+                "--profile",
+                "mixed",
+                "--duration",
+                "0.5",
+                "--warmup",
+                "0",
+                "--segments",
+                "400",
+                "--seed",
+                "7",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"] == "mixed"
+        assert payload["parity_ok"] is True
+        assert payload["seed"] == 7
+        assert payload["total_requests"] > 0
+
+    def test_loadtest_requires_one_target(self, capsys):
+        assert main(["loadtest"]) == 2
+        assert "exactly one target" in capsys.readouterr().err
 
     def test_wetdry(self, capsys):
         code = main(["wetdry", "--segments", "1500", "--seed", "4"])
