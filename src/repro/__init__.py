@@ -32,6 +32,16 @@ Subpackages
     for determinism, lock hygiene, numeric safety, exception hygiene
     and resource hygiene, with justified inline suppressions and a
     fingerprint baseline.
+``repro.obs``
+    Observability: span tracing propagated across the process pool and
+    micro-batch queue, JSONL sinks, waterfalls, Prometheus exposition.
+``repro.loadtest``
+    Deterministic load generation (closed / open loop, workload
+    profiles) with declarative SLO gating.
+``repro.routing``
+    Route-risk serving: the road network lowered into a risk-weighted
+    graph, safest-vs-shortest queries, and a precomputed route store
+    content-addressed to the scorer artefact.
 
 Quick start
 -----------

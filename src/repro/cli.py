@@ -10,7 +10,11 @@ Python:
 * ``train`` — train and save a deployable crash-proneness scorer;
 * ``score`` — score a segment CSV with a saved scorer (table, JSON or
   CSV output; ``--bulk`` shards the pass across a process pool);
-* ``serve`` — serve a directory of scorers over HTTP;
+* ``serve`` — serve a directory of scorers over HTTP (``--routes``
+  additionally enables the ``/v1/route/*`` route-risk endpoints);
+* ``routes`` — the route-risk subsystem: ``build`` a risk graph,
+  ``query`` safest-vs-shortest routes between towns, ``precompute``
+  popular pairs into the route store, ``top-risk`` report;
 * ``loadtest`` — generate deterministic load against a scoring service
   (self-hosted or ``--url``), report per-endpoint throughput and
   latency percentiles, cross-check client/server request counts, and
@@ -194,6 +198,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one structured JSON line per HTTP request to PATH "
         "('-' for stdout)",
     )
+    serve.add_argument(
+        "--routes",
+        action="store_true",
+        help="enable the /v1/route/* route-risk endpoints (builds a "
+        "synthetic study network on startup)",
+    )
+    serve.add_argument(
+        "--route-segments",
+        type=int,
+        default=2000,
+        help="segments of the route network (only with --routes)",
+    )
+    serve.add_argument(
+        "--route-seed",
+        type=int,
+        default=7,
+        help="seed of the route network (only with --routes)",
+    )
+    serve.add_argument(
+        "--route-clusters",
+        type=int,
+        default=8,
+        help="spatial hotspot clusters for route risk (only with "
+        "--routes; 0 disables hotspot geometry)",
+    )
+
+    routes = sub.add_parser(
+        "routes",
+        help="route-risk queries over the scored road network",
+    )
+    routes_sub = routes.add_subparsers(dest="routes_command", required=True)
+
+    def _routes_common(p, model=True):
+        if model:
+            p.add_argument("model_path", type=Path,
+                           help="saved scorer artefact (repro-study train)")
+        p.add_argument("--segments", type=int, default=2000,
+                       help="segments of the synthetic study network")
+        p.add_argument("--seed", type=int, default=7,
+                       help="network seed (same seed, same network)")
+        p.add_argument("--clusters", type=int, default=8,
+                       help="spatial hotspot clusters (0 disables)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="process shards for the segment-scoring pass")
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+
+    rb = routes_sub.add_parser(
+        "build", help="score the network and report the risk graph"
+    )
+    _routes_common(rb)
+
+    rq = routes_sub.add_parser(
+        "query", help="safest vs shortest route between two towns"
+    )
+    _routes_common(rq)
+    rq.add_argument("origin", help="origin town (e.g. town_003)")
+    rq.add_argument("destination", help="destination town")
+    rq.add_argument("--alpha", type=float, default=None,
+                    help="risk weight in [0,1] (default 0.3)")
+    rq.add_argument("--k", type=int, default=3,
+                    help="alternative routes to weigh (1-8)")
+
+    rp = routes_sub.add_parser(
+        "precompute", help="warm the route store with popular pairs"
+    )
+    _routes_common(rp)
+    rp.add_argument("--pairs", type=int, default=16,
+                    help="popular town pairs to precompute")
+    rp.add_argument("--alpha", type=float, default=None,
+                    help="risk weight in [0,1] (default 0.3)")
+    rp.add_argument("--k", type=int, default=3,
+                    help="alternative routes per pair (1-8)")
+
+    rt = routes_sub.add_parser(
+        "top-risk", help="the network's riskiest routes, worst first"
+    )
+    _routes_common(rt)
+    rt.add_argument("--top", type=int, default=10,
+                    help="how many routes to report")
 
     load = sub.add_parser(
         "loadtest",
@@ -214,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument(
         "--profile",
         default="mixed",
-        help="workload mix: mixed | score | batch | browse",
+        help="workload mix: mixed | score | batch | browse | routes",
     )
     load.add_argument("--duration", type=float, default=5.0,
                       help="measured window in seconds")
@@ -489,9 +573,23 @@ def _cmd_score(args) -> int:
     return 0
 
 
+def _route_planner(segments: int, seed: int, clusters: int, n_jobs: int = 1):
+    """A RoutePlanner over a freshly generated synthetic network."""
+    from repro.routing import RoutePlanner
+
+    config = small_config(n_segments=segments, n_towns=18)
+    dataset = QDTMRSyntheticGenerator(config).generate(seed=seed)
+    return RoutePlanner(dataset, n_clusters=clusters, n_jobs=n_jobs)
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import ScoringService
 
+    route_planner = None
+    if args.routes:
+        route_planner = _route_planner(
+            args.route_segments, args.route_seed, args.route_clusters
+        )
     with _cli_tracer(args.trace_out) as tracer:
         service = ScoringService(
             args.model_dir,
@@ -505,15 +603,28 @@ def _cmd_serve(args) -> int:
             max_body_bytes=args.max_body_bytes,
             tracer=tracer,
             access_log=args.access_log,
+            route_planner=route_planner,
         )
         names = ", ".join(service.registry.names()) or "none"
         print(f"serving {len(service.registry)} scorer(s) [{names}]")
         print(f"listening on http://{args.host}:{args.port}")
-        print(
+        endpoints = (
             "endpoints: GET /healthz | GET /models | "
             "GET /metrics[?format=prometheus] | "
             "POST /v1/score | POST /v1/score/batch"
         )
+        if route_planner is not None:
+            endpoints += (
+                " | GET /v1/route/towns | POST /v1/route/score | "
+                "POST /v1/route/safest"
+            )
+            stats = route_planner.stats()
+            print(
+                f"routing: {stats['towns']} towns, {stats['routes']} "
+                f"routes, {stats['clusters']} hotspot clusters "
+                f"(seed {args.route_seed})"
+            )
+        print(endpoints)
         try:
             service.serve_forever()
         except KeyboardInterrupt:
@@ -524,10 +635,115 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _loadtest_rows(args, input_schema) -> list[dict]:
-    """Schema-shaped payload rows from a synthetic dataset."""
+def _cmd_routes(args) -> int:
+    import time
+
+    from repro.core.deployment import payload_checksum
+
+    scorer = CrashPronenessScorer.load(args.model_path)
+    payload = scorer.to_dict()
+    checksum = payload.get("checksum") or payload_checksum(payload)
+    planner = _route_planner(
+        args.segments, args.seed, args.clusters, n_jobs=args.jobs
+    )
+
+    if args.routes_command == "build":
+        t0 = time.perf_counter()
+        graph = planner.graph_for(scorer, checksum)
+        build_s = time.perf_counter() - t0
+        info = dict(graph.describe())
+        info["clusters"] = len(planner.clusters)
+        info["build_seconds"] = round(build_s, 4)
+        if args.json:
+            print(json.dumps(info, indent=2))
+            return 0
+        print(f"risk graph for artefact {checksum[:12]}…")
+        for key, value in info.items():
+            print(f"  {key}: {value}")
+        return 0
+
+    if args.routes_command == "query":
+        result = planner.plan_safest(
+            scorer,
+            checksum,
+            args.origin,
+            args.destination,
+            alpha=args.alpha,
+            k=args.k,
+        )
+        if args.json:
+            print(json.dumps(result, indent=2))
+            return 0
+        safest, shortest = result["safest"], result["shortest"]
+        print(
+            f"{result['origin']} -> {result['destination']} "
+            f"(alpha={result['alpha']}, k={result['k']})"
+        )
+        for label, plan in (("safest", safest), ("shortest", shortest)):
+            print(
+                f"  {label:9s} {' -> '.join(plan['towns'])}  "
+                f"[{plan['length_km']:.1f} km, "
+                f"{plan['expected_crashes']:.2f} expected crashes, "
+                f"worst segment {plan['worst_segment_probability']:.3f}, "
+                f"{plan['hotspot_crossings']} hotspot crossing(s)]"
+            )
+        print(
+            f"  taking the safest route trades "
+            f"{result['extra_length_km']:.1f} extra km for "
+            f"{result['risk_reduction']:.2f} fewer expected crashes"
+        )
+        return 0
+
+    if args.routes_command == "precompute":
+        t0 = time.perf_counter()
+        n = planner.precompute(
+            scorer,
+            checksum,
+            alpha=args.alpha,
+            k=args.k,
+            limit=args.pairs,
+        )
+        elapsed = time.perf_counter() - t0
+        stats = planner.stats()["store"]
+        print(
+            f"precomputed {n} plans for {args.pairs} pairs in "
+            f"{elapsed:.2f}s ({n / max(elapsed, 1e-9):.0f} plans/s); "
+            f"store holds {stats['entries']} entrie(s)"
+        )
+        return 0
+
+    # top-risk
+    rows = planner.top_risk_routes(scorer, checksum, limit=args.top)
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(render_table(
+        ["route", "from", "to", "km", "E[crashes]", "worst", "hotspot"],
+        [
+            [
+                r["route_id"],
+                r["from"],
+                r["to"],
+                f"{r['length_km']:.1f}",
+                f"{r['expected_crashes']:.2f}",
+                f"{r['worst_segment_probability']:.3f}",
+                r["hotspot_segments"],
+            ]
+            for r in rows
+        ],
+        title=f"Top {len(rows)} risk routes (artefact {checksum[:12]}…)",
+    ))
+    return 0
+
+
+def _loadtest_dataset(args):
+    """The deterministic synthetic dataset payloads are drawn from."""
     config = small_config(n_segments=args.segments, n_towns=18)
-    dataset = QDTMRSyntheticGenerator(config).generate(seed=args.seed)
+    return QDTMRSyntheticGenerator(config).generate(seed=args.seed)
+
+
+def _loadtest_rows(dataset, input_schema) -> list[dict]:
+    """Schema-shaped payload rows from a synthetic dataset."""
     table = dataset.segment_table
     expected = list(input_schema)
     n = min(table.n_rows, 512)
@@ -537,8 +753,28 @@ def _loadtest_rows(args, input_schema) -> list[dict]:
     ]
 
 
+def _pairs_from_towns(towns: list[dict], limit: int = 32) -> list[tuple[str, str]]:
+    """Popular town pairs (by population product) from a towns listing
+    — the ``GET /v1/route/towns`` payload or ``RoutePlanner.towns()``."""
+    ranked = sorted(
+        towns, key=lambda t: (-t["population"], t["town_id"])
+    )[:24]
+    pairs = [
+        (a, b) for i, a in enumerate(ranked) for b in ranked[i + 1:]
+    ]
+    pairs.sort(
+        key=lambda p: (
+            -(p[0]["population"] * p[1]["population"]),
+            p[0]["town_id"],
+            p[1]["town_id"],
+        )
+    )
+    return [(a["name"], b["name"]) for a, b in pairs[:limit]]
+
+
 def _cmd_loadtest(args) -> int:
     from repro.loadtest import LoadTest, SLOSpec
+    from repro.loadtest.profiles import get_profile
 
     if (args.model_dir is None) == (args.url is None):
         print(
@@ -549,13 +785,25 @@ def _cmd_loadtest(args) -> int:
         return 2
     # Load the SLO specs before spending minutes generating load.
     specs = [SLOSpec.load(path) for path in args.slo]
+    profile = get_profile(args.profile)
+    dataset = _loadtest_dataset(args)
 
     service = None
+    pairs = None
     try:
         if args.model_dir is not None:
             from repro.obs import JsonlSpanSink, Tracer
             from repro.serving import ScoringService
 
+            route_planner = None
+            if profile.needs_pairs():
+                # Route traffic against a self-hosted service: enable
+                # routing over the same dataset the payload rows come
+                # from (same --seed/--segments).
+                from repro.routing import RoutePlanner
+
+                route_planner = RoutePlanner(dataset)
+                pairs = _pairs_from_towns(route_planner.towns())
             sink = (
                 JsonlSpanSink(args.trace_out)
                 if args.trace_out is not None
@@ -563,7 +811,10 @@ def _cmd_loadtest(args) -> int:
             )
             tracer = Tracer(enabled=True, sink=sink)
             service = ScoringService(
-                args.model_dir, port=0, tracer=tracer
+                args.model_dir,
+                port=0,
+                tracer=tracer,
+                route_planner=route_planner,
             ).start()
             url = service.url
             names = service.registry.names()
@@ -597,8 +848,15 @@ def _cmd_loadtest(args) -> int:
                 )
                 return 2
             input_schema = by_name[name]["inputs"]
+            if profile.needs_pairs():
+                # The target decides its own network; ask it for towns.
+                with urllib.request.urlopen(
+                    url.rstrip("/") + "/v1/route/towns", timeout=10
+                ) as response:
+                    towns = json.loads(response.read())["towns"]
+                pairs = _pairs_from_towns(towns)
 
-        rows = _loadtest_rows(args, input_schema)
+        rows = _loadtest_rows(dataset, input_schema)
         test = LoadTest(
             url,
             rows,
@@ -613,6 +871,7 @@ def _cmd_loadtest(args) -> int:
             model=args.model,
             batch_size=args.batch_size,
             slowest_k=args.slowest,
+            pairs=pairs,
         )
         report = test.run()
     finally:
@@ -695,6 +954,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "score": _cmd_score,
     "serve": _cmd_serve,
+    "routes": _cmd_routes,
     "loadtest": _cmd_loadtest,
     "wetdry": _cmd_wetdry,
     "trace": _cmd_trace,

@@ -105,6 +105,11 @@ class ServingError(ReproError):
     """A model-serving request or registry operation could not be satisfied."""
 
 
+class RoutingError(ReproError):
+    """A route-risk query could not be answered (unknown town,
+    disconnected pair, malformed path)."""
+
+
 class TreeCompileError(ReproError):
     """A fitted tree (or persisted plan) could not be lowered to the
     compiled scoring fast path; callers fall back to interpreted routing."""

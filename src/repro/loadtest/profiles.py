@@ -30,20 +30,29 @@ __all__ = [
 ]
 
 
+#: Operation kind → (method, path); route kinds need a town-pair pool.
+_OPERATION_ROUTES = {
+    "score": ("POST", "/v1/score"),
+    "batch": ("POST", "/v1/score/batch"),
+    "models": ("GET", "/models"),
+    "route_score": ("POST", "/v1/route/score"),
+    "route_safest": ("POST", "/v1/route/safest"),
+}
+
+_ROUTE_KINDS = ("route_score", "route_safest")
+
+
 @dataclass(frozen=True)
 class Operation:
     """One kind of request a profile can emit."""
 
-    kind: str  #: "score" | "batch" | "models"
+    kind: str  #: one of ``_OPERATION_ROUTES``
     weight: float
 
     def endpoint(self) -> str:
         """The metrics endpoint label this operation lands on."""
-        return {
-            "score": "POST /v1/score",
-            "batch": "POST /v1/score/batch",
-            "models": "GET /models",
-        }[self.kind]
+        method, path = _OPERATION_ROUTES[self.kind]
+        return f"{method} {path}"
 
 
 @dataclass(frozen=True)
@@ -64,7 +73,7 @@ class WorkloadProfile:
                 f"profile {self.name!r} repeats an operation kind"
             )
         for op in self.operations:
-            if op.kind not in ("score", "batch", "models"):
+            if op.kind not in _OPERATION_ROUTES:
                 raise ConfigurationError(
                     f"profile {self.name!r}: unknown operation kind "
                     f"{op.kind!r}"
@@ -79,6 +88,11 @@ class WorkloadProfile:
         """Operation weights normalised to sum to 1."""
         raw = np.array([op.weight for op in self.operations], dtype=float)
         return raw / raw.sum()
+
+    def needs_pairs(self) -> bool:
+        """True when the profile emits route queries (needs a town-pair
+        pool alongside the row pool)."""
+        return any(op.kind in _ROUTE_KINDS for op in self.operations)
 
     def describe(self) -> str:
         weights = self.weights()
@@ -108,6 +122,16 @@ PROFILES: dict[str, WorkloadProfile] = {
         WorkloadProfile(
             "browse",
             (Operation("models", 0.5), Operation("score", 0.5)),
+        ),
+        # Navigation traffic: mostly route-risk lookups, a safest-route
+        # tail, plus enough single scores to keep the scoring path hot.
+        WorkloadProfile(
+            "routes",
+            (
+                Operation("route_score", 0.55),
+                Operation("route_safest", 0.35),
+                Operation("score", 0.10),
+            ),
         ),
     )
 }
@@ -151,12 +175,17 @@ def build_schedule(
     batch_size: int = 16,
     arrival: str = "closed",
     rate: float = 0.0,
+    pairs: list[tuple[str, str]] | None = None,
 ) -> list[PlannedRequest]:
     """Lower a profile into ``n_requests`` concrete requests.
 
     ``rows`` is the payload pool (schema-valid request rows); single
     scores draw one row per request, batch scores a wrapping window of
-    ``batch_size`` consecutive rows.  All randomness flows from one
+    ``batch_size`` consecutive rows.  Route operations draw town pairs
+    from ``pairs`` (required for profiles where
+    :meth:`WorkloadProfile.needs_pairs` is true), reusing the row-draw
+    stream so adding route traffic never perturbs which rows existing
+    profiles pick.  All randomness flows from one
     ``np.random.Generator`` seeded with ``seed``: operation choice,
     row choice and (``poisson``) interarrival gaps, so the schedule is
     bit-reproducible.
@@ -170,6 +199,11 @@ def build_schedule(
     if batch_size < 1:
         raise ConfigurationError(
             f"batch_size must be >= 1, got {batch_size}"
+        )
+    if profile.needs_pairs() and not pairs:
+        raise ConfigurationError(
+            f"profile {profile.name!r} emits route queries and needs a "
+            "non-empty town-pair pool (pairs=...)"
         )
     rng = np.random.default_rng(seed)
     choices = rng.choice(
@@ -189,25 +223,29 @@ def build_schedule(
     for i in range(n_requests):
         op = profile.operations[int(choices[i])]
         start = int(row_starts[i])
+        method, path = _OPERATION_ROUTES[op.kind]
         if op.kind == "models":
             body = None
-            method = "GET"
-            path = "/models"
             indices: tuple[int, ...] = ()
         else:
             if op.kind == "score":
                 indices = (start,)
                 payload: dict = {"row": rows[start]}
-            else:
+            elif op.kind == "batch":
                 indices = tuple(
                     (start + j) % len(rows) for j in range(batch_size)
                 )
                 payload = {"rows": [rows[j] for j in indices]}
+            else:
+                # Route queries: reuse the row draw as the pair index.
+                origin, dest = pairs[start % len(pairs)]
+                indices = ()
+                payload = {"from": origin, "to": dest}
+                if op.kind == "route_safest":
+                    payload["k"] = 3
             if model is not None:
                 payload["model"] = model
             body = json.dumps(payload).encode("utf-8")
-            method = "POST"
-            path = "/v1/score" if op.kind == "score" else "/v1/score/batch"
         schedule.append(
             PlannedRequest(
                 index=i,

@@ -110,6 +110,10 @@ class LoadTest:
         How many slowest requests to keep (and render waterfalls for).
     timeout:
         Per-request client timeout in seconds.
+    pairs:
+        Town-pair pool for route-query profiles (see
+        :meth:`WorkloadProfile.needs_pairs`); e.g. from
+        ``GET /v1/route/towns`` of the target service.
     """
 
     def __init__(
@@ -129,6 +133,7 @@ class LoadTest:
         scrape_interval: float = 1.0,
         slowest_k: int = 5,
         timeout: float = 30.0,
+        pairs: list[tuple[str, str]] | None = None,
     ):
         if clients < 1:
             raise ConfigurationError(
@@ -160,6 +165,13 @@ class LoadTest:
         self.scrape_interval = scrape_interval
         self.slowest_k = slowest_k
         self.timeout = timeout
+        self.pairs = pairs
+        if self.profile.needs_pairs() and not pairs:
+            raise ConfigurationError(
+                f"profile {self.profile.name!r} emits route queries; "
+                "pass pairs=[(origin, dest), ...] (e.g. from "
+                "GET /v1/route/towns)"
+            )
 
     # -- plumbing ----------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
@@ -336,6 +348,7 @@ class LoadTest:
                 model=self.model,
                 batch_size=self.batch_size,
                 arrival="closed",
+                pairs=self.pairs,
             )
             warmup_outcomes = self._run_closed(
                 warmup_schedule, time.monotonic() + self.warmup
@@ -351,6 +364,7 @@ class LoadTest:
                 model=self.model,
                 batch_size=self.batch_size,
                 arrival="closed",
+                pairs=self.pairs,
             )
         else:
             n_requests = max(1, int(round(self.rate * self.duration)))
@@ -363,6 +377,7 @@ class LoadTest:
                 batch_size=self.batch_size,
                 arrival=self.arrival,
                 rate=self.rate,
+                pairs=self.pairs,
             )
 
         # Counter snapshot after warmup = the parity baseline.

@@ -108,6 +108,7 @@ def render_prometheus(
     uptime_seconds: float | None = None,
     n_models: int | None = None,
     registry: dict | None = None,
+    routing: dict | None = None,
 ) -> str:
     """Exposition text from a metrics snapshot.
 
@@ -115,9 +116,11 @@ def render_prometheus(
     (per-endpoint count / sum / errors / error_types / cumulative
     buckets); ``engines`` maps model name → ``ScoringEngine.stats()``;
     ``registry`` is :meth:`ScorerRegistry.stats()` (load/refresh
-    counters plus typed reload-failure counters).  Output ordering is
-    fully deterministic (sorted label values), which the golden-format
-    test relies on.
+    counters plus typed reload-failure counters); ``routing`` is
+    :meth:`RoutePlanner.stats()` (graph builds, plan counters, route
+    store hit/miss/invalidation).  Output ordering is fully
+    deterministic (sorted label values), which the golden-format test
+    relies on.
     """
     w = _Writer()
     if uptime_seconds is not None:
@@ -210,6 +213,44 @@ def render_prometheus(
             {},
             len(registry["degraded"]),
         )
+
+    if routing is not None:
+        store = routing["store"]
+        w.family("repro_route_graph_builds_total", "counter",
+                 "Risk graphs built (one per scorer artefact version).")
+        w.sample("repro_route_graph_builds_total", {},
+                 routing["graph_builds"])
+        w.family("repro_route_plans_total", "counter",
+                 "Route plans answered, by query kind.")
+        for kind in sorted(routing["plans"]):
+            w.sample(
+                "repro_route_plans_total",
+                {"kind": kind},
+                routing["plans"][kind],
+            )
+        w.family("repro_route_store_hits_total", "counter",
+                 "Route store cache hits.")
+        w.sample("repro_route_store_hits_total", {}, store["hits"])
+        w.family("repro_route_store_misses_total", "counter",
+                 "Route store cache misses.")
+        w.sample("repro_route_store_misses_total", {}, store["misses"])
+        w.family("repro_route_store_invalidations_total", "counter",
+                 "Route store entries purged by artefact hot reloads.")
+        w.sample(
+            "repro_route_store_invalidations_total",
+            {},
+            store["invalidations"],
+        )
+        w.family("repro_route_store_entries", "gauge",
+                 "Route responses currently cached.")
+        w.sample("repro_route_store_entries", {}, store["entries"])
+        w.family("repro_route_graphs_cached", "gauge",
+                 "Risk graphs currently held in the planner LRU.")
+        w.sample("repro_route_graphs_cached", {},
+                 routing["graphs_cached"])
+        w.family("repro_route_hotspot_clusters", "gauge",
+                 "Spatial k-means hotspot clusters on the network.")
+        w.sample("repro_route_hotspot_clusters", {}, routing["clusters"])
     return w.text()
 
 

@@ -41,11 +41,11 @@ def crash_coordinates(dataset: RoadCrashDataset) -> np.ndarray:
 
     Each crash sits at its segment's interpolated route position.
     """
-    by_id = {s.segment_id: s for s in dataset.network.skeletons}
+    network = dataset.network
     ids = dataset.crash_instances.numeric("segment_id").astype(int)
     coordinates = np.empty((ids.shape[0], 2))
     for row, segment_id in enumerate(ids):
-        skeleton = by_id[int(segment_id)]
+        skeleton = network.skeleton_of(int(segment_id))
         coordinates[row, 0] = skeleton.x
         coordinates[row, 1] = skeleton.y
     return coordinates

@@ -91,6 +91,20 @@ class RoadNetwork:
     routes: list[Route] = field(default_factory=list)
     graph: nx.Graph = field(default_factory=nx.Graph)
     _skeletons: list[SegmentSkeleton] = field(default_factory=list)
+    # Lookup indexes, built once on first use and rebuilt only if the
+    # backing list has grown (generation appends; nothing mutates after).
+    _route_index: dict[int, Route] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _town_index: dict[int, Town] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _town_names: dict[str, Town] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _skeleton_index: dict[int, SegmentSkeleton] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- construction -------------------------------------------------
     @classmethod
@@ -259,13 +273,66 @@ class RoadNetwork:
     def n_segments(self) -> int:
         return len(self._skeletons)
 
+    def _routes_by_id(self) -> dict[int, Route]:
+        index = self._route_index
+        if index is None or len(index) != len(self.routes):
+            index = {route.route_id: route for route in self.routes}
+            self._route_index = index
+        return index
+
+    def _towns_by_id(self) -> dict[int, Town]:
+        index = self._town_index
+        if index is None or len(index) != len(self.towns):
+            index = {town.town_id: town for town in self.towns}
+            self._town_index = index
+        return index
+
+    def _towns_by_name(self) -> dict[str, Town]:
+        index = self._town_names
+        if index is None or len(index) != len(self.towns):
+            index = {town.name: town for town in self.towns}
+            self._town_names = index
+        return index
+
+    def _skeletons_by_id(self) -> dict[int, SegmentSkeleton]:
+        index = self._skeleton_index
+        if index is None or len(index) != len(self._skeletons):
+            index = {s.segment_id: s for s in self._skeletons}
+            self._skeleton_index = index
+        return index
+
     def route_of(self, skeleton: SegmentSkeleton) -> Route | None:
         if skeleton.route_id < 0:
             return None
-        return self.routes[skeleton.route_id]
+        return self._routes_by_id()[skeleton.route_id]
 
     def route_endpoints(self, route: Route) -> tuple[Town, Town]:
-        return self.towns[route.start], self.towns[route.end]
+        towns = self._towns_by_id()
+        return towns[route.start], towns[route.end]
+
+    def town_named(self, ref: str | int) -> Town:
+        """Resolve a town by name (``town_007``) or integer id."""
+        if isinstance(ref, bool):
+            raise ConfigurationError(f"not a town reference: {ref!r}")
+        if isinstance(ref, int):
+            town = self._towns_by_id().get(ref)
+        else:
+            index = self._towns_by_name()
+            town = index.get(str(ref))
+            if town is None and str(ref).isdigit():
+                town = self._towns_by_id().get(int(ref))
+        if town is None:
+            raise ConfigurationError(
+                f"unknown town {ref!r} "
+                f"(network has {len(self.towns)} towns: "
+                f"{self.towns[0].name}..{self.towns[-1].name})"
+                if self.towns
+                else f"unknown town {ref!r} (network has no towns)"
+            )
+        return town
+
+    def skeleton_of(self, segment_id: int) -> SegmentSkeleton | None:
+        return self._skeletons_by_id().get(int(segment_id))
 
     def is_connected(self) -> bool:
         return nx.is_connected(self.graph)

@@ -1,0 +1,253 @@
+"""Risk-weighted road graph: the routing subsystem's data plane.
+
+:class:`RiskGraph` lowers a :class:`~repro.roads.network.RoadNetwork`
+plus per-segment crash-proneness probabilities into contiguous numpy
+edge arrays — the same flat-array treatment the compiled tree kernels
+gave scoring.  Each between-town route becomes one edge carrying:
+
+* ``edge_length`` — route length in km;
+* ``edge_risk`` — expected crash-prone kilometres: the mean scored
+  probability of the route's 1 km segments times its length (routes
+  whose segments were subsampled out of the study table fall back to
+  the network-wide mean probability, so every edge stays routable);
+* ``edge_worst`` — the worst single-segment probability on the route;
+* ``edge_hotspot`` — how many of the route's scored segments fall
+  inside a spatial k-means hotspot disc (phase-3 cluster geometry).
+
+Adjacency is CSR (``indptr`` / ``adj_towns`` / ``adj_edges``) with
+neighbour lists sorted by ``(town_id, edge_id)``, so traversal order —
+and therefore every tie-break downstream in
+:mod:`repro.routing.queries` — is deterministic.
+
+The blended edge cost is ``(1 - alpha) * length + alpha * risk *
+risk_scale`` where ``risk_scale`` normalises total network risk to
+total network length: ``alpha=0`` is pure shortest-distance,
+``alpha=1`` is pure risk-avoidance, and intermediate values trade km
+against expected crashes on a comparable scale.
+
+A graph is a pure function of ``(network, scores)``; it records the
+scorer artefact ``checksum`` that produced the scores, which is the
+content-address the :class:`~repro.routing.store.RouteStore` keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, RoutingError
+from repro.roads.network import RoadNetwork
+
+__all__ = ["RiskGraph", "COST_FLOOR"]
+
+#: Edge costs are floored here so a zero-length/zero-risk edge can
+#: never produce a zero-cost cycle for the search to spin on.
+COST_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class RiskGraph:
+    """Contiguous-array road graph with risk-weighted edge costs."""
+
+    checksum: str
+    """Artefact checksum of the scorer that produced the edge risks."""
+
+    town_names: tuple[str, ...]
+    town_x: np.ndarray
+    town_y: np.ndarray
+    town_population: np.ndarray
+
+    edge_route_id: np.ndarray
+    edge_u: np.ndarray
+    edge_v: np.ndarray
+    edge_length: np.ndarray
+    edge_risk: np.ndarray
+    edge_worst: np.ndarray
+    edge_hotspot: np.ndarray
+    edge_scored: np.ndarray
+
+    indptr: np.ndarray
+    adj_towns: np.ndarray
+    adj_edges: np.ndarray
+
+    risk_scale: float
+    mean_probability: float
+    n_scored_segments: int
+
+    @property
+    def n_towns(self) -> int:
+        return len(self.town_names)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edge_u.shape[0])
+
+    def edge_costs(self, alpha: float) -> np.ndarray:
+        """Blended per-edge costs for one risk weight ``alpha``."""
+        if isinstance(alpha, bool) or not isinstance(alpha, (int, float)):
+            raise ConfigurationError(
+                f"alpha must be a number, got {alpha!r}"
+            )
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be in [0, 1], got {alpha}"
+            )
+        blended = (
+            (1.0 - alpha) * self.edge_length
+            + alpha * self.edge_risk * self.risk_scale
+        )
+        return np.maximum(blended, COST_FLOOR)
+
+    def neighbours(self, town_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(adjacent town ids, connecting edge ids)`` for one town."""
+        start, stop = self.indptr[town_id], self.indptr[town_id + 1]
+        return self.adj_towns[start:stop], self.adj_edges[start:stop]
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        segment_ids: np.ndarray,
+        probabilities: np.ndarray,
+        checksum: str,
+        clusters: tuple = (),
+    ) -> "RiskGraph":
+        """Lower a scored network into edge arrays.
+
+        ``segment_ids`` / ``probabilities`` are parallel: one scored
+        probability per study-table segment.  ``clusters`` are
+        :class:`~repro.roads.hotspots.SpatialCluster` discs; a segment
+        inside any disc counts toward its route's hotspot crossings.
+        """
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if segment_ids.shape[0] != probabilities.shape[0]:
+            raise RoutingError(
+                f"{segment_ids.shape[0]} segment ids with "
+                f"{probabilities.shape[0]} probabilities"
+            )
+        if not network.towns or not network.routes:
+            raise RoutingError(
+                "cannot build a risk graph from an empty network"
+            )
+        if sorted(t.town_id for t in network.towns) != list(
+            range(len(network.towns))
+        ):
+            raise RoutingError(
+                "town ids must be contiguous 0..n-1 to lower into arrays"
+            )
+
+        # Gather (route_id, x, y) per scored segment; in-town "urban"
+        # segments (route_id == -1) score but sit on no edge.
+        n = segment_ids.shape[0]
+        seg_route = np.full(n, -1, dtype=np.int64)
+        seg_x = np.zeros(n, dtype=np.float64)
+        seg_y = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            skeleton = network.skeleton_of(int(segment_ids[i]))
+            if skeleton is None:
+                raise RoutingError(
+                    f"segment {int(segment_ids[i])} is not in the network"
+                )
+            seg_route[i] = skeleton.route_id
+            seg_x[i] = skeleton.x
+            seg_y[i] = skeleton.y
+
+        in_hotspot = np.zeros(n, dtype=bool)
+        for cluster in clusters:
+            dx = seg_x - cluster.centre_x
+            dy = seg_y - cluster.centre_y
+            in_hotspot |= dx * dx + dy * dy <= cluster.radius_km**2
+
+        on_route = seg_route >= 0
+        n_routes = len(network.routes)
+        prob_sum = np.zeros(n_routes, dtype=np.float64)
+        scored = np.zeros(n_routes, dtype=np.int64)
+        worst = np.zeros(n_routes, dtype=np.float64)
+        hotspot = np.zeros(n_routes, dtype=np.int64)
+        routed = seg_route[on_route]
+        np.add.at(prob_sum, routed, probabilities[on_route])
+        np.add.at(scored, routed, 1)
+        np.maximum.at(worst, routed, probabilities[on_route])
+        np.add.at(hotspot, routed, in_hotspot[on_route].astype(np.int64))
+
+        mean_probability = (
+            float(probabilities.mean()) if n else 0.0
+        )
+        edge_u = np.empty(n_routes, dtype=np.int64)
+        edge_v = np.empty(n_routes, dtype=np.int64)
+        edge_length = np.empty(n_routes, dtype=np.float64)
+        edge_route_id = np.empty(n_routes, dtype=np.int64)
+        for route in network.routes:
+            r = route.route_id
+            edge_route_id[r] = r
+            edge_u[r] = route.start
+            edge_v[r] = route.end
+            edge_length[r] = route.length_km
+        mean_prob_per_route = np.where(
+            scored > 0,
+            prob_sum / np.maximum(scored, 1),
+            mean_probability,
+        )
+        edge_risk = mean_prob_per_route * edge_length
+
+        total_risk = float(edge_risk.sum())
+        total_length = float(edge_length.sum())
+        risk_scale = total_length / total_risk if total_risk > 0 else 1.0
+
+        # CSR adjacency over both edge directions, neighbour lists
+        # sorted by (town, edge) for deterministic traversal.
+        n_towns = len(network.towns)
+        adjacency: list[list[tuple[int, int]]] = [[] for _ in range(n_towns)]
+        for e in range(n_routes):
+            adjacency[edge_u[e]].append((int(edge_v[e]), e))
+            adjacency[edge_v[e]].append((int(edge_u[e]), e))
+        indptr = np.zeros(n_towns + 1, dtype=np.int64)
+        adj_towns = np.empty(2 * n_routes, dtype=np.int64)
+        adj_edges = np.empty(2 * n_routes, dtype=np.int64)
+        cursor = 0
+        for town_id in range(n_towns):
+            for neighbour, e in sorted(adjacency[town_id]):
+                adj_towns[cursor] = neighbour
+                adj_edges[cursor] = e
+                cursor += 1
+            indptr[town_id + 1] = cursor
+
+        towns = sorted(network.towns, key=lambda t: t.town_id)
+        return cls(
+            checksum=checksum,
+            town_names=tuple(t.name for t in towns),
+            town_x=np.array([t.x for t in towns], dtype=np.float64),
+            town_y=np.array([t.y for t in towns], dtype=np.float64),
+            town_population=np.array(
+                [t.population for t in towns], dtype=np.int64
+            ),
+            edge_route_id=edge_route_id,
+            edge_u=edge_u,
+            edge_v=edge_v,
+            edge_length=edge_length,
+            edge_risk=edge_risk,
+            edge_worst=worst,
+            edge_hotspot=hotspot,
+            edge_scored=scored,
+            indptr=indptr,
+            adj_towns=adj_towns,
+            adj_edges=adj_edges,
+            risk_scale=risk_scale,
+            mean_probability=mean_probability,
+            n_scored_segments=int(on_route.sum()),
+        )
+
+    def describe(self) -> dict:
+        return {
+            "checksum": self.checksum,
+            "towns": self.n_towns,
+            "edges": self.n_edges,
+            "scored_segments": self.n_scored_segments,
+            "total_length_km": float(self.edge_length.sum()),
+            "total_expected_crashes": float(self.edge_risk.sum()),
+            "mean_probability": self.mean_probability,
+            "risk_scale": self.risk_scale,
+        }

@@ -1,0 +1,398 @@
+"""Route queries over a :class:`~repro.routing.graph.RiskGraph`.
+
+Three query families, all deterministic for a fixed graph:
+
+* :func:`shortest_route` / :func:`best_route` — single-pair Dijkstra
+  over the CSR adjacency, at ``alpha=0`` (pure distance) or a blended
+  risk weight;
+* :func:`k_alternative_routes` — Yen's loopless k-shortest paths,
+  giving genuinely distinct alternatives rather than micro-variations;
+* :func:`safest_route` — picks the minimum-expected-crashes plan from
+  ``{shortest} ∪ {k risk-weighted alternatives}``.  Because the
+  shortest path is itself a candidate, the safest plan's aggregated
+  risk is ≤ the shortest plan's *by construction* — the property the
+  serving acceptance test pins.
+
+Determinism: the heap orders by ``(cost, town_id)``, relaxation uses
+strict ``<`` over a fixed adjacency order, and candidate selection in
+Yen's loop breaks cost ties on the town-id sequence.  Two runs over
+the same graph produce bit-identical plans.
+
+Each public query runs under a ``routing.search`` span so it joins the
+per-request trace tree under the planner's ``routing.plan`` span.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import RoutingError
+from repro.obs.trace import span as obs_span
+from repro.routing.graph import RiskGraph
+
+__all__ = [
+    "RoutePlan",
+    "SafestResult",
+    "DEFAULT_ALPHA",
+    "MAX_ALTERNATIVES",
+    "shortest_route",
+    "best_route",
+    "k_alternative_routes",
+    "safest_route",
+    "score_town_path",
+]
+
+#: Default blend between distance and risk for "best" routes.
+DEFAULT_ALPHA = 0.3
+
+#: Upper bound on k for alternative-route queries (Yen's is O(k·n·E)).
+MAX_ALTERNATIVES = 8
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """One concrete route with its aggregated risk breakdown."""
+
+    towns: tuple[str, ...]
+    route_ids: tuple[int, ...]
+    length_km: float
+    expected_crashes: float
+    """Sum of per-edge expected crash-prone kilometres."""
+    worst_segment_probability: float
+    hotspot_crossings: int
+    """Scored segments on the route inside spatial hotspot discs."""
+    cost: float
+    alpha: float
+
+    def to_dict(self) -> dict:
+        return {
+            "towns": list(self.towns),
+            "route_ids": list(self.route_ids),
+            "n_legs": len(self.route_ids),
+            "length_km": round(self.length_km, 6),
+            "expected_crashes": round(self.expected_crashes, 6),
+            "worst_segment_probability": round(
+                self.worst_segment_probability, 6
+            ),
+            "hotspot_crossings": self.hotspot_crossings,
+            "cost": round(self.cost, 6),
+            "alpha": self.alpha,
+        }
+
+
+@dataclass(frozen=True)
+class SafestResult:
+    """Safest plan, the shortest plan it is compared against, and the
+    alternatives considered."""
+
+    shortest: RoutePlan
+    safest: RoutePlan
+    alternatives: tuple[RoutePlan, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "safest": self.safest.to_dict(),
+            "shortest": self.shortest.to_dict(),
+            "risk_reduction": round(
+                self.shortest.expected_crashes
+                - self.safest.expected_crashes,
+                6,
+            ),
+            "extra_length_km": round(
+                self.safest.length_km - self.shortest.length_km, 6
+            ),
+            "n_alternatives": len(self.alternatives),
+            "alternatives": [p.to_dict() for p in self.alternatives],
+        }
+
+
+def _town_index(graph: RiskGraph, town_id: int) -> int:
+    if isinstance(town_id, bool) or not isinstance(town_id, (int, np.integer)):
+        raise RoutingError(f"town id must be an integer, got {town_id!r}")
+    if not 0 <= town_id < graph.n_towns:
+        raise RoutingError(
+            f"town id {town_id} out of range for a "
+            f"{graph.n_towns}-town graph"
+        )
+    return int(town_id)
+
+
+def _dijkstra(
+    graph: RiskGraph,
+    costs: np.ndarray,
+    source: int,
+    target: int,
+    banned_towns: frozenset[int] = frozenset(),
+    banned_edges: frozenset[int] = frozenset(),
+) -> tuple[tuple[int, ...], tuple[int, ...], float] | None:
+    """Min-cost path ``source → target``; ``None`` when disconnected.
+
+    Returns ``(town ids, edge ids, total cost)``.  Ties break on town
+    id via the heap tuple and on first-relaxation via strict ``<``, so
+    the result is a pure function of the graph and the ban sets.
+    """
+    n = graph.n_towns
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    prev_town = np.full(n, -1, dtype=np.int64)
+    prev_edge = np.full(n, -1, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    indptr, adj_towns, adj_edges = (
+        graph.indptr, graph.adj_towns, graph.adj_edges
+    )
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        if u == target:
+            break
+        for k in range(indptr[u], indptr[u + 1]):
+            v = int(adj_towns[k])
+            e = int(adj_edges[k])
+            if done[v] or v in banned_towns or e in banned_edges:
+                continue
+            nd = d + float(costs[e])
+            if nd < dist[v]:
+                dist[v] = nd
+                prev_town[v] = u
+                prev_edge[v] = e
+                heapq.heappush(heap, (nd, v))
+    if not done[target]:
+        return None
+    towns = [target]
+    edges = []
+    u = target
+    while u != source:
+        edges.append(int(prev_edge[u]))
+        u = int(prev_town[u])
+        towns.append(u)
+    towns.reverse()
+    edges.reverse()
+    return tuple(towns), tuple(edges), float(dist[target])
+
+
+def _plan(
+    graph: RiskGraph,
+    towns: tuple[int, ...],
+    edges: tuple[int, ...],
+    cost: float,
+    alpha: float,
+) -> RoutePlan:
+    edge_ids = np.asarray(edges, dtype=np.int64)
+    return RoutePlan(
+        towns=tuple(graph.town_names[t] for t in towns),
+        route_ids=tuple(int(graph.edge_route_id[e]) for e in edges),
+        length_km=float(graph.edge_length[edge_ids].sum()),
+        expected_crashes=float(graph.edge_risk[edge_ids].sum()),
+        worst_segment_probability=(
+            float(graph.edge_worst[edge_ids].max()) if edges else 0.0
+        ),
+        hotspot_crossings=int(graph.edge_hotspot[edge_ids].sum()),
+        cost=cost,
+        alpha=alpha,
+    )
+
+
+def _search(
+    graph: RiskGraph, origin: int, dest: int, alpha: float
+) -> tuple[tuple[int, ...], tuple[int, ...], float]:
+    costs = graph.edge_costs(alpha)
+    found = _dijkstra(graph, costs, origin, dest)
+    if found is None:
+        raise RoutingError(
+            f"no route between {graph.town_names[origin]!r} and "
+            f"{graph.town_names[dest]!r}"
+        )
+    return found
+
+
+def _validate_pair(graph: RiskGraph, origin: int, dest: int) -> tuple[int, int]:
+    origin = _town_index(graph, origin)
+    dest = _town_index(graph, dest)
+    if origin == dest:
+        raise RoutingError(
+            f"origin and destination are the same town "
+            f"({graph.town_names[origin]!r})"
+        )
+    return origin, dest
+
+
+def shortest_route(graph: RiskGraph, origin: int, dest: int) -> RoutePlan:
+    """Pure shortest-distance route (``alpha=0``)."""
+    origin, dest = _validate_pair(graph, origin, dest)
+    with obs_span("routing.search", mode="shortest",
+                  origin=origin, destination=dest):
+        towns, edges, cost = _search(graph, origin, dest, 0.0)
+        return _plan(graph, towns, edges, cost, 0.0)
+
+
+def best_route(
+    graph: RiskGraph, origin: int, dest: int, alpha: float = DEFAULT_ALPHA
+) -> RoutePlan:
+    """Minimum blended-cost route at risk weight ``alpha``."""
+    origin, dest = _validate_pair(graph, origin, dest)
+    with obs_span("routing.search", mode="best",
+                  origin=origin, destination=dest, alpha=alpha):
+        towns, edges, cost = _search(graph, origin, dest, alpha)
+        return _plan(graph, towns, edges, cost, alpha)
+
+
+def _yen(
+    graph: RiskGraph,
+    costs: np.ndarray,
+    origin: int,
+    dest: int,
+    k: int,
+) -> list[tuple[tuple[int, ...], tuple[int, ...], float]]:
+    """Yen's loopless k-shortest paths under one cost vector."""
+    first = _dijkstra(graph, costs, origin, dest)
+    if first is None:
+        raise RoutingError(
+            f"no route between {graph.town_names[origin]!r} and "
+            f"{graph.town_names[dest]!r}"
+        )
+    accepted = [first]
+    seen = {first[1]}
+    candidates: list[tuple[float, tuple[int, ...], tuple[int, ...]]] = []
+    while len(accepted) < k:
+        prev_towns, prev_edges, _ = accepted[-1]
+        for spur_at in range(len(prev_towns) - 1):
+            spur_town = prev_towns[spur_at]
+            root_towns = prev_towns[: spur_at + 1]
+            root_edges = prev_edges[:spur_at]
+            # Ban every accepted path's continuation edge at this root
+            # (forces a different spur) and the root's interior towns
+            # (keeps paths loopless).
+            banned_edges = {
+                towns_edges[1][spur_at]
+                for towns_edges in accepted
+                if towns_edges[0][: spur_at + 1] == root_towns
+            }
+            banned_towns = frozenset(root_towns[:-1])
+            spur = _dijkstra(
+                graph,
+                costs,
+                spur_town,
+                dest,
+                banned_towns=banned_towns,
+                banned_edges=frozenset(banned_edges),
+            )
+            if spur is None:
+                continue
+            towns = root_towns + spur[0][1:]
+            edges = root_edges + spur[1]
+            if edges in seen:
+                continue
+            seen.add(edges)
+            total = float(costs[np.asarray(edges, dtype=np.int64)].sum())
+            heapq.heappush(candidates, (total, towns, edges))
+        if not candidates:
+            break
+        total, towns, edges = heapq.heappop(candidates)
+        accepted.append((towns, edges, total))
+    return accepted
+
+
+def k_alternative_routes(
+    graph: RiskGraph,
+    origin: int,
+    dest: int,
+    alpha: float = DEFAULT_ALPHA,
+    k: int = 3,
+) -> list[RoutePlan]:
+    """Up to ``k`` loopless alternatives, best blended cost first."""
+    origin, dest = _validate_pair(graph, origin, dest)
+    if not 1 <= k <= MAX_ALTERNATIVES:
+        raise RoutingError(
+            f"k must be in [1, {MAX_ALTERNATIVES}], got {k}"
+        )
+    with obs_span("routing.search", mode="alternatives",
+                  origin=origin, destination=dest, alpha=alpha, k=k):
+        costs = graph.edge_costs(alpha)
+        return [
+            _plan(graph, towns, edges, cost, alpha)
+            for towns, edges, cost in _yen(graph, costs, origin, dest, k)
+        ]
+
+
+def safest_route(
+    graph: RiskGraph,
+    origin: int,
+    dest: int,
+    alpha: float = DEFAULT_ALPHA,
+    k: int = 3,
+) -> SafestResult:
+    """Minimum-risk plan among the shortest path and k alternatives.
+
+    The shortest path is always in the candidate set, so
+    ``safest.expected_crashes <= shortest.expected_crashes`` holds for
+    every pair.  Risk ties break toward shorter, then lexicographically
+    earlier, routes.
+    """
+    origin, dest = _validate_pair(graph, origin, dest)
+    if not 1 <= k <= MAX_ALTERNATIVES:
+        raise RoutingError(
+            f"k must be in [1, {MAX_ALTERNATIVES}], got {k}"
+        )
+    with obs_span("routing.search", mode="safest",
+                  origin=origin, destination=dest, alpha=alpha, k=k):
+        short_towns, short_edges, short_cost = _search(
+            graph, origin, dest, 0.0
+        )
+        shortest = _plan(graph, short_towns, short_edges, short_cost, 0.0)
+        costs = graph.edge_costs(alpha)
+        alternatives = tuple(
+            _plan(graph, towns, edges, cost, alpha)
+            for towns, edges, cost in _yen(graph, costs, origin, dest, k)
+        )
+        safest = min(
+            (shortest, *alternatives),
+            key=lambda p: (p.expected_crashes, p.length_km, p.towns),
+        )
+        return SafestResult(
+            shortest=shortest, safest=safest, alternatives=alternatives
+        )
+
+
+def score_town_path(
+    graph: RiskGraph, town_ids: list[int], alpha: float = DEFAULT_ALPHA
+) -> RoutePlan:
+    """Risk breakdown for an explicit town sequence.
+
+    Consecutive towns must be directly connected; parallel edges
+    resolve to the lowest ``(length, edge id)`` — deterministic.
+    """
+    if len(town_ids) < 2:
+        raise RoutingError(
+            f"a path needs at least 2 towns, got {len(town_ids)}"
+        )
+    ids = [_town_index(graph, t) for t in town_ids]
+    with obs_span("routing.search", mode="path", n_towns=len(ids)):
+        costs = graph.edge_costs(alpha)
+        edges: list[int] = []
+        for u, v in zip(ids, ids[1:]):
+            if u == v:
+                raise RoutingError(
+                    f"path repeats town {graph.town_names[u]!r} "
+                    "consecutively"
+                )
+            adj_towns, adj_edges = graph.neighbours(u)
+            linking = [
+                int(e) for t, e in zip(adj_towns, adj_edges) if int(t) == v
+            ]
+            if not linking:
+                raise RoutingError(
+                    f"towns {graph.town_names[u]!r} and "
+                    f"{graph.town_names[v]!r} are not directly connected"
+                )
+            edges.append(
+                min(linking, key=lambda e: (float(graph.edge_length[e]), e))
+            )
+        edge_ids = np.asarray(edges, dtype=np.int64)
+        cost = float(costs[edge_ids].sum())
+        return _plan(graph, tuple(ids), tuple(edges), cost, alpha)

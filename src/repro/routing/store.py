@@ -1,0 +1,104 @@
+"""Content-addressed precomputed-route cache.
+
+:class:`RouteStore` memoises finished route responses (plain JSON-safe
+dicts, so a cache hit ships byte-identical to the miss that filled it)
+under keys whose **first element is the scorer artefact checksum**.
+That makes the cache content-addressed to the model version: a
+registry hot-reload produces a new checksum, new keys miss, and
+:meth:`invalidate_checksum` purges the superseded version's entries.
+
+Eviction is LRU with a fixed capacity; all counters (hits, misses,
+invalidations, precomputed inserts) are exposed via :meth:`stats` and
+surface in ``/metrics`` as ``repro_route_store_*`` series.
+
+Lock discipline: the single lock guards only dict bookkeeping — route
+computation happens outside, in the planner — so a slow graph build
+never serialises unrelated cache hits.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RouteStore"]
+
+
+class RouteStore:
+    """LRU cache of computed route responses, keyed by artefact."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"store capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._precomputed = 0
+
+    def lookup(self, key: tuple) -> dict | None:
+        """The cached response for ``key``, or ``None`` (counted)."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def insert(
+        self, key: tuple, value: dict, precomputed: bool = False
+    ) -> None:
+        """Cache a response, evicting the least recently used entry."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            if precomputed:
+                self._precomputed += 1
+
+    def note_precomputed(self, n: int) -> None:
+        """Count ``n`` entries as precompute warm-up inserts."""
+        with self._lock:
+            self._precomputed += n
+
+    def invalidate_checksum(self, checksum: str) -> int:
+        """Drop every entry computed from ``checksum``; returns count."""
+        with self._lock:
+            stale = [
+                key for key in self._entries if key and key[0] == checksum
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self._invalidations += n
+            return n
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "invalidations": self._invalidations,
+                "precomputed": self._precomputed,
+            }

@@ -54,8 +54,13 @@ logger = logging.getLogger("repro.serving.http")
 #: set — any other path is labelled ``"<METHOD> [unknown]"`` so a
 #: scanner hitting a million distinct 404 paths produces one metric
 #: series, not a million.
-_GET_ROUTES = ("/healthz", "/models", "/metrics")
-_POST_ROUTES = ("/v1/score", "/v1/score/batch")
+_GET_ROUTES = ("/healthz", "/models", "/metrics", "/v1/route/towns")
+_POST_ROUTES = (
+    "/v1/score",
+    "/v1/score/batch",
+    "/v1/route/score",
+    "/v1/route/safest",
+)
 
 #: error_type fallbacks for statuses whose handler returns an error
 #: payload without raising (so no exception class is available).
@@ -121,6 +126,11 @@ class ScoringService:
         AccessLog`, a path, or ``"-"`` for stdout.  A path/``"-"`` is
         opened here and closed by :meth:`close`; ``None`` disables
         logging.
+    route_planner:
+        A :class:`~repro.routing.planner.RoutePlanner` enabling the
+        ``/v1/route/*`` endpoints (``GET /v1/route/towns``,
+        ``POST /v1/route/score``, ``POST /v1/route/safest``).  ``None``
+        (default) serves 404 with an enablement hint on those routes.
     """
 
     def __init__(
@@ -137,6 +147,7 @@ class ScoringService:
         max_body_bytes: int = 8 * 1024 * 1024,
         tracer: Tracer | None = None,
         access_log: AccessLog | str | Path | None = None,
+        route_planner=None,
     ):
         if max_body_bytes < 0:
             raise ServingError(
@@ -165,6 +176,7 @@ class ScoringService:
             if self._owns_access_log
             else (access_log if isinstance(access_log, AccessLog) else None)
         )
+        self.route_planner = route_planner
         self.metrics = RequestMetrics()
         self._engines: dict[str, ScoringEngine] = {}
         self._engines_lock = threading.Lock()
@@ -231,6 +243,17 @@ class ScoringService:
             raise ServingError(f"'cutoff' must be in [0, 1], got {cutoff}")
         return float(cutoff)
 
+    @staticmethod
+    def _route_town(body: dict, key: str) -> object:
+        alias = "origin" if key == "from" else "destination"
+        value = body.get(key, body.get(alias))
+        if value is None:
+            raise ServingError(
+                "route request must carry 'from' and 'to' town names "
+                "(or a 'path' list of towns for /v1/route/score)"
+            )
+        return value
+
     def endpoint_label(self, method: str, path: str) -> str:
         """The metrics label for a request — fixed-cardinality.
 
@@ -266,6 +289,11 @@ class ScoringService:
             stats = {
                 name: engine.stats() for name, engine in engines.items()
             }
+            routing = (
+                self.route_planner.stats()
+                if self.route_planner is not None
+                else None
+            )
             fmt = query.get("format", "json")
             if fmt == "prometheus":
                 text = render_prometheus(
@@ -274,6 +302,7 @@ class ScoringService:
                     uptime_seconds=time.monotonic() - self._started_at,
                     n_models=len(self.registry.names()),
                     registry=self.registry.stats(),
+                    routing=routing,
                 )
                 return 200, TextResponse(text, content_type=CONTENT_TYPE)
             if fmt != "json":
@@ -281,11 +310,22 @@ class ScoringService:
                     f"unknown metrics format {fmt!r} "
                     f"(expected 'json' or 'prometheus')"
                 )
-            return 200, {
+            payload = {
                 "endpoints": self.metrics.summary(),
                 "engines": stats,
                 "registry": self.registry.stats(),
             }
+            if routing is not None:
+                payload["routing"] = routing
+            return 200, payload
+        if path == "/v1/route/towns":
+            if self.route_planner is None:
+                return 404, {
+                    "error": "routing is not enabled on this service "
+                    "(start it with a route planner, e.g. "
+                    "`repro-study serve --routes`)"
+                }
+            return 200, {"towns": self.route_planner.towns()}
         return 404, {"error": f"no route for GET {path}"}
 
     def handle_post(self, path: str, body: dict) -> tuple[int, dict]:
@@ -319,6 +359,49 @@ class ScoringService:
                     {"probability": p, "crash_prone": p >= cutoff}
                     for p in probabilities
                 ],
+            }
+        if path in ("/v1/route/score", "/v1/route/safest"):
+            planner = self.route_planner
+            if planner is None:
+                return 404, {
+                    "error": "routing is not enabled on this service "
+                    "(start it with a route planner, e.g. "
+                    "`repro-study serve --routes`)"
+                }
+            name = self._resolve_model(body.get("model"))
+            entry = self.registry.get(name)
+            alpha = body.get("alpha")
+            if path == "/v1/route/safest":
+                result = planner.plan_safest(
+                    entry.scorer,
+                    entry.checksum,
+                    self._route_town(body, "from"),
+                    self._route_town(body, "to"),
+                    alpha=alpha,
+                    k=body.get("k"),
+                    model=name,
+                )
+            elif "path" in body:
+                result = planner.score_path(
+                    entry.scorer,
+                    entry.checksum,
+                    body["path"],
+                    alpha=alpha,
+                    model=name,
+                )
+            else:
+                result = planner.plan_pair(
+                    entry.scorer,
+                    entry.checksum,
+                    self._route_town(body, "from"),
+                    self._route_town(body, "to"),
+                    alpha=alpha,
+                    model=name,
+                )
+            return 200, {
+                "model": name,
+                "checksum": entry.checksum,
+                **result,
             }
         return 404, {"error": f"no route for POST {path}"}
 

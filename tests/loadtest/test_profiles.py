@@ -128,3 +128,67 @@ class TestBuildSchedule:
     def test_empty_rows_rejected(self):
         with pytest.raises(ConfigurationError, match="row pool is empty"):
             build_schedule(get_profile("score"), [], 10, seed=0)
+
+
+class TestRouteProfile:
+    """The ``routes`` profile and its town-pair pool plumbing."""
+
+    PAIRS = [("town_000", "town_005"), ("town_001", "town_002")]
+
+    def test_routes_profile_registered(self):
+        profile = get_profile("routes")
+        assert profile.needs_pairs()
+        kinds = {op.kind for op in profile.operations}
+        assert {"route_score", "route_safest", "score"} <= kinds
+
+    def test_classic_profiles_need_no_pairs(self):
+        for name in ("mixed", "score", "batch", "browse"):
+            assert not get_profile(name).needs_pairs()
+
+    def test_pairs_required(self, request_rows):
+        with pytest.raises(ConfigurationError, match="town-pair pool"):
+            build_schedule(get_profile("routes"), request_rows, 10, seed=0)
+
+    def test_route_bodies_are_valid_requests(self, request_rows):
+        schedule = build_schedule(
+            get_profile("routes"),
+            request_rows,
+            200,
+            seed=5,
+            model="cp8",
+            pairs=self.PAIRS,
+        )
+        kinds = {planned.kind for planned in schedule}
+        assert {"route_score", "route_safest", "score"} <= kinds
+        for planned in schedule:
+            payload = json.loads(planned.body)
+            assert payload["model"] == "cp8"
+            if planned.kind == "route_score":
+                assert planned.path == "/v1/route/score"
+                assert (payload["from"], payload["to"]) in self.PAIRS
+            elif planned.kind == "route_safest":
+                assert planned.path == "/v1/route/safest"
+                assert payload["k"] == 3
+                assert (payload["from"], payload["to"]) in self.PAIRS
+
+    def test_adding_pairs_keeps_schedule_deterministic(self, request_rows):
+        a = build_schedule(
+            get_profile("routes"), request_rows, 100, seed=7,
+            pairs=self.PAIRS,
+        )
+        b = build_schedule(
+            get_profile("routes"), request_rows, 100, seed=7,
+            pairs=self.PAIRS,
+        )
+        assert a == b
+
+    def test_classic_schedules_unchanged_by_pairs_argument(
+        self, request_rows
+    ):
+        """Passing a pair pool to a non-route profile is a no-op."""
+        profile = get_profile("mixed")
+        without = build_schedule(profile, request_rows, 100, seed=3)
+        with_pairs = build_schedule(
+            profile, request_rows, 100, seed=3, pairs=self.PAIRS
+        )
+        assert without == with_pairs

@@ -65,3 +65,36 @@ class TestNetworkGeneration:
 
     def test_repr_mentions_segments(self, network):
         assert "segments" in repr(network)
+
+
+class TestLookupIndexes:
+    """The built-once id/name indexes behind route_of & friends."""
+
+    def test_town_named_accepts_name_id_and_digit_string(self, network):
+        town = network.towns[3]
+        assert network.town_named(town.name) is town
+        assert network.town_named(town.town_id) is town
+        assert network.town_named(str(town.town_id)) is town
+
+    def test_town_named_rejects_unknowns(self, network):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown town"):
+            network.town_named("atlantis")
+        with pytest.raises(ConfigurationError, match="unknown town"):
+            network.town_named(10**6)
+        with pytest.raises(ConfigurationError, match="not a town"):
+            network.town_named(True)
+
+    def test_skeleton_of_round_trips_every_segment(self, network):
+        for skeleton in network.skeletons[:50]:
+            assert network.skeleton_of(skeleton.segment_id) is skeleton
+        assert network.skeleton_of(10**9) is None
+
+    def test_route_of_agrees_with_linear_scan(self, network):
+        by_id = {r.route_id: r for r in network.routes}
+        for skeleton in network.skeletons[:100]:
+            expected = (
+                by_id[skeleton.route_id] if skeleton.route_id >= 0 else None
+            )
+            assert network.route_of(skeleton) is expected

@@ -1,0 +1,52 @@
+"""Routing fixtures: one scorer, its graph, and a planner factory.
+
+The scorer and graph are session-scoped (training and graph lowering
+are deterministic, so sharing is safe and keeps the suite fast); tests
+that assert on planner counters build their own planner instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import CrashPronenessScorer
+from repro.routing import RoutePlanner
+
+
+@pytest.fixture(scope="session")
+def routing_scorer(small_dataset) -> CrashPronenessScorer:
+    return CrashPronenessScorer.train(
+        small_dataset.crash_instances,
+        threshold=8,
+        seed=11,
+        metadata={"note": "routing-tests"},
+    )
+
+
+@pytest.fixture(scope="session")
+def routing_checksum(routing_scorer) -> str:
+    return routing_scorer.to_dict()["checksum"]
+
+
+@pytest.fixture(scope="session")
+def session_planner(small_dataset) -> RoutePlanner:
+    """Shared read-mostly planner for query-level tests."""
+    return RoutePlanner(small_dataset, n_clusters=8, cluster_seed=0)
+
+
+@pytest.fixture(scope="session")
+def risk_graph(session_planner, routing_scorer, routing_checksum):
+    return session_planner.graph_for(routing_scorer, routing_checksum)
+
+
+@pytest.fixture()
+def fresh_planner(small_dataset) -> RoutePlanner:
+    """A planner with untouched counters, for cache/metrics tests."""
+    return RoutePlanner(small_dataset, n_clusters=8, cluster_seed=0)
+
+
+@pytest.fixture(scope="session")
+def routing_model_dir(tmp_path_factory, routing_scorer):
+    path = tmp_path_factory.mktemp("routing-models")
+    routing_scorer.save(path / "cp8.json")
+    return path

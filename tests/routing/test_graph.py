@@ -1,0 +1,137 @@
+"""RiskGraph lowering: determinism goldens and structural invariants.
+
+The goldens pin the graph built from the session dataset (2500
+segments, 12 towns, seed 42) scored by the session CP-8 scorer
+(seed 11).  If any of these move, the routing data plane is no longer
+a pure function of ``(network, scores)`` — every cached route and
+precomputed artefact would silently go stale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, RoutingError
+from repro.routing import COST_FLOOR, RiskGraph
+
+
+def _build(planner, scorer, checksum):
+    return planner._build_graph(scorer, checksum)
+
+
+class TestGoldens:
+    """Pinned values for the session dataset + artefact."""
+
+    def test_describe_golden(self, risk_graph):
+        d = risk_graph.describe()
+        assert d["towns"] == 12
+        assert d["edges"] == 15
+        assert d["scored_segments"] == 2117
+        assert d["total_length_km"] == pytest.approx(
+            4048.022850780937, rel=1e-9
+        )
+        assert d["total_expected_crashes"] == pytest.approx(
+            776.3382988247012, rel=1e-9
+        )
+        assert d["mean_probability"] == pytest.approx(
+            0.2215610005196131, rel=1e-9
+        )
+        assert d["risk_scale"] == pytest.approx(
+            5.214251128546976, rel=1e-9
+        )
+
+    def test_edge_cost_golden(self, risk_graph):
+        got = [round(float(x), 6) for x in risk_graph.edge_costs(0.3)[:6]]
+        assert got == [
+            20.275547,
+            193.418052,
+            232.613685,
+            536.941111,
+            361.349846,
+            208.096306,
+        ]
+
+    def test_rebuild_is_bit_identical(
+        self, session_planner, routing_scorer, routing_checksum, risk_graph
+    ):
+        """Two independent builds produce byte-equal arrays."""
+        again = _build(session_planner, routing_scorer, routing_checksum)
+        for name in (
+            "edge_length",
+            "edge_risk",
+            "edge_worst",
+            "edge_hotspot",
+            "edge_scored",
+            "edge_u",
+            "edge_v",
+            "indptr",
+            "adj_towns",
+            "adj_edges",
+        ):
+            np.testing.assert_array_equal(
+                getattr(again, name), getattr(risk_graph, name), err_msg=name
+            )
+        assert again.town_names == risk_graph.town_names
+        assert again.risk_scale == risk_graph.risk_scale
+
+
+class TestStructure:
+    def test_csr_adjacency_is_symmetric_and_sorted(self, risk_graph):
+        g = risk_graph
+        assert int(g.indptr[-1]) == 2 * g.n_edges
+        for town in range(g.n_towns):
+            towns, edges = g.neighbours(town)
+            pairs = list(zip(towns.tolist(), edges.tolist()))
+            assert pairs == sorted(pairs)
+            for neighbour, e in pairs:
+                assert town in (int(g.edge_u[e]), int(g.edge_v[e]))
+                assert neighbour in (int(g.edge_u[e]), int(g.edge_v[e]))
+
+    def test_edge_risk_is_mean_probability_times_length(self, risk_graph):
+        g = risk_graph
+        # Every edge in this network has scored segments, so risk is
+        # bounded by length (probabilities are in [0, 1]).
+        assert (g.edge_scored > 0).all()
+        assert (g.edge_risk <= g.edge_length + 1e-12).all()
+        assert (g.edge_risk >= 0).all()
+
+    def test_alpha_endpoints(self, risk_graph):
+        g = risk_graph
+        np.testing.assert_allclose(
+            g.edge_costs(0.0), np.maximum(g.edge_length, COST_FLOOR)
+        )
+        np.testing.assert_allclose(
+            g.edge_costs(1.0),
+            np.maximum(g.edge_risk * g.risk_scale, COST_FLOOR),
+        )
+
+    def test_costs_never_zero(self, risk_graph):
+        for alpha in (0.0, 0.3, 1.0):
+            assert (risk_graph.edge_costs(alpha) >= COST_FLOOR).all()
+
+    def test_alpha_validation(self, risk_graph):
+        with pytest.raises(ConfigurationError, match="in \\[0, 1\\]"):
+            risk_graph.edge_costs(1.5)
+        with pytest.raises(ConfigurationError, match="must be a number"):
+            risk_graph.edge_costs("0.3")
+        with pytest.raises(ConfigurationError, match="must be a number"):
+            risk_graph.edge_costs(True)
+
+
+class TestBuildValidation:
+    def test_mismatched_lengths(self, small_dataset, routing_checksum):
+        with pytest.raises(RoutingError, match="segment ids"):
+            RiskGraph.build(
+                small_dataset.network,
+                np.array([0, 1]),
+                np.array([0.5]),
+                checksum=routing_checksum,
+            )
+
+    def test_unknown_segment(self, small_dataset, routing_checksum):
+        with pytest.raises(RoutingError, match="not in the network"):
+            RiskGraph.build(
+                small_dataset.network,
+                np.array([10**9]),
+                np.array([0.5]),
+                checksum=routing_checksum,
+            )

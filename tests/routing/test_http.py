@@ -1,0 +1,233 @@
+"""The /v1/route/* serving contract, end to end over HTTP.
+
+Acceptance pins (ISSUE 7): ``/v1/route/safest`` returns an aggregated
+risk ≤ the shortest route's for the same pair, responses are
+bit-reproducible for a fixed seed + artefact checksum, each request
+produces one connected trace tree, and RouteStore hits/misses surface
+in ``/metrics`` in both JSON and Prometheus form.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import time
+
+import pytest
+
+from repro.obs.prometheus import validate_exposition
+from repro.obs.trace import Tracer
+from repro.routing import RoutePlanner
+from repro.serving import ScoringService
+
+
+@pytest.fixture()
+def route_service(routing_model_dir, small_dataset):
+    planner = RoutePlanner(small_dataset, n_clusters=8, cluster_seed=0)
+    service = ScoringService(
+        routing_model_dir,
+        port=0,
+        max_wait_ms=25.0,
+        route_planner=planner,
+        tracer=Tracer(max_spans=None),
+    )
+    with service.start() as svc:
+        yield svc
+
+
+@pytest.fixture()
+def plain_service(routing_model_dir):
+    with ScoringService(routing_model_dir, port=0).start() as svc:
+        yield svc
+
+
+def _get(service, path):
+    with urllib.request.urlopen(service.url + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _get_text(service, path):
+    with urllib.request.urlopen(service.url + path, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+def _post(service, path, payload):
+    request = urllib.request.Request(
+        service.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _error(service, method, path, payload=None) -> tuple[int, dict]:
+    try:
+        if method == "GET":
+            _get(service, path)
+        else:
+            _post(service, path, payload or {})
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+    raise AssertionError("expected an HTTP error")
+
+
+class TestTownsEndpoint:
+    def test_towns_directory(self, route_service):
+        body = _get(route_service, "/v1/route/towns")
+        towns = body["towns"]
+        assert len(towns) == 12
+        assert [t["town_id"] for t in towns] == list(range(12))
+        assert all(
+            set(t) == {"town_id", "name", "x", "y", "population"}
+            for t in towns
+        )
+
+    def test_routing_disabled_is_404_with_hint(self, plain_service):
+        code, body = _error(plain_service, "GET", "/v1/route/towns")
+        assert code == 404
+        assert "--routes" in body["error"]
+        code, body = _error(
+            plain_service,
+            "POST",
+            "/v1/route/safest",
+            {"from": "town_000", "to": "town_005"},
+        )
+        assert code == 404
+
+
+class TestRouteScore:
+    def test_pair_breakdown(self, route_service, routing_checksum):
+        body = _post(
+            route_service,
+            "/v1/route/score",
+            {"from": "town_000", "to": "town_005", "alpha": 0.3},
+        )
+        assert body["model"] == "cp8"
+        assert body["checksum"] == routing_checksum
+        assert body["origin"] == "town_000"
+        assert body["destination"] == "town_005"
+        route = body["route"]
+        assert route["towns"][0] == "town_000"
+        assert route["towns"][-1] == "town_005"
+        assert route["length_km"] > 0
+        assert route["expected_crashes"] > 0
+        assert 0.0 <= route["worst_segment_probability"] <= 1.0
+        assert route["hotspot_crossings"] >= 0
+        assert route["n_legs"] == len(route["route_ids"])
+
+    def test_explicit_path(self, route_service):
+        pair = _post(
+            route_service,
+            "/v1/route/score",
+            {"from": "town_000", "to": "town_005"},
+        )
+        body = _post(
+            route_service,
+            "/v1/route/score",
+            {"path": pair["route"]["towns"]},
+        )
+        assert body["route"]["route_ids"] == pair["route"]["route_ids"]
+
+    def test_bad_request_is_400(self, route_service):
+        code, body = _error(
+            route_service, "POST", "/v1/route/score", {"from": "town_000"}
+        )
+        assert code == 400
+        assert "to" in body["error"]
+        code, body = _error(
+            route_service,
+            "POST",
+            "/v1/route/score",
+            {"from": "town_000", "to": "nowhere"},
+        )
+        assert code == 400
+
+
+class TestRouteSafest:
+    def test_safest_risk_bounded_by_shortest(self, route_service):
+        body = _post(
+            route_service,
+            "/v1/route/safest",
+            {"from": "town_001", "to": "town_002", "alpha": 0.9, "k": 4},
+        )
+        assert (
+            body["safest"]["expected_crashes"]
+            <= body["shortest"]["expected_crashes"]
+        )
+        assert body["risk_reduction"] >= 0
+        assert body["n_alternatives"] >= 1
+
+    def test_bit_reproducible_for_fixed_artefact(self, route_service):
+        payload = {"from": "town_000", "to": "town_005", "k": 3}
+        first = _post(route_service, "/v1/route/safest", payload)
+        second = _post(route_service, "/v1/route/safest", payload)
+        assert first == second
+
+
+class TestObservability:
+    def test_store_counters_in_json_metrics(self, route_service):
+        payload = {"from": "town_000", "to": "town_005"}
+        _post(route_service, "/v1/route/safest", payload)
+        _post(route_service, "/v1/route/safest", payload)
+        body = _get(route_service, "/metrics")
+        routing = body["routing"]
+        assert routing["store"]["misses"] >= 1
+        assert routing["store"]["hits"] >= 1
+        assert routing["graph_builds"] == 1
+        assert routing["plans"]["safest"] == 2
+
+    def test_prometheus_series_present_and_valid(self, route_service):
+        _post(
+            route_service,
+            "/v1/route/safest",
+            {"from": "town_000", "to": "town_005"},
+        )
+        text = _get_text(route_service, "/metrics?format=prometheus")
+        validate_exposition(text)
+        for series in (
+            "repro_route_graph_builds_total",
+            'repro_route_plans_total{kind="safest"}',
+            "repro_route_store_hits_total",
+            "repro_route_store_misses_total",
+            "repro_route_store_entries",
+            "repro_route_graphs_cached",
+            "repro_route_hotspot_clusters",
+        ):
+            assert series in text, series
+
+    def test_plain_service_omits_routing_metrics(self, plain_service):
+        body = _get(plain_service, "/metrics")
+        assert "routing" not in body
+        text = _get_text(plain_service, "/metrics?format=prometheus")
+        assert "repro_route_" not in text
+
+    def test_request_trace_is_one_connected_tree(self, route_service):
+        _post(
+            route_service,
+            "/v1/route/safest",
+            {"from": "town_003", "to": "town_008"},
+        )
+        # The http.request span closes just after the response bytes
+        # ship; poll briefly rather than race it.
+        deadline = time.monotonic() + 5.0
+        safest = []
+        while not safest and time.monotonic() < deadline:
+            spans = route_service.tracer.finished()
+            safest = [
+                s
+                for s in spans
+                if s.name == "http.request"
+                and s.attrs.get("path") == "/v1/route/safest"
+            ]
+            if not safest:
+                time.sleep(0.02)
+        assert safest
+        root = safest[-1]
+        tree = [s for s in spans if s.trace_id == root.trace_id]
+        names = {s.name for s in tree}
+        assert {"http.request", "routing.plan", "routing.search"} <= names
+        by_id = {s.span_id for s in tree}
+        for s in tree:
+            if s.parent_id is not None:
+                assert s.parent_id in by_id

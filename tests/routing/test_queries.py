@@ -1,0 +1,148 @@
+"""Route queries: the safest-route invariant and search determinism.
+
+The load-bearing property (pinned by the serving acceptance contract):
+for *every* town pair, alpha and k, the safest plan's aggregated risk
+is less than or equal to the shortest plan's, because the shortest
+path is always in the candidate set.  Hypothesis sweeps the pair/alpha
+space; the goldens pin one known-divergent pair.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RoutingError
+from repro.routing import (
+    MAX_ALTERNATIVES,
+    best_route,
+    k_alternative_routes,
+    safest_route,
+    score_town_path,
+    shortest_route,
+)
+
+# The session graph has 12 towns and is fully connected, so any
+# distinct pair is routable.
+town_ids = st.integers(min_value=0, max_value=11)
+alphas = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSafestInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(origin=town_ids, dest=town_ids, alpha=alphas,
+           k=st.integers(min_value=1, max_value=4))
+    def test_safest_risk_never_exceeds_shortest(
+        self, risk_graph, origin, dest, alpha, k
+    ):
+        if origin == dest:
+            return
+        result = safest_route(risk_graph, origin, dest, alpha=alpha, k=k)
+        assert (
+            result.safest.expected_crashes
+            <= result.shortest.expected_crashes
+        )
+        # The shortest plan really is the alpha=0 optimum.
+        assert result.shortest.towns == shortest_route(
+            risk_graph, origin, dest
+        ).towns
+
+    @settings(max_examples=30, deadline=None)
+    @given(origin=town_ids, dest=town_ids, alpha=alphas)
+    def test_deterministic_across_runs(
+        self, risk_graph, origin, dest, alpha
+    ):
+        if origin == dest:
+            return
+        a = safest_route(risk_graph, origin, dest, alpha=alpha, k=3)
+        b = safest_route(risk_graph, origin, dest, alpha=alpha, k=3)
+        assert a == b
+
+    def test_known_divergent_pair_golden(self, risk_graph):
+        """Session-dataset golden: a pair where avoiding risk pays."""
+        result = safest_route(risk_graph, 1, 2, alpha=0.9, k=4)
+        assert result.shortest.towns == (
+            "town_001", "town_006", "town_007", "town_002"
+        )
+        assert result.safest.towns == (
+            "town_001", "town_006", "town_000", "town_007", "town_002"
+        )
+        assert result.safest.expected_crashes == pytest.approx(
+            148.373965, abs=1e-6
+        )
+        assert result.shortest.expected_crashes == pytest.approx(
+            149.957141, abs=1e-6
+        )
+        assert result.to_dict()["risk_reduction"] == pytest.approx(
+            1.583177, abs=1e-6
+        )
+
+
+class TestAlternatives:
+    def test_alternatives_are_loopless_and_distinct(self, risk_graph):
+        plans = k_alternative_routes(risk_graph, 0, 5, alpha=0.3, k=4)
+        assert 1 <= len(plans) <= 4
+        seen = set()
+        for plan in plans:
+            assert len(set(plan.towns)) == len(plan.towns)
+            assert plan.route_ids not in seen
+            seen.add(plan.route_ids)
+        costs = [p.cost for p in plans]
+        assert costs == sorted(costs)
+
+    def test_best_route_minimises_blended_cost(self, risk_graph):
+        best = best_route(risk_graph, 0, 5, alpha=0.3)
+        for alt in k_alternative_routes(risk_graph, 0, 5, alpha=0.3, k=4):
+            assert best.cost <= alt.cost + 1e-12
+
+    def test_k_bounds(self, risk_graph):
+        with pytest.raises(RoutingError, match="k must be"):
+            k_alternative_routes(risk_graph, 0, 1, k=0)
+        with pytest.raises(RoutingError, match="k must be"):
+            safest_route(risk_graph, 0, 1, k=MAX_ALTERNATIVES + 1)
+
+
+class TestScorePath:
+    def test_explicit_path_matches_search_aggregates(self, risk_graph):
+        found = shortest_route(risk_graph, 0, 5)
+        ids = [
+            risk_graph.town_names.index(name) for name in found.towns
+        ]
+        rescored = score_town_path(risk_graph, ids, alpha=0.0)
+        assert rescored.length_km == pytest.approx(found.length_km)
+        assert rescored.expected_crashes == pytest.approx(
+            found.expected_crashes
+        )
+        assert rescored.route_ids == found.route_ids
+
+    def test_disconnected_step_rejected(self, risk_graph):
+        g = risk_graph
+        # Find a pair with no direct edge.
+        for v in range(1, g.n_towns):
+            towns, _ = g.neighbours(0)
+            if v not in set(towns.tolist()):
+                with pytest.raises(RoutingError, match="not directly"):
+                    score_town_path(g, [0, v])
+                return
+        pytest.skip("town 0 is adjacent to every other town")
+
+    def test_short_and_repeated_paths_rejected(self, risk_graph):
+        with pytest.raises(RoutingError, match="at least 2"):
+            score_town_path(risk_graph, [0])
+        with pytest.raises(RoutingError, match="repeats town"):
+            score_town_path(risk_graph, [0, 0])
+
+
+class TestValidation:
+    def test_same_town_pair_rejected(self, risk_graph):
+        with pytest.raises(RoutingError, match="same town"):
+            shortest_route(risk_graph, 3, 3)
+
+    def test_out_of_range_town(self, risk_graph):
+        with pytest.raises(RoutingError, match="out of range"):
+            shortest_route(risk_graph, 0, 99)
+
+    def test_non_integer_town(self, risk_graph):
+        with pytest.raises(RoutingError, match="must be an integer"):
+            shortest_route(risk_graph, 0, "town_001")

@@ -1,0 +1,71 @@
+"""RouteStore: LRU behaviour, counters, checksum invalidation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.routing import RouteStore
+
+
+def key(checksum, n):
+    return (checksum, "score", n, n + 1, 0.3)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        store = RouteStore(capacity=4)
+        assert store.lookup(key("a", 0)) is None
+        store.insert(key("a", 0), {"route": 1})
+        assert store.lookup(key("a", 0)) == {"route": 1}
+        stats = store.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_hit_returns_same_object(self):
+        """Cache hits ship the exact dict that filled the entry, so a
+        hit is byte-identical to the original response."""
+        store = RouteStore(capacity=4)
+        value = {"route": {"towns": ["a", "b"]}}
+        store.insert(key("a", 0), value)
+        assert store.lookup(key("a", 0)) is value
+
+    def test_lru_eviction_order(self):
+        store = RouteStore(capacity=2)
+        store.insert(key("a", 0), {"v": 0})
+        store.insert(key("a", 1), {"v": 1})
+        store.lookup(key("a", 0))  # refresh 0 → 1 is now oldest
+        store.insert(key("a", 2), {"v": 2})
+        assert store.lookup(key("a", 1)) is None
+        assert store.lookup(key("a", 0)) == {"v": 0}
+        assert store.lookup(key("a", 2)) == {"v": 2}
+
+
+class TestInvalidation:
+    def test_invalidate_checksum_drops_only_that_artefact(self):
+        store = RouteStore(capacity=8)
+        store.insert(key("old", 0), {"v": 0})
+        store.insert(key("old", 1), {"v": 1})
+        store.insert(key("new", 0), {"v": 2})
+        assert store.invalidate_checksum("old") == 2
+        assert len(store) == 1
+        assert store.lookup(key("new", 0)) == {"v": 2}
+        assert store.stats()["invalidations"] == 2
+
+    def test_clear_counts_as_invalidation(self):
+        store = RouteStore(capacity=8)
+        store.insert(key("a", 0), {"v": 0})
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.stats()["invalidations"] == 1
+
+
+class TestCounters:
+    def test_precompute_accounting(self):
+        store = RouteStore(capacity=8)
+        store.insert(key("a", 0), {"v": 0}, precomputed=True)
+        store.note_precomputed(3)
+        assert store.stats()["precomputed"] == 4
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            RouteStore(capacity=0)

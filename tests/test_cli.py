@@ -316,3 +316,61 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "zero share" in out
         assert "P_w(count<=" in out
+
+
+class TestRoutesCommand:
+    def test_routes_parser_registered(self):
+        parser = build_parser()
+        assert "routes" in parser.format_help()
+        args = parser.parse_args(
+            [
+                "routes", "query", "model.json", "town_000", "town_005",
+                "--segments", "900", "--seed", "7", "--alpha", "0.5",
+                "--k", "2",
+            ]
+        )
+        assert args.command == "routes"
+        assert args.routes_command == "query"
+        assert args.alpha == 0.5
+        assert args.k == 2
+
+    def test_serve_routes_flags_registered(self):
+        args = build_parser().parse_args(
+            ["serve", "models", "--routes", "--route-segments", "900"]
+        )
+        assert args.routes is True
+        assert args.route_segments == 900
+        assert args.route_seed == 7
+        assert args.route_clusters == 8
+
+    def test_routes_end_to_end(self, tmp_path, capsys):
+        model_path = tmp_path / "scorer.json"
+        assert (
+            main(
+                [
+                    "train", str(model_path),
+                    "--segments", "1200", "--seed", "5",
+                    "--threshold", "8",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        common = [str(model_path), "--segments", "900", "--seed", "7"]
+        assert main(["routes", "build", *common]) == 0
+        out = capsys.readouterr().out
+        assert "towns" in out
+        assert main(
+            ["routes", "query", *common, "town_000", "town_005", "--json"]
+        ) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert (
+            body["safest"]["expected_crashes"]
+            <= body["shortest"]["expected_crashes"]
+        )
+        assert main(
+            ["routes", "precompute", *common, "--pairs", "4"]
+        ) == 0
+        assert "plans" in capsys.readouterr().out
+        assert main(["routes", "top-risk", *common, "--top", "3"]) == 0
+        assert "E[crashes]" in capsys.readouterr().out

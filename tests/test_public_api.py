@@ -18,10 +18,12 @@ class TestPublicApi:
         import repro.mining as mining
         import repro.parallel as parallel
         import repro.roads as roads
+        import repro.routing as routing
         import repro.serving as serving
 
         for module in (
-            core, datatable, evaluation, mining, parallel, roads, serving
+            core, datatable, evaluation, mining, parallel, roads,
+            routing, serving,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
