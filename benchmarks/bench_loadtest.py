@@ -29,10 +29,7 @@ SLO_PATH = Path(__file__).parent / "slo" / "smoke.json"
 def _request_rows(dataset, scorer, n=256):
     expected = list(scorer.input_schema())
     table = dataset.segment_table
-    return [
-        {name: row[name] for name in expected}
-        for row in (table.row(i) for i in range(min(n, table.n_rows)))
-    ]
+    return table.select(expected).to_rows(limit=min(n, table.n_rows))
 
 
 def run_loadtest_bench(

@@ -118,10 +118,7 @@ def test_serving_load(benchmark, tmp_path_factory):
 
     expected_inputs = list(scorer.input_schema())
     table = dataset.segment_table
-    rows = [
-        {name: row[name] for name in expected_inputs}
-        for row in (table.row(i) for i in range(256))
-    ]
+    rows = table.select(expected_inputs).to_rows(limit=256)
     offline = [float(p) for p in scorer.score(table.head(256))]
 
     with ScoringService(

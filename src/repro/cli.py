@@ -43,7 +43,7 @@ from repro.core import CrashPronenessStudy
 from repro.core.deployment import CrashPronenessScorer
 from repro.core.reporting import render_series, render_table
 from repro.core.wet_dry import wet_dry_analysis
-from repro.datatable import read_csv, write_csv
+from repro.datatable import cached_read_csv, read_csv, write_csv
 from repro.roads import (
     QDTMRSyntheticGenerator,
     calibrate_crash_process,
@@ -119,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of the text table",
+    )
+    score.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="parse the CSV directly instead of using the sidecar "
+        ".rpdt binary cache",
     )
     score.add_argument(
         "--bulk",
@@ -507,7 +513,12 @@ def _cmd_train(args) -> int:
 
 def _cmd_score(args) -> int:
     scorer = CrashPronenessScorer.load(args.model_path)
-    table = read_csv(args.segments_csv)
+    # The sidecar binary cache makes repeated scoring runs over the
+    # same extract skip the CSV parse (mmap load, checksum-invalidated).
+    if args.no_cache:
+        table = read_csv(args.segments_csv)
+    else:
+        table = cached_read_csv(args.segments_csv)
     with _cli_tracer(args.trace_out):
         if args.bulk:
             from repro.serving.bulk import score_table_sharded
@@ -747,10 +758,7 @@ def _loadtest_rows(dataset, input_schema) -> list[dict]:
     table = dataset.segment_table
     expected = list(input_schema)
     n = min(table.n_rows, 512)
-    return [
-        {name: row[name] for name in expected}
-        for row in (table.row(i) for i in range(n))
-    ]
+    return table.select(expected).to_rows(limit=n)
 
 
 def _pairs_from_towns(towns: list[dict], limit: int = 32) -> list[tuple[str, str]]:

@@ -106,11 +106,12 @@ def build_threshold_dataset(
             "be complete to derive targets"
         )
     positive = counts > threshold
-    labels = [
-        POSITIVE_LABEL if flag else NEGATIVE_LABEL for flag in positive
-    ]
-    target = CategoricalColumn(
-        TARGET_COLUMN, labels, (NEGATIVE_LABEL, POSITIVE_LABEL)
+    # Vectorised target construction: the label order (NEGATIVE_LABEL,
+    # POSITIVE_LABEL) makes the boolean flag itself the code.
+    target = CategoricalColumn.from_codes(
+        TARGET_COLUMN,
+        positive.astype(np.int64),
+        (NEGATIVE_LABEL, POSITIVE_LABEL),
     )
     with_target = table.with_column(target)
     schema = modelling_schema(TARGET_COLUMN)

@@ -16,9 +16,14 @@ from repro.datatable.column import (
     column_from_values,
 )
 from repro.datatable.io import (
+    cached_read_csv,
+    default_cache_path,
     from_csv_string,
+    read_binary,
+    read_binary_header,
     read_csv,
     to_csv_string,
+    write_binary,
     write_csv,
 )
 from repro.datatable.schema import (
@@ -43,4 +48,9 @@ __all__ = [
     "write_csv",
     "to_csv_string",
     "from_csv_string",
+    "read_binary",
+    "read_binary_header",
+    "write_binary",
+    "cached_read_csv",
+    "default_cache_path",
 ]

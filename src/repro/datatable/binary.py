@@ -1,0 +1,397 @@
+"""Versioned, checksummed binary table artefacts (``.rpdt``).
+
+The CSV path exists because the road authority's extracts are CSV; the
+binary path exists because a regenerated million-segment study table
+should load in milliseconds, not re-parse text on every run.  The
+format is a single file::
+
+    offset 0   magic  b"RPDT"
+           4   u32    format version (currently 1)
+           8   u64    header length in bytes (the JSON below)
+          16   u32    crc32 of the header JSON
+          20   header JSON (utf-8)
+          ...  zero padding to a 64-byte boundary ("data start")
+          ...  per-column blocks, each 64-byte aligned, declared order
+
+The header records, per column: name, kind (numeric/categorical),
+dtype, block offset *relative to data start*, byte length, crc32 and —
+for categoricals — the label vocabulary.  Table schemas (roles /
+measurement levels) round-trip through the header, as does a free-form
+``meta`` dict used by the CSV cache to fingerprint its source.
+
+Numeric blocks are little-endian float64, categorical blocks are
+little-endian int64 codes (−1 = missing), exactly the in-memory layout
+of :class:`~repro.datatable.column.NumericColumn` /
+:class:`~repro.datatable.column.CategoricalColumn` — loading is
+therefore zero-copy: columns wrap read-only memory-mapped views.
+
+Failure policy: loading is atomic.  Bad magic / malformed header raise
+:class:`~repro.exceptions.ArtefactError`, version skew raises
+:class:`~repro.exceptions.ArtefactVersionError`, truncation, size
+mismatch, out-of-range codes or (with ``verify=True``) block checksum
+mismatches raise :class:`~repro.exceptions.ArtefactIntegrityError` —
+a partial table is never returned.  Structural checks (magic, version,
+header crc, exact file size, block bounds, code ranges) always run;
+``verify=True`` additionally checksums every data block, which forces
+the file off disk and is meant for tests and provenance audits rather
+than the mmap fast path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.datatable.column import (
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+)
+from repro.datatable.schema import (
+    ColumnSpec,
+    MeasurementLevel,
+    Role,
+    TableSchema,
+)
+from repro.datatable.table import DataTable
+from repro.exceptions import (
+    ArtefactError,
+    ArtefactIntegrityError,
+    ArtefactVersionError,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "write_binary",
+    "read_binary",
+    "read_binary_header",
+    "cached_read_csv",
+]
+
+MAGIC = b"RPDT"
+FORMAT_VERSION = 1
+_PREFIX = struct.Struct("<4sIQI")  # magic, version, header_len, header_crc
+_ALIGN = 64
+
+_NUMERIC_DTYPE = "<f8"
+_CATEGORICAL_DTYPE = "<i8"
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _column_block(column: Column) -> np.ndarray:
+    """The column's raw values as a contiguous little-endian array."""
+    arr = (
+        column.values
+        if isinstance(column, NumericColumn)
+        else column.codes
+    )
+    dtype = _NUMERIC_DTYPE if column.is_numeric else _CATEGORICAL_DTYPE
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
+def _schema_payload(schema: TableSchema | None) -> list[dict] | None:
+    if schema is None:
+        return None
+    return [
+        {
+            "name": s.name,
+            "level": s.level.value,
+            "role": s.role.value,
+            "description": s.description,
+            "units": s.units,
+        }
+        for s in schema
+    ]
+
+
+def _schema_from_payload(payload: list[dict] | None) -> TableSchema | None:
+    if payload is None:
+        return None
+    try:
+        return TableSchema(
+            [
+                ColumnSpec(
+                    name=entry["name"],
+                    level=MeasurementLevel(entry["level"]),
+                    role=Role(entry["role"]),
+                    description=entry.get("description", ""),
+                    units=entry.get("units", ""),
+                )
+                for entry in payload
+            ]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtefactError(f"malformed schema payload: {exc}") from exc
+
+
+def write_binary(
+    table: DataTable, path: str | Path, meta: dict | None = None
+) -> None:
+    """Persist ``table`` at ``path`` in the ``.rpdt`` binary format.
+
+    The write is atomic (temp file + rename), so a concurrent reader
+    sees either the previous artefact or the complete new one.
+    """
+    path = Path(path)
+    blocks = [_column_block(col) for col in table.columns()]
+    columns = []
+    offset = 0
+    for col, block in zip(table.columns(), blocks):
+        offset = _align(offset)
+        entry = {
+            "name": col.name,
+            "kind": "numeric" if col.is_numeric else "categorical",
+            "dtype": _NUMERIC_DTYPE if col.is_numeric else _CATEGORICAL_DTYPE,
+            "offset": offset,
+            "nbytes": int(block.nbytes),
+            "crc32": zlib.crc32(block.tobytes()),
+        }
+        if isinstance(col, CategoricalColumn):
+            entry["labels"] = list(col.labels)
+        columns.append(entry)
+        offset += int(block.nbytes)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "n_rows": table.n_rows,
+        "data_size": offset,
+        "columns": columns,
+        "schema": _schema_payload(table.schema),
+        "meta": meta or {},
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    prefix = _PREFIX.pack(
+        MAGIC, FORMAT_VERSION, len(header_bytes), zlib.crc32(header_bytes)
+    )
+    data_start = _align(_PREFIX.size + len(header_bytes))
+
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(prefix)
+            handle.write(header_bytes)
+            handle.write(b"\x00" * (data_start - _PREFIX.size - len(header_bytes)))
+            cursor = 0
+            for entry, block in zip(columns, blocks):
+                handle.write(b"\x00" * (entry["offset"] - cursor))
+                handle.write(memoryview(block))
+                cursor = entry["offset"] + entry["nbytes"]
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
+
+
+def read_binary_header(path: str | Path) -> dict:
+    """Validated header of an ``.rpdt`` artefact (no data blocks read).
+
+    Raises the same typed errors as :func:`read_binary` for structural
+    problems; used by the CSV cache to check source fingerprints
+    without paying for a table load.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        raw_prefix = handle.read(_PREFIX.size)
+        if len(raw_prefix) < _PREFIX.size:
+            raise ArtefactIntegrityError(
+                f"{path}: truncated before the header prefix"
+            )
+        magic, version, header_len, header_crc = _PREFIX.unpack(raw_prefix)
+        if magic != MAGIC:
+            raise ArtefactError(
+                f"{path}: not a binary table artefact (magic {magic!r})"
+            )
+        if version != FORMAT_VERSION:
+            raise ArtefactVersionError(
+                f"{path}: format version {version} is not supported "
+                f"(reader supports {FORMAT_VERSION})"
+            )
+        header_bytes = handle.read(header_len)
+    if len(header_bytes) < header_len:
+        raise ArtefactIntegrityError(f"{path}: truncated inside the header")
+    if zlib.crc32(header_bytes) != header_crc:
+        raise ArtefactIntegrityError(f"{path}: header checksum mismatch")
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise ArtefactError(f"{path}: unreadable header: {exc}") from exc
+    if not isinstance(header, dict) or "columns" not in header:
+        raise ArtefactError(f"{path}: header is not a column manifest")
+    header["_data_start"] = _align(_PREFIX.size + header_len)
+    return header
+
+
+def read_binary(
+    path: str | Path, mmap: bool = True, verify: bool = False
+) -> DataTable:
+    """Load an ``.rpdt`` artefact written by :func:`write_binary`.
+
+    With ``mmap=True`` (the default) numeric blocks are memory-mapped
+    read-only views — the table is usable immediately and pages in on
+    demand, which is what makes a million-row load millisecond-class.
+    ``verify=True`` additionally checks every block's crc32 (reads the
+    whole file).
+    """
+    path = Path(path)
+    header = read_binary_header(path)
+    data_start = header.pop("_data_start")
+    try:
+        n_rows = int(header["n_rows"])
+        data_size = int(header["data_size"])
+        manifest = list(header["columns"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtefactError(f"{path}: malformed header fields: {exc}") from exc
+
+    actual_size = path.stat().st_size
+    expected_size = data_start + data_size
+    if actual_size != expected_size:
+        raise ArtefactIntegrityError(
+            f"{path}: file is {actual_size} bytes, header declares "
+            f"{expected_size} — truncated or trailing garbage"
+        )
+
+    if not mmap:
+        with open(path, "rb") as handle:
+            handle.seek(data_start)
+            data = handle.read(data_size)
+        if len(data) != data_size:
+            raise ArtefactIntegrityError(f"{path}: truncated data section")
+
+    columns: list[Column] = []
+    for entry in manifest:
+        try:
+            name = entry["name"]
+            kind = entry["kind"]
+            dtype = np.dtype(entry["dtype"])
+            offset = int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtefactError(
+                f"{path}: malformed column entry: {exc}"
+            ) from exc
+        if offset < 0 or offset + nbytes > data_size:
+            raise ArtefactIntegrityError(
+                f"{path}: column {name!r} block [{offset}, {offset + nbytes}) "
+                f"escapes the {data_size}-byte data section"
+            )
+        if nbytes != n_rows * dtype.itemsize:
+            raise ArtefactIntegrityError(
+                f"{path}: column {name!r} holds {nbytes} bytes, expected "
+                f"{n_rows} rows of {dtype.itemsize}"
+            )
+        if mmap:
+            block = np.memmap(
+                path,
+                mode="r",
+                dtype=dtype,
+                offset=data_start + offset,
+                shape=(n_rows,),
+            )
+        else:
+            block = np.frombuffer(data, dtype=dtype, offset=offset, count=n_rows)
+        if verify and zlib.crc32(block.tobytes()) != entry.get("crc32"):
+            raise ArtefactIntegrityError(
+                f"{path}: column {name!r} data checksum mismatch"
+            )
+        if kind == "numeric":
+            columns.append(NumericColumn._wrap(name, block))
+        elif kind == "categorical":
+            labels = entry.get("labels")
+            if not isinstance(labels, list):
+                raise ArtefactError(
+                    f"{path}: categorical column {name!r} has no vocabulary"
+                )
+            codes = np.asarray(block)
+            if codes.size and (
+                codes.max(initial=-1) >= len(labels)
+                or codes.min(initial=0) < -1
+            ):
+                raise ArtefactIntegrityError(
+                    f"{path}: column {name!r} has codes outside its "
+                    f"{len(labels)}-label vocabulary"
+                )
+            columns.append(
+                CategoricalColumn._wrap(
+                    name, codes, tuple(str(label) for label in labels)
+                )
+            )
+        else:
+            raise ArtefactError(
+                f"{path}: column {name!r} has unknown kind {kind!r}"
+            )
+    schema = _schema_from_payload(header.get("schema"))
+    try:
+        return DataTable(columns, schema=schema)
+    except Exception as exc:
+        raise ArtefactError(f"{path}: inconsistent table: {exc}") from exc
+
+
+# -- transparent CSV → binary cache -------------------------------------
+
+
+def _source_fingerprint(path: Path, with_digest: bool = True) -> dict:
+    stat = path.stat()
+    fingerprint = {"size": stat.st_size, "mtime_ns": stat.st_mtime_ns}
+    if with_digest:
+        digest = hashlib.sha256()
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        fingerprint["sha256"] = digest.hexdigest()
+    return fingerprint
+
+
+def default_cache_path(path: str | Path) -> Path:
+    """Where :func:`cached_read_csv` keeps the sidecar artefact."""
+    path = Path(path)
+    return path.with_name(path.name + ".rpdt")
+
+
+def cached_read_csv(
+    path: str | Path,
+    cache_path: str | Path | None = None,
+    refresh: bool = False,
+) -> DataTable:
+    """Read a CSV with a transparent binary cache keyed to the source.
+
+    First call parses the CSV and writes a sidecar ``.rpdt`` artefact
+    whose header records the source's size, mtime and sha256.  Later
+    calls memory-map the artefact instead of re-parsing: a stat match
+    (size + mtime) is trusted outright; a stat mismatch falls back to
+    the sha256, so a touched-but-identical file still hits.  Any
+    mismatch — or any unreadable/corrupt cache — silently rebuilds
+    from the CSV; the cache can never serve stale or partial rows.
+    """
+    from repro.datatable.io import read_csv
+
+    path = Path(path)
+    cache = Path(cache_path) if cache_path is not None else default_cache_path(path)
+    if not refresh and cache.exists():
+        try:
+            cached_source = read_binary_header(cache).get("meta", {}).get(
+                "source", {}
+            )
+            current = _source_fingerprint(path, with_digest=False)
+            matches = all(
+                cached_source.get(key) == current[key] for key in current
+            )
+            if not matches:
+                matches = (
+                    _source_fingerprint(path)["sha256"]
+                    == cached_source.get("sha256")
+                )
+            if matches:
+                return read_binary(cache, mmap=True)
+        except ArtefactError:
+            pass  # fall through to a rebuild
+    table = read_csv(path)
+    write_binary(table, cache, meta={"source": _source_fingerprint(path)})
+    return table

@@ -13,6 +13,13 @@ Two concrete column kinds exist:
 The paper keeps missing values as "valid data" for its tree models, so
 columns must round-trip missingness losslessly rather than imputing at
 ingest time.
+
+Hot paths (``take``/``concat``/``slice``/``to_objects``/``equals``) are
+contiguous-numpy kernels with no python-object round-trips: row
+selection wraps the freshly-indexed array without a second copy,
+``slice`` returns a zero-copy view, and equality compares raw
+value/code arrays.  The arrays backing a column are always read-only,
+which is what makes the zero-copy sharing safe.
 """
 
 from __future__ import annotations
@@ -26,6 +33,23 @@ from repro.exceptions import ColumnTypeError, SchemaError
 __all__ = ["Column", "NumericColumn", "CategoricalColumn", "column_from_values"]
 
 _MISSING_CODE = -1
+
+
+def _object_array(values: Iterable) -> np.ndarray:
+    """1-D object array of ``values`` (kept as python objects)."""
+    values = list(values)
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    if arr.ndim != 1:
+        raise SchemaError(f"column data must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def _none_mask(arr: np.ndarray) -> np.ndarray:
+    """Boolean mask of ``None`` entries in an object array."""
+    # Elementwise __eq__ against None runs in numpy's C loop; only the
+    # literal None compares equal, so this is exactly ``v is None``.
+    return np.asarray(np.equal(arr, None), dtype=bool)
 
 
 class Column:
@@ -49,6 +73,10 @@ class Column:
 
     def take(self, indices: np.ndarray) -> "Column":
         """New column with rows re-ordered / subset by integer indices."""
+        raise NotImplementedError
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """Zero-copy view of rows ``[start, stop)`` (python slice rules)."""
         raise NotImplementedError
 
     def filter(self, mask: np.ndarray) -> "Column":
@@ -90,9 +118,20 @@ class NumericColumn(Column):
 
     def __init__(self, name: str, values: Iterable):
         self.name = name
-        arr = np.asarray(
-            [np.nan if v is None else v for v in values], dtype=np.float64
-        )
+        if isinstance(values, np.ndarray) and values.dtype.kind in "fiub":
+            arr = values.astype(np.float64)
+        else:
+            obj = _object_array(values)
+            missing = _none_mask(obj)
+            if missing.any():
+                obj = obj.copy()
+                obj[missing] = np.nan
+            try:
+                arr = obj.astype(np.float64)
+            except (TypeError, ValueError) as exc:
+                raise SchemaError(
+                    f"numeric column {name!r} has a non-numeric value: {exc}"
+                ) from None
         if arr.ndim != 1:
             raise SchemaError(
                 f"numeric column {name!r} requires 1-D data, got shape {arr.shape}"
@@ -101,18 +140,33 @@ class NumericColumn(Column):
         self._values.flags.writeable = False
 
     @classmethod
-    def from_array(cls, name: str, array: np.ndarray) -> "NumericColumn":
-        """Wrap an existing float array without per-element conversion."""
+    def _wrap(cls, name: str, values: np.ndarray) -> "NumericColumn":
+        """Adopt a float64 array without copying.
+
+        The caller must guarantee no other writer holds the array —
+        fancy-indexing results, concatenations, read-only views and
+        memory-mapped blocks all qualify.
+        """
         col = cls.__new__(cls)
         col.name = name
+        col._values = values
+        if values.flags.writeable:
+            values.flags.writeable = False
+        return col
+
+    @classmethod
+    def from_array(cls, name: str, array: np.ndarray) -> "NumericColumn":
+        """Wrap an existing float array without per-element conversion."""
         arr = np.asarray(array, dtype=np.float64)
         if arr.ndim != 1:
             raise SchemaError(
                 f"numeric column {name!r} requires 1-D data, got shape {arr.shape}"
             )
-        col._values = arr.copy()
-        col._values.flags.writeable = False
-        return col
+        # Already-frozen arrays (another column's values, an mmap block)
+        # cannot be mutated behind our back, so they are shared as-is.
+        if arr.flags.writeable:
+            arr = arr.copy()
+        return cls._wrap(name, arr)
 
     def __len__(self) -> int:
         return self._values.shape[0]
@@ -134,7 +188,10 @@ class NumericColumn(Column):
         return self._values[~self.missing_mask()]
 
     def take(self, indices: np.ndarray) -> "NumericColumn":
-        return NumericColumn.from_array(self.name, self._values[indices])
+        return NumericColumn._wrap(self.name, self._values[indices])
+
+    def slice(self, start: int, stop: int) -> "NumericColumn":
+        return NumericColumn._wrap(self.name, self._values[start:stop])
 
     def concat(self, other: Column) -> "NumericColumn":
         if not isinstance(other, NumericColumn):
@@ -142,15 +199,17 @@ class NumericColumn(Column):
                 f"cannot concat numeric column {self.name!r} with "
                 f"{type(other).__name__}"
             )
-        return NumericColumn.from_array(
+        return NumericColumn._wrap(
             self.name, np.concatenate([self._values, other._values])
         )
 
     def to_objects(self) -> list:
-        return [None if np.isnan(v) else float(v) for v in self._values]
+        out = self._values.astype(object)
+        out[np.isnan(self._values)] = None
+        return out.tolist()
 
     def rename(self, name: str) -> "NumericColumn":
-        return NumericColumn.from_array(name, self._values)
+        return NumericColumn._wrap(name, self._values)
 
     def equals(self, other: Column) -> bool:
         if not isinstance(other, NumericColumn) or len(self) != len(other):
@@ -207,53 +266,74 @@ class CategoricalColumn(Column):
         labels: Sequence[str] | None = None,
     ):
         self.name = name
-        values = list(values)
+        obj = _object_array(values)
+        missing = _none_mask(obj)
+        present = obj[~missing]
+        try:
+            present_str = present.astype(str)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"categorical column {name!r} has an unencodable value: {exc}"
+            ) from None
         if labels is None:
-            seen: dict[str, int] = {}
-            for v in values:
-                if v is not None and v not in seen:
-                    seen[v] = len(seen)
-            self._labels = tuple(seen)
+            # Vocabulary in first-appearance order, encoded without a
+            # per-element python loop: unique-sort, then rank the
+            # sorted vocabulary by each label's first occurrence.
+            uniq, first_pos, inverse = np.unique(
+                present_str, return_index=True, return_inverse=True
+            )
+            appearance = np.argsort(first_pos, kind="stable")
+            rank = np.empty(len(uniq), dtype=np.int64)
+            rank[appearance] = np.arange(len(uniq), dtype=np.int64)
+            self._labels = tuple(str(u) for u in uniq[appearance])
+            present_codes = rank[inverse]
         else:
             self._labels = tuple(labels)
             if len(set(self._labels)) != len(self._labels):
                 raise SchemaError(
                     f"categorical column {name!r} has duplicate labels"
                 )
-        index = {label: code for code, label in enumerate(self._labels)}
-        codes = np.empty(len(values), dtype=np.int64)
-        for i, v in enumerate(values):
-            if v is None:
-                codes[i] = _MISSING_CODE
-            else:
-                try:
-                    codes[i] = index[v]
-                except KeyError:
-                    raise SchemaError(
-                        f"value {v!r} not in vocabulary of column {name!r}"
-                    ) from None
+            present_codes = _encode_labels(name, present_str, self._labels)
+        codes = np.full(len(obj), _MISSING_CODE, dtype=np.int64)
+        codes[~missing] = present_codes
         self._codes = codes
         self._codes.flags.writeable = False
+
+    @classmethod
+    def _wrap(
+        cls, name: str, codes: np.ndarray, labels: tuple[str, ...]
+    ) -> "CategoricalColumn":
+        """Adopt an int64 code array without copying or validating.
+
+        Internal fast path: the caller must pass codes already known to
+        be within ``[-1, len(labels))`` (e.g. taken from another
+        column) and a tuple vocabulary.
+        """
+        col = cls.__new__(cls)
+        col.name = name
+        col._labels = labels
+        col._codes = codes
+        if codes.flags.writeable:
+            codes.flags.writeable = False
+        return col
 
     @classmethod
     def from_codes(
         cls, name: str, codes: np.ndarray, labels: Sequence[str]
     ) -> "CategoricalColumn":
         """Wrap existing integer codes (−1 = missing) with a vocabulary."""
-        col = cls.__new__(cls)
-        col.name = name
-        col._labels = tuple(labels)
+        labels = tuple(labels)
         codes = np.asarray(codes, dtype=np.int64)
-        if codes.size and (codes.max(initial=-1) >= len(col._labels)):
+        if codes.size and (codes.max(initial=-1) >= len(labels)):
             raise SchemaError(
                 f"code out of range for column {name!r} "
-                f"(max {codes.max()}, vocabulary size {len(col._labels)})"
+                f"(max {codes.max()}, vocabulary size {len(labels)})"
             )
         if codes.size and codes.min(initial=0) < _MISSING_CODE:
             raise SchemaError(f"negative code below missing marker in {name!r}")
-        col._codes = codes.copy()
-        col._codes.flags.writeable = False
-        return col
+        if codes.flags.writeable:
+            codes = codes.copy()
+        return cls._wrap(name, codes, labels)
 
     def __len__(self) -> int:
         return self._codes.shape[0]
@@ -275,8 +355,13 @@ class CategoricalColumn(Column):
         return self._codes == _MISSING_CODE
 
     def take(self, indices: np.ndarray) -> "CategoricalColumn":
-        return CategoricalColumn.from_codes(
+        return CategoricalColumn._wrap(
             self.name, self._codes[indices], self._labels
+        )
+
+    def slice(self, start: int, stop: int) -> "CategoricalColumn":
+        return CategoricalColumn._wrap(
+            self.name, self._codes[start:stop], self._labels
         )
 
     def concat(self, other: Column) -> "CategoricalColumn":
@@ -286,7 +371,7 @@ class CategoricalColumn(Column):
                 f"{type(other).__name__}"
             )
         if other._labels == self._labels:
-            return CategoricalColumn.from_codes(
+            return CategoricalColumn._wrap(
                 self.name,
                 np.concatenate([self._codes, other._codes]),
                 self._labels,
@@ -304,22 +389,47 @@ class CategoricalColumn(Column):
             _MISSING_CODE,
             remap[np.clip(other._codes, 0, None)],
         )
-        return CategoricalColumn.from_codes(
-            self.name, np.concatenate([self._codes, other_codes]), merged
+        return CategoricalColumn._wrap(
+            self.name,
+            np.concatenate([self._codes, other_codes]),
+            tuple(merged),
         )
 
     def to_objects(self) -> list:
-        return [
-            None if c == _MISSING_CODE else self._labels[c] for c in self._codes
-        ]
+        # Vocabulary lookup table with None parked at index -1, so the
+        # missing code indexes it directly — one fancy-index, no loop.
+        lut = np.empty(len(self._labels) + 1, dtype=object)
+        lut[: len(self._labels)] = self._labels
+        lut[-1] = None
+        return lut[self._codes].tolist()
 
     def rename(self, name: str) -> "CategoricalColumn":
-        return CategoricalColumn.from_codes(name, self._codes, self._labels)
+        return CategoricalColumn._wrap(name, self._codes, self._labels)
 
     def equals(self, other: Column) -> bool:
         if not isinstance(other, CategoricalColumn) or len(self) != len(other):
             return False
-        return self.to_objects() == other.to_objects()
+        if other._labels == self._labels:
+            return bool(np.array_equal(self._codes, other._codes))
+        # Different vocabularies may still express the same values:
+        # remap the other column's codes into this vocabulary, sending
+        # unshared labels to an impossible code so they can never match.
+        if not other._labels:
+            # Empty vocabulary means every code is missing already.
+            other_codes = other._codes
+        else:
+            index = {label: code for code, label in enumerate(self._labels)}
+            remap = np.fromiter(
+                (index.get(label, -2) for label in other._labels),
+                dtype=np.int64,
+                count=len(other._labels),
+            )
+            other_codes = np.where(
+                other._codes == _MISSING_CODE,
+                _MISSING_CODE,
+                remap[np.clip(other._codes, 0, None)],
+            )
+        return bool(np.array_equal(self._codes, other_codes))
 
     # -- statistics ------------------------------------------------------
     def value_counts(self) -> dict[str, int]:
@@ -345,6 +455,28 @@ class CategoricalColumn(Column):
             f"CategoricalColumn({self.name!r}, n={len(self)}, "
             f"levels={len(self._labels)}, missing={self.n_missing()})"
         )
+
+
+def _encode_labels(
+    name: str, present: np.ndarray, labels: tuple[str, ...]
+) -> np.ndarray:
+    """Vectorised label → code lookup against an explicit vocabulary."""
+    label_arr = np.asarray(labels, dtype=present.dtype if present.size else str)
+    order = np.argsort(label_arr, kind="stable")
+    sorted_labels = label_arr[order]
+    pos = np.searchsorted(sorted_labels, present)
+    pos_clipped = np.clip(pos, 0, len(labels) - 1) if len(labels) else pos
+    known = (
+        (pos < len(labels)) & (sorted_labels[pos_clipped] == present)
+        if len(labels)
+        else np.zeros(present.shape, dtype=bool)
+    )
+    if not known.all():
+        offender = present[~known][0]
+        raise SchemaError(
+            f"value {str(offender)!r} not in vocabulary of column {name!r}"
+        )
+    return order[pos_clipped].astype(np.int64)
 
 
 def column_from_values(name: str, values: Iterable) -> Column:

@@ -23,7 +23,7 @@ from repro.datatable.column import (
     NumericColumn,
     column_from_values,
 )
-from repro.datatable.schema import TableSchema
+from repro.datatable.schema import ColumnSpec, TableSchema
 from repro.exceptions import (
     ConfigurationError,
     EmptyTableError,
@@ -88,12 +88,17 @@ class DataTable:
         """
         columns: list[Column] = []
         for name, values in data.items():
-            if isinstance(values, Column):
-                columns.append(values.rename(name))
-            elif isinstance(values, np.ndarray) and values.dtype.kind in "fiub":
-                columns.append(NumericColumn.from_array(name, values))
-            else:
-                columns.append(column_from_values(name, values))
+            try:
+                if isinstance(values, Column):
+                    columns.append(values.rename(name))
+                elif isinstance(values, np.ndarray) and values.dtype.kind in "fiub":
+                    columns.append(NumericColumn.from_array(name, values))
+                else:
+                    columns.append(column_from_values(name, values))
+            except SchemaError:
+                raise
+            except (TypeError, ValueError) as exc:
+                raise SchemaError(f"column {name!r}: {exc}") from exc
         return cls(columns, schema=schema)
 
     @classmethod
@@ -112,8 +117,20 @@ class DataTable:
         names = list(rows[0])
         for i, row in enumerate(rows):
             if list(row) != names:
+                missing = [n for n in names if n not in row]
+                extra = [n for n in row if n not in names]
+                if missing or extra:
+                    detail = "; ".join(
+                        f"{what} column(s) {cols}"
+                        for what, cols in (
+                            ("missing", missing), ("unexpected", extra)
+                        )
+                        if cols
+                    )
+                    raise SchemaError(f"row {i}: {detail} (vs row 0)")
                 raise SchemaError(
-                    f"row {i} keys {list(row)} differ from row 0 keys {names}"
+                    f"row {i}: columns ordered {list(row)}, "
+                    f"row 0 ordered {names}"
                 )
         data = {name: [row[name] for row in rows] for name in names}
         return cls.from_columns(data, schema=schema)
@@ -185,12 +202,21 @@ class DataTable:
                 out[name] = None if code == -1 else col.labels[code]
         return out
 
-    def to_rows(self) -> list[dict[str, object]]:
-        objects = {name: col.to_objects() for name, col in self._columns.items()}
-        return [
-            {name: objects[name][i] for name in self._columns}
-            for i in range(self._n_rows)
-        ]
+    def to_rows(self, limit: int | None = None) -> list[dict[str, object]]:
+        """Rows as plain dicts, materialised column-wise.
+
+        Each column is converted once through its vectorised
+        ``to_objects`` kernel and the dicts are zipped together — the
+        batch replacement for calling :meth:`row` in a loop.  ``limit``
+        caps the output to the first ``limit`` rows without converting
+        the rest of the table.
+        """
+        source = self if limit is None else self.slice(0, limit)
+        names = source.column_names
+        if not names:
+            return []
+        objects = [col.to_objects() for col in source._columns.values()]
+        return [dict(zip(names, values)) for values in zip(*objects)]
 
     # -- column-wise transformations -----------------------------------------
     def select(self, names: Sequence[str]) -> "DataTable":
@@ -206,24 +232,53 @@ class DataTable:
         return self.select(keep)
 
     def with_column(self, column: Column) -> "DataTable":
-        """Table with ``column`` appended or replaced (by name)."""
+        """Table with ``column`` appended or replaced (by name).
+
+        When the replacement changes the column's kind (numeric vs
+        categorical), any schema spec for that name is stale — its
+        declared measurement level no longer describes the data — so
+        the spec is dropped rather than re-validated against the old
+        declaration.
+        """
         if self._columns and len(column) != self._n_rows:
             raise SchemaError(
                 f"new column {column.name!r} has {len(column)} rows, "
                 f"table has {self._n_rows}"
             )
+        schema = self.schema
+        if schema is not None and column.name in schema:
+            spec = schema[column.name]
+            if spec.level.is_categorical == column.is_numeric:
+                schema = TableSchema(
+                    [s for s in schema if s.name != column.name]
+                )
         cols = [c for n, c in self._columns.items() if n != column.name]
         cols.append(column)
-        return DataTable(cols, schema=self.schema)
+        return DataTable(cols, schema=schema)
 
     def rename(self, mapping: Mapping[str, str]) -> "DataTable":
+        """Table with columns renamed; schema specs follow their columns."""
         for old in mapping:
             self.column(old)
         cols = [
             col.rename(mapping.get(name, name))
             for name, col in self._columns.items()
         ]
-        return DataTable(cols)
+        schema = None
+        if self.schema is not None:
+            schema = TableSchema(
+                [
+                    ColumnSpec(
+                        mapping.get(s.name, s.name),
+                        s.level,
+                        s.role,
+                        s.description,
+                        s.units,
+                    )
+                    for s in self.schema
+                ]
+            )
+        return DataTable(cols, schema=schema)
 
     def with_schema(self, schema: TableSchema) -> "DataTable":
         return DataTable(list(self._columns.values()), schema=schema)
@@ -250,8 +305,21 @@ class DataTable:
             )
         return self.take(np.flatnonzero(mask))
 
+    def slice(self, start: int, stop: int | None = None) -> "DataTable":
+        """Zero-copy contiguous row span ``[start, stop)``.
+
+        Python slice semantics (negative indices, clamping) apply; the
+        returned table's columns are read-only *views* into this
+        table's arrays, so slicing a million-row table costs nothing.
+        """
+        bounds = slice(start, stop).indices(self._n_rows)
+        return DataTable(
+            [c.slice(bounds[0], bounds[1]) for c in self._columns.values()],
+            schema=self.schema,
+        )
+
     def head(self, n: int = 5) -> "DataTable":
-        return self.take(np.arange(min(n, self._n_rows)))
+        return self.slice(0, max(n, 0))
 
     def concat(self, other: "DataTable") -> "DataTable":
         """Vertical concatenation; both tables must share column names."""
@@ -309,18 +377,33 @@ class DataTable:
         if isinstance(col, NumericColumn):
             values = col.values
             missing = np.isnan(values)
-            for v in np.unique(values[~missing]):
-                groups[float(v)] = self.filter(values == v)
+            present = np.flatnonzero(~missing)
+            # One stable argsort replaces a full-table mask scan per
+            # distinct value; within each run the original (ascending)
+            # row order is preserved, exactly like filtering by mask.
+            order = present[np.argsort(values[present], kind="stable")]
+            sorted_values = values[order]
+            boundaries = np.flatnonzero(sorted_values[1:] != sorted_values[:-1]) + 1
+            starts = np.concatenate(([0], boundaries))
+            stops = np.concatenate((boundaries, [order.size]))
+            for lo, hi in zip(starts, stops):
+                if hi > lo:
+                    groups[float(sorted_values[lo])] = self.take(order[lo:hi])
             if missing.any():
-                groups[None] = self.filter(missing)
+                groups[None] = self.take(np.flatnonzero(missing))
         else:
+            codes = col.codes
+            order = np.argsort(codes, kind="stable")
+            # Missing (-1) codes sort first; counts are offset by one so
+            # every vocabulary level gets a contiguous [start, stop) run.
+            counts = np.bincount(codes + 1, minlength=len(col.labels) + 1)
+            stops = np.cumsum(counts)
             for code, label in enumerate(col.labels):
-                mask = col.codes == code
-                if mask.any():
-                    groups[label] = self.filter(mask)
-            missing = col.codes == -1
-            if missing.any():
-                groups[None] = self.filter(missing)
+                lo, hi = stops[code], stops[code + 1]
+                if hi > lo:
+                    groups[label] = self.take(order[lo:hi])
+            if counts[0]:
+                groups[None] = self.take(order[: counts[0]])
         return groups
 
     def split(

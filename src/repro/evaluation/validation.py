@@ -24,6 +24,7 @@ __all__ = [
     "TrainValidSplit",
     "train_valid_split",
     "kfold_indices",
+    "stratified_fold_codes",
     "stratified_kfold_indices",
     "cross_val_scores",
 ]
@@ -64,6 +65,33 @@ def kfold_indices(
     return [fold for fold in np.array_split(perm, k)]
 
 
+def stratified_fold_codes(
+    y: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorised stratified fold assignment: fold id per row.
+
+    One int64 array replaces the per-fold index lists — a fold's rows
+    are ``np.flatnonzero(codes == fold_id)`` and a fold's train mask is
+    ``codes != fold_id``, with no per-fold concatenation or sorting.
+    The RNG call sequence (one permutation per class, in class-value
+    order) is identical to :func:`stratified_kfold_indices`, so both
+    APIs describe the same partition for the same generator state.
+    """
+    y = np.asarray(y)
+    if k < 2:
+        raise EvaluationError(f"k must be >= 2, got {k}")
+    codes = np.empty(y.shape[0], dtype=np.int64)
+    for value in np.unique(y):
+        members = rng.permutation(np.flatnonzero(y == value))
+        # np.array_split boundaries, computed directly: the first
+        # (n % k) folds receive one extra member.
+        base, extra = divmod(members.size, k)
+        sizes = np.full(k, base, dtype=np.int64)
+        sizes[:extra] += 1
+        codes[members] = np.repeat(np.arange(k, dtype=np.int64), sizes)
+    return codes
+
+
 def stratified_kfold_indices(
     y: np.ndarray, k: int, rng: np.random.Generator
 ) -> list[np.ndarray]:
@@ -72,15 +100,8 @@ def stratified_kfold_indices(
     With 174 positives in 16,750 rows, unstratified folds can lose the
     minority class entirely; stratification keeps every fold assessable.
     """
-    y = np.asarray(y)
-    if k < 2:
-        raise EvaluationError(f"k must be >= 2, got {k}")
-    folds: list[list[np.ndarray]] = [[] for _ in range(k)]
-    for value in np.unique(y):
-        members = rng.permutation(np.flatnonzero(y == value))
-        for fold_id, chunk in enumerate(np.array_split(members, k)):
-            folds[fold_id].append(chunk)
-    return [np.sort(np.concatenate(parts)) for parts in folds]
+    codes = stratified_fold_codes(y, k, rng)
+    return [np.flatnonzero(codes == fold_id) for fold_id in range(k)]
 
 
 def cross_val_scores(
@@ -104,9 +125,10 @@ def cross_val_scores(
             f"y has {y.shape[0]} entries for a table of {table.n_rows} rows"
         )
     scores = np.full(table.n_rows, np.nan)
-    for fold in stratified_kfold_indices(y, k, rng):
-        mask = np.zeros(table.n_rows, dtype=bool)
-        mask[fold] = True
+    fold_codes = stratified_fold_codes(y, k, rng)
+    for fold_id in range(k):
+        mask = fold_codes == fold_id
+        fold = np.flatnonzero(mask)
         train = table.filter(~mask)
         valid = table.filter(mask)
         model = model_factory()

@@ -40,6 +40,20 @@ class EmptyTableError(ReproError):
     """An operation that requires rows was applied to an empty table."""
 
 
+class ArtefactError(ReproError):
+    """A binary table artefact could not be read (bad magic, malformed
+    header, out-of-bounds block offsets) — the file is not served
+    partially; loading fails atomically."""
+
+
+class ArtefactVersionError(ArtefactError):
+    """The artefact was written by an incompatible format version."""
+
+
+class ArtefactIntegrityError(ArtefactError):
+    """The artefact is truncated or its checksums do not match."""
+
+
 class ConfigurationError(ReproError, ValueError):
     """A parameter carries an invalid value (bad k, ratio, backend, ...).
 

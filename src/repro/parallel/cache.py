@@ -5,7 +5,9 @@ families (trees, naive Bayes, optionally M5), and each family used to
 call ``build_threshold_dataset`` afresh at every threshold.  The
 derivation is pure — the CP-k dataset is a function of the source
 table and the threshold alone — so one build per ``(table, threshold)``
-can serve every family.
+can serve every family.  (The build itself is now a vectorised kernel,
+but at paper scale it still costs a table copy per threshold; the
+cache keeps the sweep's working set at one dataset per threshold.)
 
 Identity model: a key is ``(id(table), threshold)`` and the cache holds
 a strong reference to each source table, so a table's ``id`` cannot be
@@ -13,12 +15,19 @@ recycled while its entries are alive.  A *different* table object —
 even one with equal contents — is a different key; callers that want
 sharing must pass the same object, which is exactly how the study
 threads its instance tables through a run.
+
+Long-lived processes (scenario fleets sweeping many generated tables)
+can pass ``max_entries`` to bound the cache: entries are evicted least
+recently used, together with the table reference that kept their
+source alive.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from repro.exceptions import ConfigurationError
 from repro.obs.trace import span as obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -31,8 +40,15 @@ __all__ = ["ThresholdDatasetCache"]
 class ThresholdDatasetCache:
     """Memoises ``build_threshold_dataset`` per ``(table, threshold)``."""
 
-    def __init__(self) -> None:
-        self._entries: dict[tuple[int, int], "ThresholdDataset"] = {}
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[int, int], "ThresholdDataset"] = (
+            OrderedDict()
+        )
         self._tables: dict[int, "DataTable"] = {}
         self.hits = 0
         self.misses = 0
@@ -48,6 +64,7 @@ class ThresholdDatasetCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            self._entries.move_to_end(key)
             with obs_span(
                 "cache.threshold_dataset", threshold=int(threshold), hit=True
             ):
@@ -59,6 +76,11 @@ class ThresholdDatasetCache:
             dataset = build_threshold_dataset(table, threshold)
         self._entries[key] = dataset
         self._tables[key[0]] = table
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                evicted_key, _ = self._entries.popitem(last=False)
+                if not any(k[0] == evicted_key[0] for k in self._entries):
+                    self._tables.pop(evicted_key[0], None)
         return dataset
 
     def contains(self, table: "DataTable", threshold: int) -> bool:

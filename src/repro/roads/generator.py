@@ -243,7 +243,10 @@ class QDTMRSyntheticGenerator:
         )
         crash_attrs = process.crash_attributes(segments, outcome, rng)
         base = base.with_column(
-            NumericColumn("crash_year", crash_attrs["crash_year"])
+            NumericColumn.from_array(
+                "crash_year",
+                np.asarray(crash_attrs["crash_year"], dtype=np.float64),
+            )
         )
         base = base.with_column(
             CategoricalColumn(

@@ -188,8 +188,10 @@ def score_table_sharded(
     try:
         if executor.n_jobs == 1:
             return scorer.score(table)
+        # Zero-copy shard views; the copy happens once, in the pickle
+        # to the worker, not again here.
         pieces = [
-            table.take(np.arange(start, stop))
+            table.slice(start, stop)
             for start, stop in shard_bounds(table.n_rows, executor.n_jobs)
         ]
         shard_outputs = _run_sharded(

@@ -1,0 +1,274 @@
+"""Binary table artefacts: round-trip fidelity and failure atomicity.
+
+The format promise is simple: a saved table loads back ``equals`` the
+original (schema included), and any damaged file raises a typed
+``ArtefactError`` — never a partial table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datatable import (
+    CategoricalColumn,
+    ColumnSpec,
+    DataTable,
+    MeasurementLevel,
+    NumericColumn,
+    Role,
+    TableSchema,
+    cached_read_csv,
+    default_cache_path,
+    read_binary,
+    read_binary_header,
+    write_binary,
+    write_csv,
+)
+from repro.datatable.binary import FORMAT_VERSION, MAGIC
+from repro.exceptions import (
+    ArtefactError,
+    ArtefactIntegrityError,
+    ArtefactVersionError,
+)
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema(
+        [
+            ColumnSpec("aadt", MeasurementLevel.INTERVAL, Role.INPUT),
+            ColumnSpec("surface", MeasurementLevel.NOMINAL, Role.INPUT),
+            ColumnSpec("target", MeasurementLevel.BINARY, Role.TARGET),
+        ]
+    )
+    return DataTable(
+        [
+            NumericColumn("aadt", [120.0, None, 88.5, 0.0]),
+            CategoricalColumn(
+                "surface", ["sealed", None, "gravel", "sealed"]
+            ),
+            CategoricalColumn.from_codes(
+                "target", np.array([0, 1, -1, 0]), ("n", "p")
+            ),
+        ],
+        schema=schema,
+    )
+
+
+class TestRoundTrip:
+    def test_mmap_load_equals_original(self, table, tmp_path):
+        path = tmp_path / "t.rpdt"
+        write_binary(table, path)
+        loaded = read_binary(path)
+        assert loaded.equals(table)
+        assert loaded.column_names == table.column_names
+
+    def test_schema_round_trips(self, table, tmp_path):
+        path = tmp_path / "t.rpdt"
+        write_binary(table, path)
+        loaded = read_binary(path)
+        assert loaded.schema is not None
+        assert loaded.schema.names == table.schema.names
+        assert loaded.schema.target.name == "target"
+        assert loaded.schema["surface"].level is MeasurementLevel.NOMINAL
+
+    def test_no_mmap_and_verify_load(self, table, tmp_path):
+        path = tmp_path / "t.rpdt"
+        write_binary(table, path)
+        assert read_binary(path, mmap=False, verify=True).equals(table)
+        assert read_binary(path, mmap=True, verify=True).equals(table)
+
+    def test_loaded_columns_are_read_only(self, table, tmp_path):
+        path = tmp_path / "t.rpdt"
+        write_binary(table, path)
+        loaded = read_binary(path)
+        assert not loaded.numeric("aadt").flags.writeable
+        assert not loaded.categorical("surface").codes.flags.writeable
+
+    def test_empty_and_schemaless_tables(self, tmp_path):
+        for name, empty in (
+            ("none.rpdt", DataTable.empty()),
+            ("zero.rpdt", DataTable([NumericColumn("x", [])])),
+        ):
+            path = tmp_path / name
+            write_binary(empty, path)
+            loaded = read_binary(path)
+            assert loaded.equals(empty)
+            assert loaded.schema is None
+
+    def test_missing_values_survive(self, table, tmp_path):
+        path = tmp_path / "t.rpdt"
+        write_binary(table, path)
+        loaded = read_binary(path)
+        assert loaded.column("aadt").to_objects() == [120.0, None, 88.5, 0.0]
+        assert loaded.column("surface").to_objects()[1] is None
+
+    def test_meta_round_trips_through_header(self, table, tmp_path):
+        path = tmp_path / "t.rpdt"
+        write_binary(table, path, meta={"source": {"sha256": "abc"}})
+        header = read_binary_header(path)
+        assert header["meta"]["source"]["sha256"] == "abc"
+        assert header["format_version"] == FORMAT_VERSION
+
+
+class TestFailureAtomicity:
+    def write(self, table, tmp_path):
+        path = tmp_path / "t.rpdt"
+        write_binary(table, path)
+        return path
+
+    def test_bad_magic(self, table, tmp_path):
+        path = self.write(table, tmp_path)
+        data = bytearray(path.read_bytes())
+        data[:4] = b"JUNK"
+        path.write_bytes(data)
+        with pytest.raises(ArtefactError, match="magic"):
+            read_binary(path)
+
+    def test_version_skew(self, table, tmp_path):
+        path = self.write(table, tmp_path)
+        data = bytearray(path.read_bytes())
+        data[4] = FORMAT_VERSION + 1
+        path.write_bytes(data)
+        with pytest.raises(ArtefactVersionError, match="version"):
+            read_binary(path)
+
+    def test_truncated_header(self, table, tmp_path):
+        path = self.write(table, tmp_path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(ArtefactIntegrityError, match="truncated"):
+            read_binary(path)
+
+    def test_truncated_data(self, table, tmp_path):
+        path = self.write(table, tmp_path)
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(ArtefactIntegrityError, match="truncated"):
+            read_binary(path)
+
+    def test_trailing_garbage(self, table, tmp_path):
+        path = self.write(table, tmp_path)
+        path.write_bytes(path.read_bytes() + b"extra")
+        with pytest.raises(ArtefactIntegrityError, match="trailing"):
+            read_binary(path)
+
+    def test_header_bitflip(self, table, tmp_path):
+        path = self.write(table, tmp_path)
+        data = bytearray(path.read_bytes())
+        data[30] ^= 0xFF  # inside the header JSON
+        path.write_bytes(data)
+        with pytest.raises(ArtefactIntegrityError, match="header checksum"):
+            read_binary(path)
+
+    def test_out_of_vocabulary_codes_rejected_without_verify(
+        self, table, tmp_path
+    ):
+        path = self.write(table, tmp_path)
+        header = read_binary_header(path)
+        entry = next(
+            c for c in header["columns"] if c["name"] == "target"
+        )
+        data = bytearray(path.read_bytes())
+        offset = header["_data_start"] + entry["offset"]
+        data[offset : offset + 8] = np.int64(99).tobytes()
+        path.write_bytes(data)
+        with pytest.raises(ArtefactIntegrityError, match="vocabulary"):
+            read_binary(path)
+
+    def test_numeric_bitflip_caught_with_verify(self, table, tmp_path):
+        path = self.write(table, tmp_path)
+        header = read_binary_header(path)
+        entry = next(c for c in header["columns"] if c["name"] == "aadt")
+        data = bytearray(path.read_bytes())
+        offset = header["_data_start"] + entry["offset"]
+        data[offset] ^= 0xFF
+        path.write_bytes(data)
+        with pytest.raises(ArtefactIntegrityError, match="checksum"):
+            read_binary(path, verify=True)
+
+    def test_not_an_artefact_at_all(self, tmp_path):
+        path = tmp_path / "t.rpdt"
+        path.write_bytes(b"segment_id,aadt\n1,100\n")
+        with pytest.raises(ArtefactError):
+            read_binary(path)
+
+    def test_magic_constant_is_stable(self):
+        # The on-disk contract: changing this breaks every saved
+        # artefact, so it must be a deliberate, versioned decision.
+        assert MAGIC == b"RPDT"
+        assert FORMAT_VERSION == 1
+
+
+class TestCsvCache:
+    def csv(self, table, tmp_path, name="t.csv"):
+        path = tmp_path / name
+        write_csv(table, path)
+        return path
+
+    def test_first_read_builds_sidecar(self, table, tmp_path):
+        path = self.csv(table, tmp_path)
+        loaded = cached_read_csv(path)
+        assert default_cache_path(path).exists()
+        assert loaded.equals(cached_read_csv(path))
+
+    def test_second_read_hits_without_rewriting(self, table, tmp_path):
+        path = self.csv(table, tmp_path)
+        cached_read_csv(path)
+        cache = default_cache_path(path)
+        before = cache.stat().st_mtime_ns
+        cached_read_csv(path)
+        assert cache.stat().st_mtime_ns == before
+
+    def test_source_edit_invalidates(self, table, tmp_path):
+        path = self.csv(table, tmp_path)
+        first = cached_read_csv(path)
+        edited = table.with_column(NumericColumn("aadt", [1.0, 2.0, 3.0, 4.0]))
+        write_csv(edited, path)
+        reloaded = cached_read_csv(path)
+        assert not reloaded.equals(first)
+        assert reloaded.column("aadt").to_objects() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_touched_but_identical_source_hits_via_sha(
+        self, table, tmp_path
+    ):
+        path = self.csv(table, tmp_path)
+        cached_read_csv(path)
+        cache = default_cache_path(path)
+        before = cache.stat().st_mtime_ns
+        # Rewrite identical bytes: stat changes, content does not.
+        content = path.read_bytes()
+        path.write_bytes(content)
+        import os
+
+        os.utime(path, ns=(0, 0))
+        loaded = cached_read_csv(path)
+        assert cache.stat().st_mtime_ns == before  # no rebuild
+        assert loaded.n_rows == table.n_rows
+
+    def test_corrupt_cache_rebuilds_silently(self, table, tmp_path):
+        path = self.csv(table, tmp_path)
+        cached_read_csv(path)
+        cache = default_cache_path(path)
+        cache.write_bytes(b"garbage")
+        loaded = cached_read_csv(path)
+        assert loaded.n_rows == table.n_rows
+        # Sidecar was rewritten and now loads cleanly.
+        assert read_binary(cache).n_rows == table.n_rows
+
+    def test_refresh_forces_rebuild(self, table, tmp_path):
+        path = self.csv(table, tmp_path)
+        cached_read_csv(path)
+        cache = default_cache_path(path)
+        before = cache.stat().st_mtime_ns
+        import time
+
+        time.sleep(0.01)
+        cached_read_csv(path, refresh=True)
+        assert cache.stat().st_mtime_ns != before
+
+    def test_explicit_cache_path(self, table, tmp_path):
+        path = self.csv(table, tmp_path)
+        cache = tmp_path / "elsewhere" / "cache.rpdt"
+        cache.parent.mkdir()
+        loaded = cached_read_csv(path, cache_path=cache)
+        assert cache.exists()
+        assert loaded.n_rows == table.n_rows
+        assert not default_cache_path(path).exists()

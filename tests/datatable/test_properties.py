@@ -102,3 +102,136 @@ def test_sort_by_is_stable_permutation(table):
             seen_none = True
         else:
             assert not seen_none
+
+
+# -- bit-identity: vectorised kernels vs pre-refactor semantics -----------
+#
+# The columnar rewrite replaced per-row python loops with contiguous
+# numpy kernels.  These properties pin the new kernels to reference
+# implementations written the way the old code worked — object lists
+# and explicit loops — so any semantic drift (ordering, missing-value
+# placement, stability) fails loudly.
+
+from repro.datatable import (  # noqa: E402
+    CategoricalColumn,
+    read_binary,
+    write_binary,
+)
+from repro.evaluation.validation import (  # noqa: E402
+    stratified_fold_codes,
+    stratified_kfold_indices,
+)
+
+
+def _reference_group_by(table, name):
+    """Pre-refactor group_by: row loop over to_objects()."""
+    col = table.column(name)
+    buckets: dict = {}
+    for i, value in enumerate(col.to_objects()):
+        buckets.setdefault(value, []).append(i)
+    missing = buckets.pop(None, None)
+    if col.is_numeric:
+        keys = sorted(buckets)
+    else:
+        keys = [label for label in col.labels if label in buckets]
+    ordered = {key: buckets[key] for key in keys}
+    if missing is not None:
+        ordered[None] = missing
+    return ordered
+
+
+def _rows_of(table):
+    return [table.row(i) for i in range(table.n_rows)]
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_group_by_matches_row_loop_reference(table):
+    for name in ("num", "cat"):
+        reference = _reference_group_by(table, name)
+        groups = table.group_by(name)
+        assert list(groups) == list(reference)
+        for key, indices in reference.items():
+            assert _rows_of(groups[key]) == [table.row(i) for i in indices]
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_to_rows_matches_row_loop(table):
+    assert table.to_rows() == _rows_of(table)
+    for limit in (0, 1, table.n_rows, table.n_rows + 5):
+        assert table.to_rows(limit=limit) == _rows_of(table)[:limit]
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_slice_matches_take(table):
+    n = table.n_rows
+    for start, stop in ((0, n), (1, n), (0, n - 1), (n, n), (1, 1)):
+        sliced = table.slice(start, stop)
+        taken = table.take(np.arange(start, max(start, stop)))
+        assert sliced.n_rows == taken.n_rows
+        assert _rows_of(sliced) == _rows_of(taken)
+
+
+@given(tables())
+@settings(max_examples=40, deadline=None)
+def test_sort_by_matches_object_sort(table):
+    for descending in (False, True):
+        ordered = table.sort_by("num", descending=descending)
+        objects = table.column("num").to_objects()
+        present = [v for v in objects if v is not None]
+        expected = sorted(present, reverse=descending)
+        expected += [None] * (len(objects) - len(present))
+        assert ordered.column("num").to_objects() == expected
+
+
+@given(st.lists(labels, min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_categorical_equals_is_vocabulary_independent(values):
+    auto = CategoricalColumn("c", values)
+    explicit = CategoricalColumn("c", values, ("dd", "c", "b", "a"))
+    assert auto.equals(explicit)
+    assert explicit.equals(auto)
+    if any(v is not None for v in values):
+        flipped = ["b" if v == "a" else v for v in values]
+        if flipped != values:
+            assert not auto.equals(CategoricalColumn("c", flipped))
+
+
+@given(table=tables())
+@settings(max_examples=40, deadline=None)
+def test_binary_roundtrip_property(tmp_path_factory, table):
+    path = tmp_path_factory.mktemp("rpdt") / "t.rpdt"
+    write_binary(table, path)
+    assert read_binary(path).equals(table)
+    assert read_binary(path, mmap=False, verify=True).equals(table)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2), min_size=4, max_size=60),
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_fold_codes_match_legacy_fold_lists(class_ids, k, seed):
+    y = np.asarray(class_ids, dtype=np.int64)
+    codes = stratified_fold_codes(y, k, np.random.default_rng(seed))
+    folds = stratified_kfold_indices(y, k, np.random.default_rng(seed))
+
+    # The pre-refactor implementation concatenated per-class chunks of
+    # np.array_split over a per-class permutation, in class-value order.
+    rng = np.random.default_rng(seed)
+    legacy = [[] for _ in range(k)]
+    for value in np.unique(y):
+        members = rng.permutation(np.flatnonzero(y == value))
+        for fold_id, chunk in enumerate(np.array_split(members, k)):
+            legacy[fold_id].extend(int(i) for i in chunk)
+
+    assert codes.shape == y.shape and codes.dtype == np.int64
+    for fold_id in range(k):
+        from_codes = set(np.flatnonzero(codes == fold_id).tolist())
+        assert from_codes == set(legacy[fold_id])
+        assert from_codes == set(folds[fold_id].tolist())
+    # Folds partition the rows exactly.
+    assert sorted(i for fold in legacy for i in fold) == list(range(y.size))

@@ -43,8 +43,20 @@ class TestConstruction:
         assert table.row(1) == {"x": None, "c": None}
 
     def test_from_rows_inconsistent_keys_rejected(self):
-        with pytest.raises(SchemaError, match="row 1 keys"):
+        with pytest.raises(
+            SchemaError,
+            match=r"row 1: missing column\(s\) \['x'\]; "
+            r"unexpected column\(s\) \['y'\]",
+        ):
             DataTable.from_rows([{"x": 1}, {"y": 2}])
+
+    def test_from_rows_reordered_keys_rejected(self):
+        with pytest.raises(SchemaError, match="row 1: columns ordered"):
+            DataTable.from_rows([{"x": 1, "y": 2}, {"y": 2, "x": 1}])
+
+    def test_from_columns_bad_value_names_column(self):
+        with pytest.raises(SchemaError, match="'bad'"):
+            DataTable.from_columns({"bad": [1.0, object()]})
 
     def test_from_columns_numpy_array(self):
         table = DataTable.from_columns({"v": np.array([1.0, 2.0])})
@@ -208,3 +220,69 @@ class TestSchemaOnTable:
         desc = toy_table.describe()
         assert desc["x"]["missing"] == 1
         assert desc["colour"]["levels"] == 3
+
+
+class TestSchemaThroughTransforms:
+    """Schema metadata must survive (or be dropped) coherently."""
+
+    def schema(self):
+        return TableSchema(
+            [
+                ColumnSpec("x", MeasurementLevel.INTERVAL, Role.INPUT),
+                ColumnSpec("colour", MeasurementLevel.NOMINAL, Role.TARGET),
+            ]
+        )
+
+    def test_rename_carries_schema(self, toy_table):
+        table = toy_table.with_schema(self.schema())
+        renamed = table.rename({"x": "skid", "colour": "hue"})
+        assert renamed.schema is not None
+        assert renamed.schema.names == ["skid", "hue"]
+        assert renamed.schema["skid"].level is MeasurementLevel.INTERVAL
+        assert renamed.schema.target.name == "hue"
+
+    def test_rename_of_unspecced_column_keeps_schema(self, toy_table):
+        table = toy_table.with_schema(self.schema())
+        renamed = table.rename({"y": "speed"})
+        assert renamed.schema is not None
+        assert renamed.schema.names == ["x", "colour"]
+
+    def test_with_column_same_kind_keeps_spec(self, toy_table):
+        table = toy_table.with_schema(self.schema())
+        replaced = table.with_column(NumericColumn("x", [0.0] * 6))
+        assert replaced.schema is not None
+        assert replaced.schema["x"].level is MeasurementLevel.INTERVAL
+
+    def test_with_column_kind_change_drops_stale_spec(self, toy_table):
+        table = toy_table.with_schema(self.schema())
+        replaced = table.with_column(
+            CategoricalColumn("x", ["lo", "hi", "lo", "hi", "lo", "hi"])
+        )
+        # A numeric spec cannot describe a categorical column; keeping
+        # it would fail validation (or worse, lie).  It is dropped.
+        assert replaced.schema is not None
+        assert "x" not in replaced.schema.names
+        assert replaced.schema.target.name == "colour"
+
+    def test_slice_preserves_schema_and_is_view(self, toy_table):
+        table = toy_table.with_schema(self.schema())
+        view = table.slice(1, 4)
+        assert view.n_rows == 3
+        assert view.schema is not None and view.schema.names == table.schema.names
+        assert view.numeric("y").tolist() == [20.0, 30.0, 40.0]
+        # Zero-copy: the slice shares the parent's buffer.
+        assert np.shares_memory(view.numeric("y"), table.numeric("y"))
+
+    def test_slice_clamps_like_python(self, toy_table):
+        assert toy_table.slice(4, 100).n_rows == 2
+        assert toy_table.slice(6, 6).n_rows == 0
+        assert toy_table.head(100).n_rows == 6
+        assert toy_table.head(-3).n_rows == 0
+
+    def test_to_rows_limit(self, toy_table):
+        assert toy_table.to_rows(limit=2) == [
+            toy_table.row(0),
+            toy_table.row(1),
+        ]
+        assert toy_table.to_rows(limit=0) == []
+        assert toy_table.to_rows(limit=99) == toy_table.to_rows()
