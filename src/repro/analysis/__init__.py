@@ -1,10 +1,18 @@
 """repro.analysis — project-specific static analysis.
 
-An AST-based lint engine with rules targeting this reproduction's real
-hazards: determinism (REP001), lock hygiene (REP002), numeric safety
-(REP003), exception hygiene (REP004) and resource hygiene (REP005).
+v2: a two-layer engine. File rules (REP001–REP005: determinism, lock/
+numeric/exception/resource hygiene) run per-AST as before; whole-
+program rules (REP101–REP104: lock-order cycles, transitive blocking
+while locked, unsynchronised shared state, literal-registry drift) run
+over a project call graph (:mod:`repro.analysis.graph`) and lock model
+(:mod:`repro.analysis.locks`) built from the same parsed trees. A
+runtime lock-order sanitizer (:mod:`repro.analysis.sanitizer`) cross-
+validates the static model against observed acquisitions.
+
 Run it as ``repro-study lint [paths]`` or ``python -m repro.analysis``;
-suppress a finding inline with ``# repro: ignore[REPxxx] -- why``.
+suppress a finding inline with ``# repro: ignore[REPxxx] -- why``;
+dump the call graph and lock model with ``--graph``; emit SARIF with
+``--sarif``; lint only touched files with ``--changed [REF]``.
 
 Pure stdlib (``ast`` + ``tokenize``): importing this package pulls in
 none of the numeric stack, so the lint CI job stays dependency-light.
@@ -15,11 +23,25 @@ from repro.analysis.engine import (
     LintReport,
     analyze_paths,
     analyze_source,
+    build_project,
     discover_files,
+    discover_reference_roots,
 )
 from repro.analysis.findings import Finding
-from repro.analysis.reporters import render_json, render_text
-from repro.analysis.rules import ENGINE_RULE_ID, RULES, rule_catalog
+from repro.analysis.graph import ProjectGraph, build_graph
+from repro.analysis.locks import LockModel, build_lock_model
+from repro.analysis.reporters import render_json, render_sarif, render_text
+from repro.analysis.rules import (
+    ENGINE_RULE_ID,
+    PROJECT_RULES,
+    RULES,
+    rule_catalog,
+)
+from repro.analysis.sanitizer import (
+    LockOrderMonitor,
+    model_gaps,
+    sanitize_locks,
+)
 from repro.analysis.suppressions import Suppression, scan_suppressions
 
 __all__ = [
@@ -28,13 +50,24 @@ __all__ = [
     "ENGINE_RULE_ID",
     "Finding",
     "LintReport",
+    "LockModel",
+    "LockOrderMonitor",
+    "ProjectGraph",
+    "PROJECT_RULES",
     "RULES",
     "Suppression",
     "analyze_paths",
     "analyze_source",
+    "build_graph",
+    "build_lock_model",
+    "build_project",
     "discover_files",
+    "discover_reference_roots",
+    "model_gaps",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_catalog",
+    "sanitize_locks",
     "scan_suppressions",
 ]

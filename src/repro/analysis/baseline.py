@@ -79,7 +79,7 @@ class Baseline:
                     "fingerprint": fp,
                     "count": 1,
                     "rule": finding.rule_id,
-                    "path": finding.path,
+                    "path": finding.posix_path(),
                     "message": finding.message,
                 }
         payload = {

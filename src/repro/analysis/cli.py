@@ -5,19 +5,28 @@ Exit codes are CI-friendly:
 * ``0`` — no reportable findings (baselined/suppressed don't count);
 * ``1`` — at least one finding;
 * ``2`` — usage or configuration error (unknown rule, bad baseline).
+
+``--changed [REF]`` restricts the run to files touched vs a git ref
+(default ``HEAD``) for fast pre-commit loops, falling back to a full
+lint outside a git checkout; ``--graph`` dumps the call graph + lock
+model as JSON instead of linting; ``--sarif`` emits SARIF 2.1.0 for CI
+annotation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
+from pathlib import Path
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.analysis.engine import analyze_paths
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.engine import analyze_paths, build_project, discover_files
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.exceptions import AnalysisError
 
-__all__ = ["add_lint_arguments", "run_lint", "main"]
+__all__ = ["add_lint_arguments", "run_lint", "main", "changed_files"]
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -38,11 +47,22 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="emit the machine-readable JSON report",
     )
     parser.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit a SARIF 2.1.0 log (for CI annotation)",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the project call graph + lock model as JSON and exit "
+        "(no lint run)",
+    )
+    parser.add_argument(
         "--select",
         default=None,
         metavar="RULES",
         help="comma-separated rule ids to run (default: all), "
-        "e.g. --select REP001,REP004",
+        "e.g. --select REP001,REP101",
     )
     parser.add_argument(
         "--baseline",
@@ -56,6 +76,64 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="record current findings as the new baseline and exit 0",
     )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="lint only files changed vs a git ref (default REF: HEAD); "
+        "falls back to a full lint outside a git checkout",
+    )
+    parser.add_argument(
+        "--refs",
+        default=None,
+        metavar="DIR",
+        help="comma-separated reference directories for REP104 literal "
+        "coverage (default: the nearest 'tests' directory)",
+    )
+
+
+def changed_files(ref: str, paths: list[str]) -> list[Path] | None:
+    """``.py`` files under ``paths`` changed vs ``ref`` (plus untracked).
+
+    Returns ``None`` when git is unavailable or the paths are not in a
+    checkout — the caller then falls back to a full lint.
+    """
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    root = Path(toplevel.stdout.strip())
+    touched = {
+        (root / line).resolve()
+        for line in (
+            diff.stdout.splitlines() + untracked.stdout.splitlines()
+        )
+        if line.strip().endswith(".py")
+    }
+    in_scope = {p.resolve() for p in discover_files(list(paths))}
+    return sorted(in_scope & touched)
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -65,9 +143,49 @@ def run_lint(args: argparse.Namespace) -> int:
         if args.select
         else None
     )
+    refs = (
+        [part.strip() for part in args.refs.split(",") if part.strip()]
+        if getattr(args, "refs", None)
+        else None
+    )
     try:
+        if getattr(args, "graph", False):
+            _contexts, graph, model = build_project(args.paths)
+            print(
+                json.dumps(
+                    {
+                        "tool": "repro.analysis",
+                        "graph": graph.to_dict(),
+                        "locks": model.to_dict(),
+                    },
+                    indent=2,
+                )
+            )
+            return EXIT_CLEAN
+
+        paths: list = list(args.paths)
+        if getattr(args, "changed", None) is not None:
+            changed = changed_files(args.changed, paths)
+            if changed is None:
+                print(
+                    "repro.analysis: not a git checkout; "
+                    "running a full lint",
+                    file=sys.stderr,
+                )
+            elif not changed:
+                print(
+                    f"repro.analysis: no .py files changed vs "
+                    f"{args.changed}; nothing to lint",
+                    file=sys.stderr,
+                )
+                return EXIT_CLEAN
+            else:
+                paths = changed
+
         baseline = Baseline.load(args.baseline)
-        report = analyze_paths(args.paths, select=select, baseline=baseline)
+        report = analyze_paths(
+            paths, select=select, baseline=baseline, refs=refs
+        )
         if args.write_baseline:
             baseline.save(args.baseline, report.findings + report.baselined)
             print(
@@ -78,7 +196,10 @@ def run_lint(args: argparse.Namespace) -> int:
     except AnalysisError as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
-    print(render_json(report) if args.json else render_text(report))
+    if getattr(args, "sarif", False):
+        print(render_sarif(report))
+    else:
+        print(render_json(report) if args.json else render_text(report))
     return EXIT_CLEAN if report.clean else EXIT_FINDINGS
 
 
@@ -86,7 +207,10 @@ def main(argv: list[str] | None = None) -> int:
     """Standalone entry point (``python -m repro.analysis``)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Project-specific static analysis (rules REP001-REP005)",
+        description=(
+            "Project-specific static analysis "
+            "(file rules REP001-REP005, whole-program rules REP101-REP104)"
+        ),
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

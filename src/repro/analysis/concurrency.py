@@ -1,0 +1,392 @@
+"""Whole-program concurrency rules (REP101–REP104).
+
+These run once per lint over the :class:`ProjectGraph` + lock model
+rather than per file:
+
+* **REP101 lock-order cycles** — two locks acquired in opposite
+  nesting order anywhere in the program is a potential deadlock; the
+  finding prints both acquisition paths.
+* **REP102 transitive blocking-while-locked** — REP002 flags blocking
+  calls lexically inside a ``with lock:`` body; REP102 upgrades it to
+  *reaches blocking through any call chain*, and prints the chain.
+* **REP103 unsynchronised shared state** — on a lock-owning class
+  (owning a lock is this codebase's marker for crossing a thread
+  boundary), an attribute mutated both under the class's lock and
+  outside it (excluding ``__init__``, which happens-before
+  publication) defeats the lock.
+* **REP104 literal-registry drift** — Prometheus metric names and span
+  names emitted somewhere but never referenced anywhere else (tests,
+  assertions, scrapes) are dead telemetry or a typo'd registry entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import ProjectGraph
+from repro.analysis.locks import LockModel
+from repro.analysis.rules import PROJECT_RULES, ProjectRule
+
+__all__ = ["ProjectContext", "collect_literals", "LiteralUse"]
+
+
+@dataclass
+class ProjectContext:
+    """Everything a project rule needs: graph, lock model, reference roots."""
+
+    graph: ProjectGraph
+    locks: LockModel
+    #: Directories whose ``*.py`` files count as literal references
+    #: (tests asserting on metric/span names) without being linted.
+    refs: list[Path] = field(default_factory=list)
+
+
+def _register_project(rule_id: str, name: str, description: str):
+    def wrap(fn):
+        PROJECT_RULES[rule_id] = ProjectRule(rule_id, name, description, fn)
+        return fn
+
+    return wrap
+
+
+def _finding(
+    project: ProjectContext, path: str, line: int, rule_id: str, message: str
+) -> Finding:
+    ctx = project.graph.files.get(path)
+    snippet = ctx.snippet_line(line) if ctx is not None else ""
+    return Finding(
+        path=path,
+        line=line,
+        col=1,
+        rule_id=rule_id,
+        message=message,
+        snippet=snippet,
+    )
+
+
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(chain)
+
+
+# -- REP101: lock-order cycle detection --------------------------------------
+
+
+def _strongly_connected(
+    nodes: list[str], edges_out: dict[str, set[str]]
+) -> list[list[str]]:
+    """Tarjan's SCC (iterative); components in discovery order."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    components: list[list[str]] = []
+    counter = 0
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work = [(root, iter(sorted(edges_out.get(root, ()))))]
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(edges_out.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        item = stack.pop()
+                        on_stack.discard(item)
+                        component.append(item)
+                        if item == node:
+                            break
+                    components.append(component)
+    return components
+
+
+@_register_project(
+    "REP101",
+    "deadlock: lock-order cycle across the program",
+    "Two locks acquired in opposite nesting order anywhere in the "
+    "project (lexically or through any call chain) can deadlock; the "
+    "finding reports both acquisition paths.",
+)
+def _check_lock_order_cycles(project: ProjectContext) -> Iterator[Finding]:
+    model = project.locks
+    edges_out: dict[str, set[str]] = {}
+    for src, dst in model.order:
+        edges_out.setdefault(src, set()).add(dst)
+    nodes = sorted(
+        set(edges_out) | {dst for dsts in edges_out.values() for dst in dsts}
+    )
+    for component in _strongly_connected(nodes, edges_out):
+        if len(component) < 2:
+            continue
+        members = sorted(component)
+        in_component = set(members)
+        cycle_edges = sorted(
+            (
+                edge
+                for key, edge in model.order.items()
+                if key[0] in in_component and key[1] in in_component
+            ),
+            key=lambda e: (e.src, e.dst),
+        )
+        descriptions = [
+            f"{edge.src} -> {edge.dst} via {_chain_text(edge.chain)} "
+            f"({edge.path}:{edge.line})"
+            for edge in cycle_edges[:4]
+        ]
+        if len(cycle_edges) > 4:
+            descriptions.append(f"... and {len(cycle_edges) - 4} more edge(s)")
+        anchor = cycle_edges[0]
+        yield _finding(
+            project,
+            anchor.path,
+            anchor.line,
+            "REP101",
+            "lock-order cycle between "
+            + ", ".join(members)
+            + " — opposite nesting orders can deadlock: "
+            + "; ".join(descriptions),
+        )
+
+
+# -- REP102: transitive blocking while a lock is held ------------------------
+
+
+@_register_project(
+    "REP102",
+    "lock hygiene: blocking I/O reached while a lock is held",
+    "A 'with lock:' body that reaches sleep/subprocess/socket/file I/O "
+    "through any call chain stalls every other thread contending for "
+    "the lock; the finding prints the chain. (Direct, same-function "
+    "blocking stays REP002's.)",
+)
+def _check_transitive_blocking(project: ProjectContext) -> Iterator[Finding]:
+    model = project.locks
+    for region in sorted(
+        model.regions, key=lambda r: (r.path, r.line, r.site.lock_id)
+    ):
+        reached = model.blocking_reached(region)
+        if not reached:
+            continue
+        by_label: dict[str, tuple[str, ...]] = {}
+        for chain, label in reached:
+            best = by_label.get(label)
+            if best is None or len(chain) < len(best):
+                by_label[label] = chain
+        parts = [
+            f"{label}() via {_chain_text(chain)}"
+            for label, chain in sorted(by_label.items())[:3]
+        ]
+        if len(by_label) > 3:
+            parts.append(f"... and {len(by_label) - 3} more")
+        yield _finding(
+            project,
+            region.path,
+            region.line,
+            "REP102",
+            f"holding {region.site.lock_id} here reaches blocking "
+            + "; ".join(parts)
+            + " — move the slow work outside the lock",
+        )
+
+
+# -- REP103: attributes mutated both inside and outside lock regions ---------
+
+
+@_register_project(
+    "REP103",
+    "races: attribute mutated both under a class's lock and outside it",
+    "On a lock-owning class, mutating the same attribute under the "
+    "lock in one method and without it in another defeats the lock "
+    "(__init__ is excluded: construction happens-before publication).",
+)
+def _check_unsynchronised_state(project: ProjectContext) -> Iterator[Finding]:
+    model = project.locks
+    owned: dict[str, set[str]] = {}
+    lock_attrs: dict[str, set[str]] = {}
+    for lock_id in model.sites:
+        class_qual, _, attr = lock_id.rpartition(".")
+        if class_qual in project.graph.classes:
+            owned.setdefault(class_qual, set()).add(lock_id)
+            lock_attrs.setdefault(class_qual, set()).add(attr)
+    by_class_attr: dict[tuple[str, str], list] = {}
+    for mutation in model.mutations:
+        if mutation.owner not in owned:
+            continue
+        if mutation.method_name == "__init__":
+            continue
+        if mutation.attr in lock_attrs.get(mutation.owner, ()):
+            continue
+        by_class_attr.setdefault(
+            (mutation.owner, mutation.attr), []
+        ).append(mutation)
+    for (class_qual, attr), mutations in sorted(by_class_attr.items()):
+        class_locks = owned[class_qual]
+        inside = [
+            m for m in mutations if any(h in class_locks for h in m.held)
+        ]
+        outside = [
+            m for m in mutations if not any(h in class_locks for h in m.held)
+        ]
+        if not inside or not outside:
+            continue
+        anchor = min(outside, key=lambda m: (m.path, m.line))
+        guarded = min(inside, key=lambda m: (m.path, m.line))
+        lock_name = sorted(class_locks)[0]
+        yield _finding(
+            project,
+            anchor.path,
+            anchor.line,
+            "REP103",
+            f"attribute '{attr}' of {class_qual} is mutated under "
+            f"{lock_name} ({guarded.path}:{guarded.line}) but also "
+            f"without it here — every mutation of shared state must "
+            "hold the same lock",
+        )
+
+
+# -- REP104: literal-registry drift ------------------------------------------
+
+
+@dataclass
+class LiteralUse:
+    """One emitted metric/span name literal."""
+
+    literal: str
+    kind: str  # "metric" | "span"
+    path: str
+    line: int
+
+
+def collect_literals(
+    graph: ProjectGraph,
+) -> tuple[list[LiteralUse], int]:
+    """All emitted metric/span name literals, plus the dynamic-name count.
+
+    Emissions are first string arguments of ``.family(...)`` /
+    ``.sample(...)`` calls starting with ``repro_`` (Prometheus) and of
+    ``.span(...)`` / ``obs_span(...)`` calls (tracing). Dynamic names
+    (f-strings, variables) cannot be checked statically and are
+    *counted*, so the ``--graph`` dump shows what the rule skipped.
+    """
+    uses: list[LiteralUse] = []
+    n_dynamic = 0
+    for path in sorted(graph.files):
+        ctx = graph.files[path]
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            kind = None
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("family", "sample"):
+                    kind = "metric"
+                elif node.func.attr == "span":
+                    kind = "span"
+            elif isinstance(node.func, ast.Name):
+                resolved = ctx.resolve(node.func) or ""
+                if resolved == "obs_span" or resolved.endswith(".obs_span"):
+                    kind = "span"
+            if kind is None:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                literal = first.value
+                if kind == "metric" and not literal.startswith("repro_"):
+                    continue
+                uses.append(
+                    LiteralUse(
+                        literal=literal,
+                        kind=kind,
+                        path=path,
+                        line=node.lineno,
+                    )
+                )
+            else:
+                n_dynamic += 1
+    return uses, n_dynamic
+
+
+def _quoted_occurrences(literal: str, text: str) -> int:
+    return text.count(f'"{literal}"') + text.count(f"'{literal}'")
+
+
+@_register_project(
+    "REP104",
+    "observability: metric/span name emitted but never referenced",
+    "Prometheus metric names and span names form a de-facto registry; "
+    "a name emitted in one module but never scraped, validated or "
+    "asserted anywhere else is dead telemetry or a typo.",
+)
+def _check_literal_drift(project: ProjectContext) -> Iterator[Finding]:
+    uses, _n_dynamic = collect_literals(project.graph)
+    if not uses:
+        return
+    analysed: set[str] = set()
+    for analysed_path in project.graph.files:
+        try:
+            analysed.add(str(Path(analysed_path).resolve()))
+        except OSError:
+            analysed.add(analysed_path)
+    corpus: list[str] = [
+        ctx.source for ctx in project.graph.files.values()
+    ]
+    for root in project.refs:
+        root = Path(root)
+        if not root.is_dir():
+            continue
+        for ref_file in sorted(root.rglob("*.py")):
+            if "__pycache__" in ref_file.parts:
+                continue
+            if str(ref_file.resolve()) in analysed:
+                continue
+            try:
+                corpus.append(ref_file.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+    emissions: dict[str, list[LiteralUse]] = {}
+    for use in uses:
+        emissions.setdefault(use.literal, []).append(use)
+    for literal in sorted(emissions):
+        sites = emissions[literal]
+        occurrences = sum(
+            _quoted_occurrences(literal, text) for text in corpus
+        )
+        if occurrences > len(sites):
+            continue
+        anchor = min(sites, key=lambda u: (u.path, u.line))
+        kind = sites[0].kind
+        yield _finding(
+            project,
+            anchor.path,
+            anchor.line,
+            "REP104",
+            f"{kind} name '{literal}' is emitted here but never "
+            "referenced anywhere else (no test, assertion or scrape "
+            "mentions it) — register it in the literal-registry test "
+            "or delete the emission",
+        )

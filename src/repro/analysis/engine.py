@@ -1,15 +1,21 @@
-"""The lint engine: file discovery, rule dispatch, suppressions, baseline.
+"""The lint engine: discovery, file rules, project rules, suppressions.
 
-Per file the engine parses the AST once, runs every selected rule over
-it, then reconciles three layers of policy:
+The v2 pipeline parses every file **once**, then runs two rule layers:
 
-1. **suppressions** — ``# repro: ignore[REPxxx] -- why`` on the
-   finding's line silences it; unjustified, malformed or *unused*
-   pragmas are engine findings (``REP000``), so the suppression
-   mechanism cannot rot into a mute button;
-2. **baseline** — findings fingerprint-matched against the committed
-   baseline are demoted to informational;
-3. everything left is a reportable finding and fails the run.
+1. **file rules** (REP001–REP005) against each file's AST;
+2. **project rules** (REP101–REP104) against the whole-program call
+   graph and lock model built from the same parsed trees;
+
+and reconciles the combined findings against three layers of policy:
+
+* **suppressions** — ``# repro: ignore[REPxxx] -- why`` on the
+  finding's line (or on the *last* line of a simple multi-line
+  statement containing it) silences it; unjustified, malformed or
+  *unused* pragmas are engine findings (``REP000``), so the
+  suppression mechanism cannot rot into a mute button;
+* **baseline** — findings fingerprint-matched against the committed
+  baseline are demoted to informational;
+* everything left is a reportable finding and fails the run.
 """
 
 from __future__ import annotations
@@ -20,11 +26,25 @@ from pathlib import Path
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding
-from repro.analysis.rules import ENGINE_RULE_ID, RULES, FileContext
+from repro.analysis.graph import ProjectGraph, build_graph
+from repro.analysis.locks import LockModel, build_lock_model
+from repro.analysis.rules import (
+    ENGINE_RULE_ID,
+    PROJECT_RULES,
+    RULES,
+    FileContext,
+)
 from repro.analysis.suppressions import scan_suppressions
 from repro.exceptions import AnalysisError
 
-__all__ = ["LintReport", "analyze_source", "analyze_paths", "discover_files"]
+__all__ = [
+    "LintReport",
+    "analyze_source",
+    "analyze_paths",
+    "discover_files",
+    "discover_reference_roots",
+    "build_project",
+]
 
 
 @dataclass
@@ -47,51 +67,82 @@ class LintReport:
         return dict(sorted(counts.items()))
 
 
-def _select_rules(select: list[str] | None) -> list:
+def _select_rules(select: list[str] | None) -> tuple[list, list]:
+    """(file rules, project rules) for a ``--select`` list (None = all)."""
+    # Registers REP101+ into PROJECT_RULES on first use.
+    from repro.analysis import concurrency  # noqa: F401
+
     if select is None:
-        return [RULES[rule_id] for rule_id in sorted(RULES)]
-    unknown = [rule_id for rule_id in select if rule_id not in RULES]
+        return (
+            [RULES[rule_id] for rule_id in sorted(RULES)],
+            [PROJECT_RULES[rule_id] for rule_id in sorted(PROJECT_RULES)],
+        )
+    known = set(RULES) | set(PROJECT_RULES)
+    unknown = [rule_id for rule_id in select if rule_id not in known]
     if unknown:
         raise AnalysisError(
             f"unknown rule id(s) {', '.join(unknown)}; "
-            f"available: {', '.join(sorted(RULES))}"
+            f"available: {', '.join(sorted(known))}"
         )
-    return [RULES[rule_id] for rule_id in sorted(set(select))]
+    wanted = sorted(set(select))
+    return (
+        [RULES[rule_id] for rule_id in wanted if rule_id in RULES],
+        [PROJECT_RULES[rule_id] for rule_id in wanted if rule_id in PROJECT_RULES],
+    )
 
 
-def analyze_source(
-    source: str,
-    path: str = "<memory>",
-    select: list[str] | None = None,
+# -- suppression reconciliation ----------------------------------------------
+
+#: Simple (non-compound) statements: a pragma on the *last* line of one
+#: of these spanning several lines covers findings anywhere inside it.
+#: Compound statements (def/if/with/try...) are deliberately excluded —
+#: a pragma on a function's last line must not silence a def-line
+#: finding three screens up.
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+    ast.Pass,
+)
+
+
+def _statement_span_ends(tree: ast.Module) -> dict[int, int]:
+    """line → end line of the simple multi-line statement containing it."""
+    spans: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None or end <= node.lineno:
+            continue
+        for line in range(node.lineno, end + 1):
+            spans.setdefault(line, end)
+    return spans
+
+
+def _reconcile_suppressions(
+    ctx: FileContext, findings: list[Finding]
 ) -> tuple[list[Finding], int]:
-    """Lint one source string → (findings, n_suppressed).
-
-    Suppressions are applied; the baseline is the caller's concern.
-    """
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 0,
-                col=(exc.offset or 0),
-                rule_id=ENGINE_RULE_ID,
-                message=f"file does not parse: {exc.msg}",
-                snippet=(exc.text or "").rstrip(),
-            )
-        ], 0
-
-    ctx = FileContext(path, source, tree)
-    raw: list[Finding] = []
-    for rule in _select_rules(select):
-        raw.extend(rule.check(ctx))
-
-    pragmas = scan_suppressions(source)
+    """Apply pragmas to ``findings`` in one file; emit REP000 findings."""
+    pragmas = scan_suppressions(ctx.source)
+    spans = _statement_span_ends(ctx.tree) if pragmas else {}
     kept: list[Finding] = []
     n_suppressed = 0
-    for finding in raw:
+    for finding in findings:
         pragma = pragmas.get(finding.line)
+        if pragma is None:
+            end = spans.get(finding.line)
+            if end is not None and end != finding.line:
+                pragma = pragmas.get(end)
         if pragma is not None and pragma.covers(finding.rule_id):
             pragma.used_for.add(finding.rule_id)
             n_suppressed += 1
@@ -102,7 +153,7 @@ def analyze_source(
         for problem in pragma.problems():
             kept.append(
                 Finding(
-                    path=path,
+                    path=ctx.path,
                     line=pragma.line,
                     col=1,
                     rule_id=ENGINE_RULE_ID,
@@ -114,7 +165,7 @@ def analyze_source(
             unused = ", ".join(pragma.rule_ids)
             kept.append(
                 Finding(
-                    path=path,
+                    path=ctx.path,
                     line=pragma.line,
                     col=1,
                     rule_id=ENGINE_RULE_ID,
@@ -125,7 +176,83 @@ def analyze_source(
                     snippet=ctx.snippet_line(pragma.line),
                 )
             )
+    return kept, n_suppressed
+
+
+# -- core pipeline -----------------------------------------------------------
+
+
+def _parse(path: str, source: str) -> tuple[FileContext | None, Finding | None]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            path=path,
+            line=exc.lineno or 0,
+            col=(exc.offset or 0),
+            rule_id=ENGINE_RULE_ID,
+            message=f"file does not parse: {exc.msg}",
+            snippet=(exc.text or "").rstrip(),
+        )
+    return FileContext(path, source, tree), None
+
+
+def _analyze_project(
+    sources: dict[str, str],
+    select: list[str] | None,
+    refs: list[Path],
+) -> tuple[list[Finding], int]:
+    from repro.analysis.concurrency import ProjectContext
+
+    file_rules, project_rules = _select_rules(select)
+    contexts: dict[str, FileContext] = {}
+    raw: list[Finding] = []
+    for path, source in sources.items():
+        ctx, parse_error = _parse(path, source)
+        if ctx is None:
+            if parse_error is not None:
+                raw.append(parse_error)
+            continue
+        contexts[path] = ctx
+        for rule in file_rules:
+            raw.extend(rule.check(ctx))
+
+    if project_rules and contexts:
+        graph = build_graph(contexts)
+        model = build_lock_model(graph)
+        project = ProjectContext(graph=graph, locks=model, refs=refs)
+        for rule in project_rules:
+            raw.extend(rule.check(project))
+
+    by_path: dict[str, list[Finding]] = {}
+    for finding in raw:
+        by_path.setdefault(finding.path, []).append(finding)
+
+    kept: list[Finding] = []
+    n_suppressed = 0
+    for path, ctx in contexts.items():
+        file_findings, n = _reconcile_suppressions(
+            ctx, by_path.pop(path, [])
+        )
+        kept.extend(file_findings)
+        n_suppressed += n
+    for leftovers in by_path.values():
+        kept.extend(leftovers)
     return sorted(kept), n_suppressed
+
+
+def analyze_source(
+    source: str,
+    path: str = "<memory>",
+    select: list[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one source string → (findings, n_suppressed).
+
+    The string is treated as a one-file project, so the whole-program
+    rules (REP101+) run too. Suppressions are applied; the baseline is
+    the caller's concern.
+    """
+    return _analyze_project({path: source}, select, refs=[])
 
 
 def discover_files(paths: list[str | Path]) -> list[Path]:
@@ -146,25 +273,78 @@ def discover_files(paths: list[str | Path]) -> list[Path]:
     return sorted(files)
 
 
+def discover_reference_roots(paths: list[str | Path]) -> list[Path]:
+    """Default REP104 reference corpus: the nearest ``tests`` directory.
+
+    For each input path, walk up through its ancestors looking for a
+    sibling ``tests`` directory (``src`` → ``tests``; ``src/repro/obs``
+    also finds the repo-root ``tests``). Paths outside a repo simply
+    get no references.
+    """
+    roots: list[Path] = []
+    seen: set[Path] = set()
+    for raw_path in paths:
+        start = Path(raw_path)
+        if start.is_file():
+            start = start.parent
+        ancestors = [start, *start.resolve().parents][:10]
+        for ancestor in ancestors:
+            candidate = ancestor / "tests"
+            if candidate.is_dir() and candidate not in seen:
+                try:
+                    if candidate.resolve() == Path(raw_path).resolve():
+                        continue
+                except OSError:
+                    continue
+                seen.add(candidate)
+                roots.append(candidate)
+                break
+    return roots
+
+
 def analyze_paths(
     paths: list[str | Path],
     select: list[str] | None = None,
     baseline: Baseline | None = None,
+    refs: list[str | Path] | None = None,
 ) -> LintReport:
-    """Lint files/directories and reconcile against ``baseline``."""
+    """Lint files/directories and reconcile against ``baseline``.
+
+    ``refs`` are the REP104 reference roots; ``None`` auto-discovers
+    the nearest ``tests`` directory, ``[]`` disables references.
+    """
     report = LintReport()
-    all_findings: list[Finding] = []
+    sources: dict[str, str] = {}
     for file_path in discover_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        findings, n_suppressed = analyze_source(
-            source, path=str(file_path), select=select
-        )
-        all_findings.extend(findings)
-        report.n_suppressed += n_suppressed
+        sources[str(file_path)] = file_path.read_text(encoding="utf-8")
         report.checked_files.append(str(file_path))
+    if refs is None:
+        ref_roots = discover_reference_roots(paths)
+    else:
+        ref_roots = [Path(r) for r in refs]
+    findings, n_suppressed = _analyze_project(sources, select, ref_roots)
+    report.n_suppressed = n_suppressed
     if baseline is None:
         baseline = Baseline()
-    report.findings, report.baselined = baseline.partition(
-        sorted(all_findings)
-    )
+    report.findings, report.baselined = baseline.partition(sorted(findings))
     return report
+
+
+def build_project(
+    paths: list[str | Path],
+) -> tuple[dict[str, FileContext], ProjectGraph, LockModel]:
+    """Parse ``paths`` and build (contexts, call graph, lock model).
+
+    Used by ``repro-study lint --graph`` and the runtime sanitizer's
+    static-model cross-check; files that fail to parse are skipped
+    (the lint run proper reports them).
+    """
+    contexts: dict[str, FileContext] = {}
+    for file_path in discover_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        ctx, _parse_error = _parse(str(file_path), source)
+        if ctx is not None:
+            contexts[str(file_path)] = ctx
+    graph = build_graph(contexts)
+    model = build_lock_model(graph)
+    return contexts, graph, model

@@ -26,10 +26,18 @@ class Finding:
     message: str
     snippet: str = field(default="", compare=False)
 
+    def posix_path(self) -> str:
+        """``path`` with separators normalised to POSIX ``/``."""
+        return self.path.replace("\\", "/")
+
     def fingerprint(self) -> str:
-        """Stable identity for baseline matching (line-number free)."""
+        """Stable identity for baseline matching (line-number free).
+
+        The path is normalised to POSIX separators so baselines written
+        on Windows and POSIX hosts agree byte-for-byte.
+        """
         payload = "\x1f".join(
-            (self.path, self.rule_id, " ".join(self.snippet.split()))
+            (self.posix_path(), self.rule_id, " ".join(self.snippet.split()))
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 

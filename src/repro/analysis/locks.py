@@ -1,0 +1,517 @@
+"""The project lock model: sites, regions, acquisition order, reachability.
+
+Built on top of :mod:`repro.analysis.graph`, this gives every
+``threading.Lock/RLock/Condition`` creation site a **stable identity**
+(``repro.serving.http.ScoringService._engines_lock``), maps every
+``with lock:`` statement to the call-graph node executing it, and
+derives two relations the concurrency rules consume:
+
+* the **acquisition-order digraph** — an edge A→B whenever a region
+  holding A acquires B, either by lexical nesting or through any call
+  chain (REP101 reports its cycles);
+* **blocking reachability** — the set of sleep/subprocess/socket/file
+  I/O calls a region can reach through the call graph (REP102).
+
+``with`` expressions that *look* like locks but cannot be bound to a
+creation site land in ``unknown_regions`` — reported in the
+``--graph`` dump, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterator
+
+from repro.analysis.graph import FunctionInfo, ProjectGraph
+from repro.analysis.rules import (
+    _LOCK_FACTORIES,
+    _dotted,
+    _looks_like_lock,
+    blocking_call_name,
+)
+
+__all__ = ["LockSite", "LockRegion", "OrderEdge", "LockModel", "build_lock_model"]
+
+#: Interprocedural BFS bounds: generous for this codebase, but a hard
+#: stop against pathological graphs.
+_MAX_DEPTH = 25
+_MAX_VISITED = 4000
+
+
+def _posix(path: str) -> str:
+    return str(PurePosixPath(path.replace("\\", "/")))
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock creation site with a stable, human-readable identity."""
+
+    lock_id: str
+    path: str
+    line: int
+    factory: str
+
+    def rel_posix(self) -> str:
+        return _posix(self.path)
+
+
+@dataclass
+class LockRegion:
+    """One ``with <lock>:`` statement bound to its creation site."""
+
+    site: LockSite
+    function: str
+    path: str
+    line: int
+    node: ast.With
+
+
+@dataclass
+class OrderEdge:
+    """First observed A→B acquisition, with the call chain that does it."""
+
+    src: str
+    dst: str
+    chain: tuple[str, ...]
+    path: str
+    line: int
+
+
+@dataclass
+class AttrMutation:
+    """A ``self.X = ...`` / ``self.X += ...`` site, with held locks."""
+
+    owner: str
+    attr: str
+    path: str
+    line: int
+    held: tuple[str, ...]
+    function: str
+    method_name: str
+
+
+class LockModel:
+    """Lock sites + regions + order edges over a :class:`ProjectGraph`."""
+
+    def __init__(self, graph: ProjectGraph):
+        self.graph = graph
+        self.sites: dict[str, LockSite] = {}
+        self.regions: list[LockRegion] = []
+        #: lock-ish ``with`` expressions we could not bind to a site.
+        self.unknown_regions: list[dict] = []
+        self.order: dict[tuple[str, str], OrderEdge] = {}
+        self.mutations: list[AttrMutation] = []
+        self._sites_by_attr: dict[str, list[LockSite]] = {}
+        self._site_by_location: dict[tuple[str, int], LockSite] = {}
+        self._regions_by_function: dict[str, list[LockRegion]] = {}
+        self._blocking_cache: dict[str, list[tuple[str, int]]] = {}
+
+    # -- site collection -----------------------------------------------------
+
+    def _add_site(self, lock_id: str, path: str, line: int, factory: str) -> None:
+        if lock_id in self.sites:
+            return
+        site = LockSite(lock_id=lock_id, path=path, line=line, factory=factory)
+        self.sites[lock_id] = site
+        attr = lock_id.rsplit(".", 1)[-1]
+        self._sites_by_attr.setdefault(attr, []).append(site)
+        self._site_by_location[(site.rel_posix(), line)] = site
+
+    def _collect_sites(self) -> None:
+        for info in self.graph.functions.values():
+            ctx = self.graph.files[info.path]
+            body = getattr(info.node, "body", [])
+            for stmt in _walk_lexical_stmts(body):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = stmt.value
+                if not isinstance(value, ast.Call):
+                    continue
+                factory = ctx.resolve(value.func)
+                if factory not in _LOCK_FACTORIES:
+                    continue
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    dotted = _dotted(target)
+                    if dotted is None:
+                        continue
+                    if (
+                        dotted.startswith("self.")
+                        and info.owner is not None
+                        and "." not in dotted[5:]
+                    ):
+                        lock_id = f"{info.owner}.{dotted[5:]}"
+                    elif "." not in dotted and isinstance(info.node, ast.Module):
+                        lock_id = f"{info.module}.{dotted}"
+                    else:
+                        lock_id = f"{info.qualname}.{dotted}"
+                    self._add_site(
+                        lock_id, info.path, value.lineno, factory or ""
+                    )
+
+    # -- region binding ------------------------------------------------------
+
+    def _site_on_class(self, class_qual: str, attr: str, _depth: int = 0):
+        found = self.sites.get(f"{class_qual}.{attr}")
+        if found is not None:
+            return found
+        if _depth > 8:
+            return None
+        cls = self.graph.classes.get(class_qual)
+        if cls is None:
+            return None
+        for base in cls.bases:
+            base_cls = self.graph.class_for_dotted(base, cls.module)
+            if base_cls is not None and base_cls.qualname != class_qual:
+                found = self._site_on_class(
+                    base_cls.qualname, attr, _depth + 1
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def resolve_lock_expr(
+        self, info: FunctionInfo, expr: ast.AST
+    ) -> tuple[LockSite | None, bool]:
+        """Bind a ``with`` context expression to a lock site.
+
+        Returns ``(site, lockish)``: ``site`` when bound; ``lockish``
+        True when the expression at least *names* like a lock (so the
+        miss can be reported).
+        """
+        dotted = _dotted(expr)
+        if dotted is None:
+            return None, False
+        lockish = _looks_like_lock(dotted, set(self.sites))
+        attr = dotted.rsplit(".", 1)[-1]
+
+        if dotted.startswith("self.") and "." not in dotted[5:]:
+            if info.owner is not None:
+                found = self._site_on_class(info.owner, dotted[5:])
+                if found is not None:
+                    return found, True
+        elif "." not in dotted:
+            for prefix in self.graph._scope_prefixes(info):
+                found = self.sites.get(f"{prefix}.{dotted}")
+                if found is not None:
+                    return found, True
+            found = self.sites.get(f"{info.module}.{dotted}")
+            if found is not None:
+                return found, True
+        else:
+            head, _, tail = dotted.rpartition(".")
+            receiver_cls: str | None = None
+            if "." not in head:
+                receiver_cls = self.graph.local_types.get(
+                    info.qualname, {}
+                ).get(head)
+            elif head.startswith("self.") and info.owner is not None:
+                owner_cls = self.graph.classes.get(info.owner)
+                if owner_cls is not None:
+                    receiver_cls = self.graph._attr_type(
+                        owner_cls, head[5:]
+                    )
+            if receiver_cls is not None:
+                found = self._site_on_class(receiver_cls, tail)
+                if found is not None:
+                    return found, True
+
+        # Last resort: an attribute name unique across all creation
+        # sites is unambiguous even when the receiver type is unknown
+        # (closure variables, e.g. `service._drain_cond` in the HTTP
+        # handler class).
+        candidates = self._sites_by_attr.get(attr, [])
+        if len(candidates) == 1:
+            return candidates[0], True
+        return None, lockish
+
+    def _scan_regions(self) -> None:
+        for info in self.graph.functions.values():
+            self._scan_function(info)
+
+    def _scan_function(self, info: FunctionInfo) -> None:
+        body = getattr(info.node, "body", [])
+
+        def visit(stmts: list[ast.stmt], held: tuple[LockSite, ...]) -> None:
+            for stmt in stmts:
+                if isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                self._record_mutations(info, stmt, held)
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    acquired: list[LockSite] = []
+                    for item in stmt.items:
+                        site, lockish = self.resolve_lock_expr(
+                            info, item.context_expr
+                        )
+                        if site is not None:
+                            region = LockRegion(
+                                site=site,
+                                function=info.qualname,
+                                path=info.path,
+                                line=stmt.lineno,
+                                node=stmt,
+                            )
+                            self.regions.append(region)
+                            self._regions_by_function.setdefault(
+                                info.qualname, []
+                            ).append(region)
+                            for outer in held:
+                                self._add_order_edge(
+                                    outer,
+                                    site,
+                                    chain=(info.qualname,),
+                                    path=info.path,
+                                    line=stmt.lineno,
+                                )
+                            acquired.append(site)
+                        elif lockish:
+                            self.unknown_regions.append(
+                                {
+                                    "function": info.qualname,
+                                    "path": info.path,
+                                    "line": stmt.lineno,
+                                    "expr": _dotted(item.context_expr),
+                                }
+                            )
+                    visit(stmt.body, held + tuple(acquired))
+                    continue
+                for name in ("body", "orelse", "finalbody"):
+                    block = getattr(stmt, name, None)
+                    if isinstance(block, list) and block and isinstance(
+                        block[0], ast.stmt
+                    ):
+                        visit(block, held)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    visit(handler.body, held)
+
+        visit(body, ())
+
+    def _record_mutations(
+        self, info: FunctionInfo, stmt: ast.stmt, held: tuple[LockSite, ...]
+    ) -> None:
+        if info.owner is None:
+            return
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        else:
+            return
+        flattened: list[ast.expr] = []
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                flattened.extend(target.elts)
+            else:
+                flattened.append(target)
+        for target in flattened:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self.mutations.append(
+                    AttrMutation(
+                        owner=info.owner,
+                        attr=target.attr,
+                        path=info.path,
+                        line=stmt.lineno,
+                        held=tuple(s.lock_id for s in held),
+                        function=info.qualname,
+                        method_name=info.name,
+                    )
+                )
+
+    # -- order edges and reachability ----------------------------------------
+
+    def _add_order_edge(
+        self,
+        src: LockSite,
+        dst: LockSite,
+        chain: tuple[str, ...],
+        path: str,
+        line: int,
+    ) -> None:
+        if src.lock_id == dst.lock_id:
+            return
+        key = (src.lock_id, dst.lock_id)
+        if key not in self.order:
+            self.order[key] = OrderEdge(
+                src=src.lock_id, dst=dst.lock_id, chain=chain,
+                path=path, line=line,
+            )
+
+    def _region_call_targets(self, region: LockRegion) -> list[str]:
+        info = self.graph.functions[region.function]
+        ctx = self.graph.files[region.path]
+        local_types = self.graph.local_types.get(region.function, {})
+        targets: list[str] = []
+        for node in _iter_calls(region.node.body):
+            resolved = self.graph._resolve_call(info, node, ctx, local_types)
+            targets.extend(resolved.targets)
+        return targets
+
+    def reach(self, region: LockRegion) -> Iterator[tuple[str, tuple[str, ...]]]:
+        """BFS over the call graph from a region body.
+
+        Yields ``(function_qualname, chain)`` for every function the
+        region body can reach, where ``chain`` starts at the region's
+        own function. Bounded by depth and visited-set size.
+        """
+        start = self._region_call_targets(region)
+        visited: set[str] = set()
+        queue: list[tuple[str, tuple[str, ...]]] = [
+            (t, (region.function, t)) for t in start
+        ]
+        while queue:
+            qual, chain = queue.pop(0)
+            if qual in visited or len(visited) >= _MAX_VISITED:
+                continue
+            if len(chain) > _MAX_DEPTH:
+                continue
+            visited.add(qual)
+            yield qual, chain
+            for callee in self.graph.callees(qual):
+                if callee not in visited:
+                    queue.append((callee, chain + (callee,)))
+
+    def _derive_interprocedural_edges(self) -> None:
+        for region in list(self.regions):
+            for qual, chain in self.reach(region):
+                for inner in self._regions_by_function.get(qual, []):
+                    self._add_order_edge(
+                        region.site,
+                        inner.site,
+                        chain=chain,
+                        path=region.path,
+                        line=region.line,
+                    )
+
+    def blocking_in_function(self, qual: str) -> list[tuple[str, int]]:
+        """Direct blocking calls (label, line) lexically inside ``qual``."""
+        cached = self._blocking_cache.get(qual)
+        if cached is not None:
+            return cached
+        info = self.graph.functions.get(qual)
+        found: list[tuple[str, int]] = []
+        if info is not None and not isinstance(info.node, ast.Module):
+            ctx = self.graph.files[info.path]
+            for node in _iter_calls(info.node.body):
+                label = blocking_call_name(ctx, node)
+                if label is not None:
+                    found.append((label.lstrip("."), node.lineno))
+        self._blocking_cache[qual] = found
+        return found
+
+    def blocking_reached(
+        self, region: LockRegion
+    ) -> list[tuple[tuple[str, ...], str]]:
+        """(chain, blocking label) pairs reachable from a region body.
+
+        Only *transitive* blocking (≥ 1 call hop) is returned; blocking
+        directly inside the region body is REP002's, not REP102's.
+        """
+        found: list[tuple[tuple[str, ...], str]] = []
+        for qual, chain in self.reach(region):
+            for label, _line in self.blocking_in_function(qual):
+                found.append((chain, label))
+        return found
+
+    def site_at(self, rel_posix_path: str, line: int) -> LockSite | None:
+        """Match a runtime-observed creation location to a static site.
+
+        Matching is by POSIX path *suffix* plus exact line, so an
+        absolute runtime path matches the analyser's relative one.
+        """
+        exact = self._site_by_location.get((rel_posix_path, line))
+        if exact is not None:
+            return exact
+        for (path, site_line), site in self._site_by_location.items():
+            if site_line != line:
+                continue
+            if rel_posix_path.endswith(path) or path.endswith(rel_posix_path):
+                return site
+        return None
+
+    def has_order_edge(self, src: LockSite, dst: LockSite) -> bool:
+        return (src.lock_id, dst.lock_id) in self.order
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump for ``repro-study lint --graph``."""
+        return {
+            "sites": [
+                {
+                    "id": site.lock_id,
+                    "path": site.rel_posix(),
+                    "line": site.line,
+                    "factory": site.factory,
+                }
+                for site in sorted(
+                    self.sites.values(), key=lambda s: s.lock_id
+                )
+            ],
+            "regions": [
+                {
+                    "lock": region.site.lock_id,
+                    "function": region.function,
+                    "path": _posix(region.path),
+                    "line": region.line,
+                }
+                for region in sorted(
+                    self.regions, key=lambda r: (r.path, r.line)
+                )
+            ],
+            "unknown_regions": sorted(
+                self.unknown_regions,
+                key=lambda r: (r["path"], r["line"]),
+            ),
+            "order_edges": [
+                {
+                    "from": edge.src,
+                    "to": edge.dst,
+                    "chain": list(edge.chain),
+                    "path": _posix(edge.path),
+                    "line": edge.line,
+                }
+                for edge in sorted(
+                    self.order.values(), key=lambda e: (e.src, e.dst)
+                )
+            ],
+        }
+
+
+def _walk_lexical_stmts(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Statements in ``body`` without descending into nested scopes."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _iter_calls(body: list[ast.stmt]) -> Iterator[ast.Call]:
+    for node in _walk_lexical_stmts(body):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def build_lock_model(graph: ProjectGraph) -> LockModel:
+    """Derive the full lock model (sites, regions, order edges)."""
+    model = LockModel(graph)
+    model._collect_sites()
+    model._scan_regions()
+    model._derive_interprocedural_edges()
+    return model

@@ -27,9 +27,22 @@ import json
 from repro.analysis.engine import LintReport
 from repro.analysis.rules import rule_catalog
 
-__all__ = ["render_text", "render_json", "JSON_FORMAT_VERSION"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "JSON_FORMAT_VERSION",
+    "SARIF_VERSION",
+]
 
 JSON_FORMAT_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(report: LintReport) -> str:
@@ -69,3 +82,65 @@ def render_json(report: LintReport) -> str:
         },
     }
     return json.dumps(payload, indent=2)
+
+
+def _sarif_result(finding, level: str) -> dict:
+    return {
+        "ruleId": finding.rule_id,
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.posix_path()},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproFingerprint/v1": finding.fingerprint()
+        },
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log for CI annotation (one run, one driver).
+
+    Reportable findings are ``error`` results; baselined ones are
+    ``note`` so code hosts show them without failing the check.
+    """
+    catalog = rule_catalog()
+    sarif = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": name},
+                            }
+                            for rule_id, name in sorted(catalog.items())
+                        ],
+                    }
+                },
+                "results": [
+                    *(
+                        _sarif_result(f, "error")
+                        for f in report.findings
+                    ),
+                    *(
+                        _sarif_result(f, "note")
+                        for f in report.baselined
+                    ),
+                ],
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)

@@ -35,7 +35,16 @@ from typing import Callable, Iterable, Iterator
 
 from repro.analysis.findings import Finding
 
-__all__ = ["Rule", "FileContext", "RULES", "ENGINE_RULE_ID", "rule_catalog"]
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "FileContext",
+    "RULES",
+    "PROJECT_RULES",
+    "ENGINE_RULE_ID",
+    "rule_catalog",
+    "blocking_call_name",
+]
 
 #: Rule id used for engine-level findings (parse errors, bad pragmas).
 ENGINE_RULE_ID = "REP000"
@@ -116,7 +125,27 @@ class Rule:
         return self._check(ctx)
 
 
+class ProjectRule:
+    """A whole-program rule: checked once against the project graph.
+
+    ``check`` receives a :class:`~repro.analysis.concurrency.ProjectContext`
+    (call graph + lock model + reference roots) rather than one file.
+    """
+
+    def __init__(self, rule_id: str, name: str, description: str, check):
+        self.rule_id = rule_id
+        self.name = name
+        self.description = description
+        self._check = check
+
+    def check(self, project) -> Iterator[Finding]:
+        return self._check(project)
+
+
 RULES: dict[str, Rule] = {}
+
+#: Whole-program rules (REP101+); populated by repro.analysis.concurrency.
+PROJECT_RULES: dict[str, ProjectRule] = {}
 
 
 def _register(rule_id: str, name: str, description: str):
@@ -129,7 +158,15 @@ def _register(rule_id: str, name: str, description: str):
 
 def rule_catalog() -> dict[str, str]:
     """rule id → one-line description (for ``--json`` output and docs)."""
-    return {rule_id: RULES[rule_id].name for rule_id in sorted(RULES)}
+    # Importing here (not at module top) avoids a cycle: concurrency
+    # needs FileContext from this module, while this catalog must list
+    # the project rules concurrency registers.
+    from repro.analysis import concurrency  # noqa: F401
+
+    catalog = {rule_id: RULES[rule_id].name for rule_id in sorted(RULES)}
+    for rule_id in sorted(PROJECT_RULES):
+        catalog[rule_id] = PROJECT_RULES[rule_id].name
+    return catalog
 
 
 # -- shared AST helpers ------------------------------------------------------
@@ -286,6 +323,22 @@ def _looks_like_lock(dotted: str | None, known: set[str]) -> bool:
     return tail in _LOCKISH_NAMES or tail.endswith(_LOCKISH_SUFFIXES)
 
 
+def blocking_call_name(ctx: FileContext, call: ast.Call) -> str | None:
+    """Display name of ``call`` when it blocks (sleep/I/O/subprocess), else None.
+
+    Shared by REP002 (lexical: blocking directly inside a ``with lock:``
+    body) and REP102 (interprocedural: blocking *reached* from one).
+    """
+    name = ctx.resolve(call.func)
+    if name in _BLOCKING_CALLS:
+        return name
+    if name is not None and name.startswith(_BLOCKING_PREFIXES):
+        return name
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _BLOCKING_METHODS:
+        return name or f".{call.func.attr}"
+    return None
+
+
 @_register(
     "REP002",
     "lock hygiene: with-only locks, no blocking calls while held",
@@ -317,25 +370,14 @@ def _check_lock_hygiene(ctx: FileContext) -> Iterator[Finding]:
             for inner in _walk_lexical(node.body):
                 if not isinstance(inner, ast.Call):
                     continue
-                name = ctx.resolve(inner.func)
-                blocking = (
-                    name in _BLOCKING_CALLS
-                    or (
-                        name is not None
-                        and name.startswith(_BLOCKING_PREFIXES)
-                    )
-                    or (
-                        isinstance(inner.func, ast.Attribute)
-                        and inner.func.attr in _BLOCKING_METHODS
-                    )
-                )
-                if blocking:
-                    label = name or inner.func.attr  # type: ignore[union-attr]
+                label = blocking_call_name(ctx, inner)
+                if label is not None:
                     yield ctx.finding(
                         inner,
                         "REP002",
-                        f"blocking call {label}() inside 'with {held[0]}:' "
-                        "body; move the slow work outside the lock",
+                        f"blocking call {label.lstrip('.')}() inside "
+                        f"'with {held[0]}:' body; move the slow work "
+                        "outside the lock",
                     )
 
 

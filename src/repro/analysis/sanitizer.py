@@ -1,0 +1,288 @@
+"""Runtime lock-order sanitizer: the dynamic half of REP101.
+
+:func:`sanitize_locks` monkeypatches the ``threading`` lock factories
+so every lock **created by repro code** is wrapped in an instrumented
+proxy. Each wrapped lock remembers its creation site (path + line —
+the same identity the static lock model uses), and every acquisition
+records edges ``held → acquired`` into a global acquisition-order
+graph. An acquisition that would close a cycle raises
+:class:`~repro.exceptions.LockOrderViolation` *before* taking the lock
+(strict mode), turning a potential deadlock into a loud test failure.
+
+The observed graph cross-validates the static model from
+:mod:`repro.analysis.locks`: the tier-2 stress test asserts every
+observed edge exists statically, so a gap in the model fails the test
+instead of rotting silently.
+
+Locks created by the stdlib on repro's behalf (``queue.Queue``
+internals, ``concurrent.futures`` plumbing) are *not* wrapped: the
+factory only instruments when the calling frame's module matches the
+configured prefixes, so patching is safe process-wide.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+
+from repro.exceptions import LockOrderViolation
+
+__all__ = [
+    "ObservedSite",
+    "ObservedEdge",
+    "LockOrderMonitor",
+    "sanitize_locks",
+    "model_gaps",
+]
+
+
+@dataclass(frozen=True)
+class ObservedSite:
+    """Where a lock was created at runtime (POSIX path + line)."""
+
+    path: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+@dataclass(frozen=True)
+class ObservedEdge:
+    """An observed ``src held while dst acquired`` pair."""
+
+    src: ObservedSite
+    dst: ObservedSite
+
+
+def _caller_site(skip_module: str) -> tuple[str, str, int]:
+    """(module, posix path, line) of the nearest frame outside us."""
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_globals.get("__name__") == skip_module:
+        frame = frame.f_back
+    if frame is None:
+        return "", "", 0
+    module = frame.f_globals.get("__name__", "")
+    path = str(PurePosixPath(frame.f_code.co_filename.replace("\\", "/")))
+    return module, path, frame.f_lineno
+
+
+class LockOrderMonitor:
+    """Global acquisition-order graph with cycle detection.
+
+    Thread-safe: edge recording happens under a private *raw* lock
+    captured before patching, so the monitor never observes itself.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self._raw_lock_factory = threading.Lock
+        self._meta = threading.Lock()
+        self.sites: set[ObservedSite] = set()
+        self.edges: dict[ObservedEdge, int] = {}
+        self.n_acquisitions = 0
+        self.violations: list[str] = []
+        self._local = threading.local()
+
+    # -- per-thread held stack ----------------------------------------------
+
+    def _held(self) -> list[ObservedSite]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # -- cycle detection ------------------------------------------------------
+
+    def _reaches(self, start: ObservedSite, goal: ObservedSite) -> bool:
+        """True when ``start`` reaches ``goal`` in the edge graph."""
+        stack = [start]
+        seen = set()
+        adjacency: dict[ObservedSite, list[ObservedSite]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.src, []).append(edge.dst)
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        return False
+
+    def before_acquire(self, site: ObservedSite) -> None:
+        """Record edges held→site; raise on a would-be cycle (strict)."""
+        held = self._held()
+        with self._meta:
+            self.n_acquisitions += 1
+            self.sites.add(site)
+            cycle_with: ObservedSite | None = None
+            for holder in held:
+                if holder == site:
+                    continue  # re-entrant RLock
+                if cycle_with is None and self._reaches(site, holder):
+                    cycle_with = holder
+                edge = ObservedEdge(src=holder, dst=site)
+                self.edges[edge] = self.edges.get(edge, 0) + 1
+            if cycle_with is not None:
+                message = (
+                    f"lock-order cycle: acquiring {site} while holding "
+                    f"{cycle_with}, but {site} -> {cycle_with} was "
+                    "already observed — opposite nesting orders can "
+                    "deadlock"
+                )
+                self.violations.append(message)
+                if self.strict:
+                    raise LockOrderViolation(message)
+        held.append(site)
+
+    def after_release(self, site: ObservedSite) -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == site:
+                del held[index]
+                break
+
+    # -- results --------------------------------------------------------------
+
+    def observed_edges(self) -> list[ObservedEdge]:
+        with self._meta:
+            return sorted(
+                self.edges,
+                key=lambda e: (e.src.path, e.src.line, e.dst.path, e.dst.line),
+            )
+
+    def summary(self) -> str:
+        with self._meta:
+            return (
+                f"lock sanitizer: {len(self.sites)} instrumented lock(s), "
+                f"{self.n_acquisitions} acquisition(s), "
+                f"{len(self.edges)} order edge(s), "
+                f"{len(self.violations)} cycle(s)"
+            )
+
+
+class _InstrumentedLock:
+    """Proxy around a real lock/condition, reporting to the monitor."""
+
+    def __init__(self, inner, site: ObservedSite, monitor: LockOrderMonitor):
+        self._inner = inner
+        self._site = site
+        self._monitor = monitor
+
+    def acquire(self, *args, **kwargs):
+        self._monitor.before_acquire(self._site)
+        acquired = self._inner.acquire(*args, **kwargs)
+        if not acquired:
+            self._monitor.after_release(self._site)
+        return acquired
+
+    def release(self):
+        self._inner.release()
+        self._monitor.after_release(self._site)
+
+    def locked(self):
+        return self._inner.locked()
+
+    def __enter__(self):
+        self._monitor.before_acquire(self._site)
+        try:
+            self._inner.__enter__()
+        except BaseException:
+            self._monitor.after_release(self._site)
+            raise
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        result = self._inner.__exit__(exc_type, exc, tb)
+        self._monitor.after_release(self._site)
+        return result
+
+    def __getattr__(self, name):
+        # Condition.wait/wait_for/notify/notify_all and anything else
+        # pass straight through to the real object.
+        return getattr(self._inner, name)
+
+
+def _make_factory(real_factory, monitor: LockOrderMonitor, prefixes):
+    def factory(*args, **kwargs):
+        inner = real_factory(*args, **kwargs)
+        module, path, line = _caller_site(__name__)
+        if module.startswith(prefixes):
+            return _InstrumentedLock(
+                inner, ObservedSite(path=path, line=line), monitor
+            )
+        return inner
+
+    return factory
+
+
+@contextmanager
+def sanitize_locks(strict: bool = True, module_prefixes=("repro",)):
+    """Instrument repro-created locks for the duration of the block.
+
+    Usage::
+
+        with sanitize_locks() as monitor:
+            ...  # create services, run traffic
+        assert not monitor.violations
+
+    Only locks whose *creation* call originates in a module matching
+    ``module_prefixes`` are wrapped; everything else gets the real
+    factory, so stdlib internals are unaffected.
+    """
+    monitor = LockOrderMonitor(strict=strict)
+    originals = {
+        "Lock": threading.Lock,
+        "RLock": threading.RLock,
+        "Condition": threading.Condition,
+    }
+    prefixes = tuple(module_prefixes)
+    threading.Lock = _make_factory(originals["Lock"], monitor, prefixes)
+    threading.RLock = _make_factory(originals["RLock"], monitor, prefixes)
+    threading.Condition = _make_factory(
+        originals["Condition"], monitor, prefixes
+    )
+    try:
+        yield monitor
+    finally:
+        threading.Lock = originals["Lock"]
+        threading.RLock = originals["RLock"]
+        threading.Condition = originals["Condition"]
+
+
+def model_gaps(monitor: LockOrderMonitor, lock_model) -> list[str]:
+    """Observed order edges missing from the static lock model.
+
+    Each gap is a human-readable line; an empty list means the static
+    model (:class:`repro.analysis.locks.LockModel`) explains every
+    acquisition order the run actually exhibited. Sites are matched by
+    POSIX path suffix + creation line, the shared identity between the
+    two worlds.
+    """
+    gaps: list[str] = []
+    for edge in monitor.observed_edges():
+        src = lock_model.site_at(edge.src.path, edge.src.line)
+        dst = lock_model.site_at(edge.dst.path, edge.dst.line)
+        if src is None:
+            gaps.append(
+                f"observed lock {edge.src} has no static creation site"
+            )
+            continue
+        if dst is None:
+            gaps.append(
+                f"observed lock {edge.dst} has no static creation site"
+            )
+            continue
+        if not lock_model.has_order_edge(src, dst):
+            gaps.append(
+                f"observed order {src.lock_id} -> {dst.lock_id} "
+                f"({edge.src} -> {edge.dst}) is missing from the "
+                "static lock model"
+            )
+    return gaps

@@ -21,7 +21,10 @@ Python:
   gate the exit code on declarative ``--slo`` specs;
 * ``wetdry`` — the stage-1 wet/dry differentiation analysis;
 * ``trace`` — inspect ``--trace-out`` span files (waterfall rendering);
-* ``lint`` — run the project's static-analysis rules (REP001–REP005).
+* ``lint`` — run the project's static-analysis rules (file rules
+  REP001–REP005 plus whole-program concurrency rules REP101–REP104;
+  ``--graph`` dumps the call graph + lock model, ``--sarif`` emits
+  SARIF, ``--changed`` lints only files touched vs a git ref).
 
 Observability: ``study``, ``score`` and ``serve`` accept
 ``--trace-out PATH`` (``-`` for stdout) to record every span of the
@@ -350,6 +353,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record the self-hosted server's spans as JSON lines "
         "('-' for stdout; ignored with --url)",
+    )
+    load.add_argument(
+        "--sanitize-locks",
+        action="store_true",
+        help="wrap the self-hosted run in the runtime lock-order "
+        "sanitizer and cross-check the static lock model; any observed "
+        "cycle or model gap fails the run (ignored with --url)",
     )
 
     wet = sub.add_parser("wetdry", help="wet/dry crash differentiation")
@@ -796,6 +806,21 @@ def _cmd_loadtest(args) -> int:
     profile = get_profile(args.profile)
     dataset = _loadtest_dataset(args)
 
+    monitor = None
+    sanitizer = None
+    if args.sanitize_locks and args.model_dir is None:
+        print(
+            "--sanitize-locks is ignored with --url: the sanitizer can "
+            "only instrument a self-hosted service",
+            file=sys.stderr,
+        )
+    if args.sanitize_locks and args.model_dir is not None:
+        from repro.analysis import sanitize_locks
+
+        # Enter before the service is constructed so every lock the
+        # serving stack creates is instrumented from birth.
+        sanitizer = sanitize_locks(strict=True)
+        monitor = sanitizer.__enter__()
     service = None
     pairs = None
     try:
@@ -893,6 +918,20 @@ def _cmd_loadtest(args) -> int:
                         f"wrote {n_spans} spans -> {args.trace_out}",
                         file=sys.stderr,
                     )
+        if sanitizer is not None:
+            sanitizer.__exit__(None, None, None)
+
+    sanitizer_problems: list[str] = []
+    if monitor is not None:
+        print(monitor.summary(), file=sys.stderr)
+        sanitizer_problems = list(monitor.violations)
+        if Path("src/repro").is_dir():
+            from repro.analysis import build_project, model_gaps
+
+            _contexts, _graph, lock_model = build_project(["src"])
+            sanitizer_problems.extend(model_gaps(monitor, lock_model))
+        for problem in sanitizer_problems:
+            print(f"SANITIZER: {problem}", file=sys.stderr)
 
     violations = []
     for spec in specs:
@@ -920,6 +959,18 @@ def _cmd_loadtest(args) -> int:
             f"FAIL: {len(violations)} SLO violation(s)", file=sys.stderr
         )
         return 1
+    if sanitizer_problems:
+        print(
+            f"FAIL: {len(sanitizer_problems)} lock-sanitizer problem(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if monitor is not None:
+        print(
+            "PASS: lock sanitizer observed no cycles; order graph "
+            "consistent with the static model",
+            file=sys.stderr,
+        )
     if specs:
         print(
             f"PASS: {sum(len(s.rules) for s in specs)} SLO rule(s) held",

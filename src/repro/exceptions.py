@@ -87,6 +87,12 @@ class AnalysisError(ReproError):
     are results, not errors."""
 
 
+class LockOrderViolation(AnalysisError):
+    """The runtime lock-order sanitizer observed an acquisition that
+    closes a cycle in the global lock-order graph — the dynamic
+    counterpart of lint rule REP101."""
+
+
 class ObservabilityError(ReproError):
     """A tracing/metrics artefact could not be read or rendered (bad
     span payload, malformed trace file, invalid Prometheus exposition)

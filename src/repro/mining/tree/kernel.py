@@ -202,7 +202,7 @@ def native_kernel() -> NativeKernel | None:
     global _kernel, _status, _attempted
     if os.environ.get(DISABLE_ENV):
         return None
-    with _lock:
+    with _lock:  # repro: ignore[REP102] -- build-once guard: the lock must cover the compiler run so concurrent first callers cannot race the .so build; it blocks exactly once per process, then every call is a cached read
         if not _attempted:
             _attempted = True
             try:

@@ -609,8 +609,15 @@ class ScoringService:
             def do_POST(self) -> None:
                 self._dispatch("POST")
 
-        server = ThreadingHTTPServer((self.host, self.port), Handler)
-        server.daemon_threads = True
+        class Server(ThreadingHTTPServer):
+            daemon_threads = True
+            # socketserver's default listen backlog is 5.  A burst of
+            # concurrent clients (the 64-thread stress test opens every
+            # connection at once) overflows it; the kernel then drops
+            # the final handshake ACK and resets the client mid-read.
+            request_queue_size = 128
+
+        server = Server((self.host, self.port), Handler)
         self.port = server.server_address[1]
         return server
 

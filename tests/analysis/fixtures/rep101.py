@@ -1,0 +1,33 @@
+"""REP101 fixture: two locks acquired in opposite orders via calls.
+
+``forward`` holds ``lock_a`` and calls into ``take_b`` (acquiring
+``lock_b``); ``backward`` does the reverse.  Neither function nests the
+locks lexically — the cycle only exists interprocedurally, which is
+exactly what the call-graph-aware rule must catch.  Expected: exactly
+one REP101 finding (one cycle between two locks).
+"""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def take_a() -> int:
+    with lock_a:
+        return 1
+
+
+def take_b() -> int:
+    with lock_b:
+        return 2
+
+
+def forward() -> int:
+    with lock_a:
+        return take_b()
+
+
+def backward() -> int:
+    with lock_b:
+        return take_a()

@@ -1,0 +1,26 @@
+"""REP102 fixture: blocking call reached *transitively* under a lock.
+
+The ``with cache_lock`` body contains no blocking call itself (so the
+per-file rule REP002 stays silent); the ``time.sleep`` sits two call
+hops away, reachable only through the call graph.  Expected: exactly
+one REP102 finding on the ``with`` region in ``refresh``.
+"""
+
+import threading
+import time
+
+cache_lock = threading.Lock()
+
+
+def do_io() -> int:
+    time.sleep(0.5)
+    return 1
+
+
+def fetch() -> int:
+    return do_io()
+
+
+def refresh() -> int:
+    with cache_lock:
+        return fetch()

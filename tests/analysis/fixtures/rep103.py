@@ -1,0 +1,23 @@
+"""REP103 fixture: shared attribute mutated with and without the lock.
+
+``Worker`` owns a lock, so it is presumed thread-crossing.  ``count``
+is mutated under ``self._lock`` in ``bump`` but bare in ``reset`` —
+the unsynchronised write is the bug.  ``__init__`` assignments are
+construction, not sharing, and must not count.  Expected: exactly one
+REP103 finding (attribute ``count``, anchored at the ``reset`` write).
+"""
+
+import threading
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def reset(self) -> None:
+        self.count = 0

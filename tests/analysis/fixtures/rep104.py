@@ -1,0 +1,15 @@
+"""REP104 fixture: one covered metric literal, one orphan.
+
+``repro_fixture_covered_total`` appears a second time in the frozen
+``REGISTERED`` tuple, so scrapers/tests can reference it — covered.
+``repro_fixture_orphan_total`` is emitted but quoted nowhere else, so
+a dashboard built against it would silently chart nothing.  Expected
+(with references disabled): exactly one REP104 finding for the orphan.
+"""
+
+REGISTERED = ("repro_fixture_covered_total",)
+
+
+def publish(metrics) -> None:
+    metrics.family("repro_fixture_covered_total", "a covered counter")
+    metrics.family("repro_fixture_orphan_total", "an orphaned counter")

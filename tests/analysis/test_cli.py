@@ -108,3 +108,66 @@ class TestStudyCliIntegration:
         )
         assert code == 1
         assert json.loads(capsys.readouterr().out)["summary"]["total"] == 1
+
+
+class TestChanged:
+    """``--changed [REF]`` lints only files touched vs a git ref."""
+
+    @staticmethod
+    def git(repo, *argv):
+        import subprocess
+
+        subprocess.run(
+            [
+                "git",
+                "-c", "user.email=t@example.invalid",
+                "-c", "user.name=t",
+                *argv,
+            ],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+        )
+
+    @pytest.fixture
+    def git_repo(self, tmp_path, monkeypatch):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        (repo / "clean.py").write_text(CLEAN_SOURCE)
+        (repo / "bad.py").write_text(BAD_SOURCE)
+        self.git(repo, "init", "--quiet")
+        self.git(repo, "add", ".")
+        self.git(repo, "commit", "--quiet", "-m", "seed")
+        monkeypatch.chdir(repo)
+        return repo
+
+    def test_untouched_findings_are_skipped(self, git_repo, capsys):
+        """bad.py has findings, but only clean.py was touched."""
+        (git_repo / "clean.py").write_text(CLEAN_SOURCE + "OTHER = 2\n")
+        assert analysis_main([".", "--changed"]) == 0
+        assert "bad.py" not in capsys.readouterr().out
+
+    def test_touched_bad_file_still_fails(self, git_repo, capsys):
+        (git_repo / "bad.py").write_text(BAD_SOURCE + "\nX = 1\n")
+        assert analysis_main([".", "--changed", "HEAD"]) == 1
+        assert "bad.py" in capsys.readouterr().out
+
+    def test_untracked_files_count_as_changed(self, git_repo, capsys):
+        (git_repo / "fresh.py").write_text(BAD_SOURCE)
+        assert analysis_main([".", "--changed"]) == 1
+        assert "fresh.py" in capsys.readouterr().out
+
+    def test_nothing_changed_is_clean_and_says_so(self, git_repo, capsys):
+        assert analysis_main([".", "--changed"]) == 0
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_outside_git_falls_back_to_full_lint(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        tree = tmp_path / "plain"
+        tree.mkdir()
+        (tree / "bad.py").write_text(BAD_SOURCE)
+        monkeypatch.chdir(tree)
+        monkeypatch.setenv("GIT_DIR", str(tree / "nonexistent.git"))
+        assert analysis_main([".", "--changed"]) == 1
+        assert "full lint" in capsys.readouterr().err

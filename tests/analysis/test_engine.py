@@ -158,3 +158,93 @@ class TestLintReport:
         assert report.counts_by_rule() == {"REP001": 1, "REP004": 1}
         assert not report.clean
         assert report.checked_files == [str(target)]
+
+
+class TestPosixFingerprints:
+    def test_windows_and_posix_paths_hash_identically(self):
+        """Baselines recorded on Windows must match on POSIX (and back)."""
+        import dataclasses
+
+        windows = dataclasses.replace(make_finding(), path="pkg\\sample.py")
+        posix = dataclasses.replace(make_finding(), path="pkg/sample.py")
+        assert windows.posix_path() == posix.posix_path() == "pkg/sample.py"
+        assert windows.fingerprint() == posix.fingerprint()
+
+    def test_baseline_file_stores_posix_paths(self, tmp_path):
+        import dataclasses
+
+        finding = dataclasses.replace(make_finding(), path="pkg\\sample.py")
+        baseline = Baseline()
+        baseline_path = tmp_path / "baseline.json"
+        baseline.save(baseline_path, [finding])
+        text = baseline_path.read_text()
+        assert "pkg/sample.py" in text
+        assert "\\\\" not in text
+
+
+RNG_CALL = "np.random.default_rng().random()"
+
+
+class TestPragmaPlacement:
+    """Where a pragma may sit relative to the finding it silences."""
+
+    def lint(self, source):
+        from repro.analysis import analyze_source
+
+        return analyze_source(source)
+
+    def test_end_line_of_multiline_statement_covers(self):
+        findings, n_suppressed = self.lint(
+            "import numpy as np\n"
+            "value = np.random.default_rng().random(\n"
+            ")  # repro: ignore[REP001] -- demo fixture\n"
+        )
+        assert findings == []
+        assert n_suppressed == 1
+
+    def test_first_line_does_not_cover_inner_finding(self):
+        """A pragma above the offending line must not act at a distance."""
+        findings, n_suppressed = self.lint(
+            "import numpy as np\n"
+            "value = (  # repro: ignore[REP001] -- misplaced\n"
+            f"    {RNG_CALL}\n"
+            ")\n"
+        )
+        assert n_suppressed == 0
+        rules = sorted(f.rule_id for f in findings)
+        # The finding survives AND the stale pragma is itself flagged.
+        assert rules == ["REP000", "REP001"]
+
+    def test_decorator_line_pragma_covers_decorator_finding(self):
+        findings, n_suppressed = self.lint(
+            "import functools\n"
+            "import numpy as np\n"
+            f"@functools.lru_cache(maxsize=int({RNG_CALL} * 8))"
+            "  # repro: ignore[REP001] -- demo fixture\n"
+            "def cached():\n"
+            "    return 1\n"
+        )
+        assert findings == []
+        assert n_suppressed == 1
+
+    def test_def_line_pragma_does_not_cover_decorator_finding(self):
+        """Compound statements get no span fallback: a def-line pragma
+        must not silence a finding on the decorator above it."""
+        findings, n_suppressed = self.lint(
+            "import functools\n"
+            "import numpy as np\n"
+            f"@functools.lru_cache(maxsize=int({RNG_CALL} * 8))\n"
+            "def cached():  # repro: ignore[REP001] -- misplaced\n"
+            "    return 1\n"
+        )
+        assert n_suppressed == 0
+        assert sorted(f.rule_id for f in findings) == ["REP000", "REP001"]
+
+    def test_pragma_on_blank_line_is_unused(self):
+        findings, n_suppressed = self.lint(
+            "# repro: ignore[REP001] -- nothing here\n"
+            "x = 1\n"
+        )
+        assert n_suppressed == 0
+        assert [f.rule_id for f in findings] == ["REP000"]
+        assert "unused suppression" in findings[0].message

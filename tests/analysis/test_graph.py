@@ -1,0 +1,174 @@
+"""Call graph + lock model construction (`repro.analysis.graph`/`locks`).
+
+The whole-program rules are only as good as the graph under them, so
+the resolution tiers are pinned here: direct calls, self-method calls,
+receiver typing, alias-aware externals, and — critically — the honest
+``unresolved`` bucket for what static analysis cannot know.
+"""
+
+import ast
+
+from repro.analysis.graph import build_graph, module_name_for
+from repro.analysis.locks import build_lock_model
+from repro.analysis.rules import FileContext
+
+
+def project(**files):
+    """Build a ProjectGraph from ``name='source'`` keyword files."""
+    contexts = {}
+    for name, source in files.items():
+        path = f"src/{name.replace('.', '/')}.py"
+        contexts[path] = FileContext(path, source, ast.parse(source))
+    return build_graph(contexts)
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/obs/metrics.py") == "repro.obs.metrics"
+
+    def test_init_collapses_to_package(self):
+        assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_bare_file_uses_stem(self):
+        assert module_name_for("scratch/tool.py") == "tool"
+
+
+class TestCallResolution:
+    def test_direct_call_resolves(self):
+        graph = project(mod="def helper():\n    pass\ndef caller():\n    helper()\n")
+        calls = graph.calls["mod.caller"]
+        assert [c.kind for c in calls] == ["direct"]
+        assert calls[0].targets == ("mod.helper",)
+
+    def test_self_method_resolves_through_class(self):
+        graph = project(
+            mod=(
+                "class Service:\n"
+                "    def run(self):\n"
+                "        self.step()\n"
+                "    def step(self):\n"
+                "        pass\n"
+            )
+        )
+        calls = graph.calls["mod.Service.run"]
+        assert calls[0].targets == ("mod.Service.step",)
+
+    def test_receiver_typing_from_constructor(self):
+        graph = project(
+            mod=(
+                "class Engine:\n"
+                "    def go(self):\n"
+                "        pass\n"
+                "def main():\n"
+                "    engine = Engine()\n"
+                "    engine.go()\n"
+            )
+        )
+        calls = [c for c in graph.calls["mod.main"] if c.kind == "method"]
+        assert calls and calls[0].targets == ("mod.Engine.go",)
+
+    def test_imported_alias_is_external(self):
+        graph = project(
+            mod="import numpy as np\ndef sample():\n    return np.zeros(3)\n"
+        )
+        calls = graph.calls["mod.sample"]
+        assert [c.kind for c in calls] == ["external"]
+
+    def test_local_variable_call_lands_in_unresolved_bucket(self):
+        graph = project(
+            mod="def apply(fn):\n    return fn()\n"
+        )
+        assert len(graph.unresolved) == 1
+        site = graph.unresolved[0]
+        assert site.caller == "mod.apply"
+        assert site.reason  # the bucket explains itself
+
+    def test_cross_module_import_resolves(self):
+        graph = project(
+            **{
+                "pkg.util": "def tool():\n    pass\n",
+                "pkg.app": (
+                    "from pkg.util import tool\n"
+                    "def main():\n"
+                    "    tool()\n"
+                ),
+            }
+        )
+        calls = graph.calls["pkg.app.main"]
+        assert calls[0].targets == ("pkg.util.tool",)
+
+    def test_to_dict_shape(self):
+        graph = project(mod="def solo():\n    pass\n")
+        payload = graph.to_dict()
+        assert set(payload) >= {
+            "modules",
+            "functions",
+            "classes",
+            "call_edges",
+            "external_calls",
+            "unresolved_calls",
+        }
+
+
+class TestLockModel:
+    def test_site_identity_and_region_binding(self):
+        graph = project(
+            mod=(
+                "import threading\n"
+                "class Store:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "    def get(self):\n"
+                "        with self._lock:\n"
+                "            return 1\n"
+            )
+        )
+        model = build_lock_model(graph)
+        assert sorted(model.sites) == ["mod.Store._lock"]
+        assert len(model.regions) == 1
+        assert model.regions[0].site.lock_id == "mod.Store._lock"
+        assert model.unknown_regions == []
+
+    def test_lexical_nesting_records_order_edge(self):
+        graph = project(
+            mod=(
+                "import threading\n"
+                "a = threading.Lock()\n"
+                "b = threading.Lock()\n"
+                "def nest():\n"
+                "    with a:\n"
+                "        with b:\n"
+                "            pass\n"
+            )
+        )
+        model = build_lock_model(graph)
+        assert ("mod.a", "mod.b") in model.order
+
+    def test_interprocedural_order_edge(self):
+        graph = project(
+            mod=(
+                "import threading\n"
+                "a = threading.Lock()\n"
+                "b = threading.Lock()\n"
+                "def inner():\n"
+                "    with b:\n"
+                "        pass\n"
+                "def outer():\n"
+                "    with a:\n"
+                "        inner()\n"
+            )
+        )
+        model = build_lock_model(graph)
+        edge = model.order.get(("mod.a", "mod.b"))
+        assert edge is not None
+        assert "mod.inner" in edge.chain
+
+    def test_site_at_matches_by_suffix_and_line(self):
+        graph = project(
+            mod="import threading\nguard = threading.Lock()\n"
+        )
+        model = build_lock_model(graph)
+        site = next(iter(model.sites.values()))
+        found = model.site_at("/abs/prefix/" + site.rel_posix(), site.line)
+        assert found is site
+        assert model.site_at(site.rel_posix(), site.line + 999) is None

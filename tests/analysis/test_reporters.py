@@ -55,6 +55,7 @@ class TestJsonReporter:
         payload = json.loads(render_json(report_for(tmp_path)))
         assert sorted(payload["rules"]) == [
             "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP101", "REP102", "REP103", "REP104",
         ]
         assert all(isinstance(v, str) and v for v in payload["rules"].values())
 

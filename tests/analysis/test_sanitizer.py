@@ -1,0 +1,160 @@
+"""Runtime lock-order sanitizer (`repro.analysis.sanitizer`).
+
+The sanitizer only instruments locks *created* by modules matching the
+configured prefixes — here ``tests`` — so these tests exercise real
+patched ``threading`` factories without touching stdlib internals.
+"""
+
+import queue
+import threading
+
+import pytest
+
+from repro.analysis import build_project, model_gaps, sanitize_locks
+from repro.analysis.sanitizer import (
+    LockOrderMonitor,
+    ObservedEdge,
+    ObservedSite,
+    _InstrumentedLock,
+)
+from repro.exceptions import LockOrderViolation
+
+PREFIXES = ("tests",)
+
+
+class TestCycleDetection:
+    def test_abba_cycle_raises_before_deadlocking(self):
+        with sanitize_locks(strict=True, module_prefixes=PREFIXES) as monitor:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with pytest.raises(LockOrderViolation):
+                    with a:
+                        pass  # pragma: no cover - never reached
+        assert len(monitor.violations) == 1
+        # The violating acquisition was refused, not taken: both locks
+        # are free afterwards.
+        assert not a.locked()
+        assert not b.locked()
+
+    def test_non_strict_records_without_raising(self):
+        with sanitize_locks(
+            strict=False, module_prefixes=PREFIXES
+        ) as monitor:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        assert len(monitor.violations) == 1
+
+    def test_consistent_order_is_clean(self):
+        with sanitize_locks(module_prefixes=PREFIXES) as monitor:
+            a = threading.Lock()
+            b = threading.Lock()
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+        assert monitor.violations == []
+        assert len(monitor.observed_edges()) == 1
+        assert monitor.n_acquisitions == 6
+
+    def test_rlock_reentrancy_is_not_a_cycle(self):
+        with sanitize_locks(module_prefixes=PREFIXES) as monitor:
+            guard = threading.RLock()
+            with guard:
+                with guard:
+                    pass
+        assert monitor.violations == []
+
+
+class TestInstrumentationScope:
+    def test_stdlib_locks_left_alone(self):
+        with sanitize_locks(module_prefixes=PREFIXES):
+            channel = queue.Queue()
+            own = threading.Lock()
+            assert not isinstance(channel.mutex, _InstrumentedLock)
+            assert isinstance(own, _InstrumentedLock)
+
+    def test_factories_restored_after_exit(self):
+        originals = (threading.Lock, threading.RLock, threading.Condition)
+        with sanitize_locks(module_prefixes=PREFIXES):
+            assert threading.Lock is not originals[0]
+        assert (
+            threading.Lock,
+            threading.RLock,
+            threading.Condition,
+        ) == originals
+
+    def test_condition_wait_notify_roundtrip(self):
+        with sanitize_locks(module_prefixes=PREFIXES) as monitor:
+            cond = threading.Condition()
+            done = []
+
+            def waiter():
+                with cond:
+                    while not done:
+                        cond.wait(timeout=5)
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            with cond:
+                done.append(1)
+                cond.notify()
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        assert monitor.violations == []
+
+
+NESTING_SOURCE = (
+    "import threading\n"
+    "a = threading.Lock()\n"
+    "b = threading.Lock()\n"
+    "def nest():\n"
+    "    with a:\n"
+    "        with b:\n"
+    "            pass\n"
+)
+
+
+def monitor_with_edge(path, src_line, dst_line):
+    monitor = LockOrderMonitor()
+    src = ObservedSite(path=path, line=src_line)
+    dst = ObservedSite(path=path, line=dst_line)
+    monitor.sites.update({src, dst})
+    monitor.edges[ObservedEdge(src=src, dst=dst)] = 1
+    return monitor
+
+
+class TestModelCrossCheck:
+    def test_observed_order_in_model_is_no_gap(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(NESTING_SOURCE)
+        _contexts, _graph, model = build_project([mod])
+        monitor = monitor_with_edge(str(mod), 2, 3)  # a -> b: modelled
+        assert model_gaps(monitor, model) == []
+
+    def test_order_missing_from_model_is_a_gap(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(NESTING_SOURCE)
+        _contexts, _graph, model = build_project([mod])
+        monitor = monitor_with_edge(str(mod), 3, 2)  # b -> a: not modelled
+        gaps = model_gaps(monitor, model)
+        assert len(gaps) == 1
+        assert "missing from the static lock model" in gaps[0]
+
+    def test_unknown_creation_site_is_a_gap(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(NESTING_SOURCE)
+        _contexts, _graph, model = build_project([mod])
+        monitor = monitor_with_edge(str(mod), 99, 2)
+        gaps = model_gaps(monitor, model)
+        assert len(gaps) == 1
+        assert "no static creation site" in gaps[0]

@@ -1,8 +1,9 @@
 """The analyzer's own gate: ``src/`` lints clean with the repo baseline.
 
 This is the test form of the CI lint job — if a change introduces a
-REP001–REP005 violation anywhere under ``src/`` (or leaves a stale
-pragma behind), it fails here before it fails in CI.
+violation of the file rules (REP001–REP005) **or** the whole-program
+concurrency rules (REP101–REP104) anywhere under ``src/`` (or leaves a
+stale pragma behind), it fails here before it fails in CI.
 """
 
 from pathlib import Path
@@ -18,6 +19,17 @@ def test_src_lints_clean():
     report = analyze_paths([SRC], baseline=baseline)
     assert report.clean, "\n".join(f.render() for f in report.findings)
     assert len(report.checked_files) > 50
+
+
+def test_lock_model_fully_binds_src():
+    """Every ``with <lock>:`` in src resolves to a known creation site —
+    an unbound region would silently exempt that lock from REP101/102."""
+    from repro.analysis import build_project
+
+    _contexts, graph, model = build_project([SRC])
+    assert model.unknown_regions == []
+    assert len(model.sites) >= 5
+    assert len(model.regions) >= 20
 
 
 def test_committed_baseline_is_empty():

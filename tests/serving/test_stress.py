@@ -6,15 +6,21 @@ invariants under sustained mixed load:
 * zero dropped responses — every request gets an HTTP answer;
 * exact client/server count parity per endpoint;
 * for a sample of traced requests, each trace id resolves to ONE
-  connected span tree rooted at ``http.request``.
+  connected span tree rooted at ``http.request``;
+* the runtime lock-order sanitizer observes zero cycles, and every
+  observed acquisition order exists in the static lock model
+  (:mod:`repro.analysis.locks`) — a gap fails the test instead of
+  rotting silently.
 """
 
 import http.client
 import json
 import threading
+from pathlib import Path
 
 import pytest
 
+from repro.analysis import build_project, model_gaps, sanitize_locks
 from repro.obs import Tracer
 from repro.serving import ScoringService
 
@@ -23,9 +29,21 @@ pytestmark = pytest.mark.slow
 N_THREADS = 64
 REQUESTS_PER_THREAD = 30
 
+SRC = Path(__file__).resolve().parents[2] / "src"
+
 
 class TestStress:
     def test_64_threads_mixed_load(self, model_dir, segment_rows):
+        with sanitize_locks(strict=True) as monitor:
+            self._run_mixed_load(model_dir, segment_rows)
+        assert monitor.violations == []
+        assert monitor.n_acquisitions > 0, "sanitizer instrumented nothing"
+        # Cross-validate the observed acquisition-order graph against
+        # the static lock model built from the same sources.
+        _contexts, _graph, lock_model = build_project([str(SRC)])
+        assert model_gaps(monitor, lock_model) == []
+
+    def _run_mixed_load(self, model_dir, segment_rows):
         tracer = Tracer(max_spans=None)
         service = ScoringService(
             model_dir, port=0, tracer=tracer
