@@ -178,6 +178,12 @@ def main(argv=None):
         help="quick CI check: small dataset, parity asserted, no "
         "artefact written and no speedup floor",
     )
+    parser.add_argument(
+        "--emit-json",
+        action="store_true",
+        help="also write benchmarks/results/bulk_scoring.json "
+        "(machine-readable, for benchmarks/compare.py)",
+    )
     args = parser.parse_args(argv)
 
     from repro.roads import (
@@ -190,16 +196,32 @@ def main(argv=None):
         dataset = QDTMRSyntheticGenerator(
             small_config(n_segments=3000, n_towns=12)
         ).generate(seed=0)
-        kernel_speedup, _ = run_bulk_bench(dataset, n_rows=20_000, rounds=2)
+        kernel_speedup, end_to_end_speedup = run_bulk_bench(
+            dataset, n_rows=20_000, rounds=2
+        )
         print(f"\nsmoke ok (kernel speedup {kernel_speedup:.2f}x)")
-        return 0
-    dataset = QDTMRSyntheticGenerator(paper_scale_config()).generate(
-        seed=2011
-    )
-    kernel_speedup, end_to_end_speedup = run_bulk_bench(
-        dataset, n_rows=100_000, emit_name="bulk_scoring"
-    )
-    assert kernel_speedup >= 3.0 and end_to_end_speedup >= 3.0
+    else:
+        dataset = QDTMRSyntheticGenerator(paper_scale_config()).generate(
+            seed=2011
+        )
+        kernel_speedup, end_to_end_speedup = run_bulk_bench(
+            dataset, n_rows=100_000, emit_name="bulk_scoring"
+        )
+        assert kernel_speedup >= 3.0 and end_to_end_speedup >= 3.0
+    if args.emit_json:
+        from benchmarks.conftest import emit_json
+
+        emit_json(
+            "bulk_scoring",
+            {
+                "kernel_speedup": {
+                    "value": kernel_speedup, "better": "higher",
+                },
+                "end_to_end_speedup": {
+                    "value": end_to_end_speedup, "better": "higher",
+                },
+            },
+        )
     return 0
 
 

@@ -454,6 +454,12 @@ def main(argv=None):
         action="store_true",
         help="also write benchmarks/results/datatable.txt",
     )
+    parser.add_argument(
+        "--emit-json",
+        action="store_true",
+        help="also write benchmarks/results/datatable.json "
+        "(machine-readable, for benchmarks/compare.py)",
+    )
     args = parser.parse_args(argv)
 
     from repro.roads import (
@@ -468,7 +474,7 @@ def main(argv=None):
             dataset = QDTMRSyntheticGenerator(
                 small_config(n_segments=3000, n_towns=12)
             ).generate(seed=0)
-            speedups, _ = _run(
+            speedups, mmap_vs_parse = _run(
                 dataset,
                 [("smoke", 30_000)],
                 tmp_dir,
@@ -479,26 +485,39 @@ def main(argv=None):
                 "\nsmoke ok (parity on all kernels; best speedup "
                 f"{max(speedups.values()):.1f}x)"
             )
-            return 0
-        dataset = QDTMRSyntheticGenerator(paper_scale_config()).generate(
-            seed=2011
-        )
-        speedups, mmap_vs_parse = _run(
-            dataset,
-            [
-                ("paper scale", dataset.combined_instances().n_rows),
-                ("million-row", 1_000_000),
-            ],
-            tmp_dir,
-            emit_name=emit_name,
-        )
-        hot = [
-            s
-            for stage, s in speedups.items()
-            if not stage.startswith("to_rows")
-        ]
-        assert sum(s >= 5.0 for s in hot) >= 2, speedups
-        assert mmap_vs_parse >= 100.0
+        else:
+            dataset = QDTMRSyntheticGenerator(
+                paper_scale_config()
+            ).generate(seed=2011)
+            speedups, mmap_vs_parse = _run(
+                dataset,
+                [
+                    ("paper scale", dataset.combined_instances().n_rows),
+                    ("million-row", 1_000_000),
+                ],
+                tmp_dir,
+                emit_name=emit_name,
+            )
+            hot = [
+                s
+                for stage, s in speedups.items()
+                if not stage.startswith("to_rows")
+            ]
+            assert sum(s >= 5.0 for s in hot) >= 2, speedups
+            assert mmap_vs_parse >= 100.0
+    if args.emit_json:
+        from benchmarks.conftest import emit_json
+
+        metrics = {
+            stage.replace(" ", "_") + "_speedup": {
+                "value": speedup, "better": "higher",
+            }
+            for stage, speedup in speedups.items()
+        }
+        metrics["mmap_vs_parse_speedup"] = {
+            "value": mmap_vs_parse, "better": "higher",
+        }
+        emit_json("datatable", metrics)
     return 0
 
 

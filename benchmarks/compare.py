@@ -1,0 +1,136 @@
+"""Compare two machine-readable benchmark result files.
+
+``benchmarks/results/<name>.json`` files (written by
+:func:`benchmarks.conftest.emit_json` / the script benches'
+``--emit-json`` flag) carry ``{schema_version, bench, host, metrics}``
+where each metric knows which direction is better.  This script diffs
+a baseline against a candidate::
+
+    python benchmarks/compare.py results/baseline.json results/pr.json \
+        --max-regress 10
+
+Without ``--max-regress`` it only prints the per-metric deltas.  With
+it, any metric that regresses by more than PCT percent (in its own
+"worse" direction) fails the comparison and the process exits 1 — the
+CI perf gate.  Metrics present in only one file are reported but never
+gate; host fingerprints are printed when they differ (a cross-host
+diff is a smell, not an error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def load_result(path: Path) -> dict:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SystemExit(
+            f"{path}: schema_version {version!r} != {SCHEMA_VERSION} "
+            f"(regenerate with this tree's emit_json)"
+        )
+    for key in ("bench", "host", "metrics"):
+        if key not in payload:
+            raise SystemExit(f"{path}: missing {key!r} block")
+    return payload
+
+
+def regression_pct(
+    baseline: float, current: float, better: str
+) -> float:
+    """Percent change in the *worse* direction (negative = improved).
+
+    A zero baseline with a worse current value is an infinite
+    regression; zero-to-zero (or zero-to-better) is 0%.
+    """
+    worse = (
+        current - baseline if better == "lower" else baseline - current
+    )
+    if baseline == 0:
+        return float("inf") if worse > 0 else 0.0
+    return 100.0 * worse / abs(baseline)
+
+
+def compare(
+    baseline: dict, current: dict, max_regress: float | None
+) -> tuple[list[str], bool]:
+    """All report lines plus whether the gate passed."""
+    lines = []
+    if baseline["bench"] != current["bench"]:
+        lines.append(
+            f"note: comparing different benches "
+            f"({baseline['bench']!r} vs {current['bench']!r})"
+        )
+    if baseline["host"] != current["host"]:
+        lines.append("note: host fingerprints differ")
+        for key in sorted(set(baseline["host"]) | set(current["host"])):
+            old = baseline["host"].get(key)
+            new = current["host"].get(key)
+            if old != new:
+                lines.append(f"  host.{key}: {old!r} -> {new!r}")
+
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    ok = True
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        if name not in cur_metrics:
+            lines.append(f"  {name}: only in baseline (skipped)")
+            continue
+        if name not in base_metrics:
+            value = cur_metrics[name]["value"]
+            lines.append(f"  {name}: new metric, {value:g} (skipped)")
+            continue
+        old = float(base_metrics[name]["value"])
+        new = float(cur_metrics[name]["value"])
+        better = base_metrics[name].get("better", "lower")
+        pct = regression_pct(old, new, better)
+        verdict = ""
+        if max_regress is not None and pct > max_regress:
+            verdict = f"  REGRESSION (> {max_regress:g}% allowed)"
+            ok = False
+        direction = "regressed" if pct > 0 else "improved"
+        lines.append(
+            f"  {name}: {old:g} -> {new:g} "
+            f"({abs(pct):.1f}% {direction}, better={better}){verdict}"
+        )
+    return lines, ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if any shared metric regresses by more "
+        "than PCT percent in its worse direction",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_result(args.baseline)
+    current = load_result(args.current)
+    lines, ok = compare(baseline, current, args.max_regress)
+    print(f"bench {current['bench']}: {args.baseline} vs {args.current}")
+    for line in lines:
+        print(line)
+    if not ok:
+        print("FAIL: regression gate tripped", file=sys.stderr)
+        return 1
+    if args.max_regress is not None:
+        print(f"OK: no metric regressed more than {args.max_regress:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

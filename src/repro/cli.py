@@ -11,7 +11,14 @@ Python:
 * ``score`` — score a segment CSV with a saved scorer (table, JSON or
   CSV output; ``--bulk`` shards the pass across a process pool);
 * ``serve`` — serve a directory of scorers over HTTP (``--routes``
-  additionally enables the ``/v1/route/*`` route-risk endpoints);
+  additionally enables the ``/v1/route/*`` route-risk endpoints,
+  ``--profile`` the continuous sampling profiler + ``GET
+  /debug/profile``, ``--slo SPEC`` live SLO burn-rate tracking);
+* ``profile`` — run a ``study`` or ``score`` workload under the
+  sampling profiler and print the hottest stacks (``--out`` writes a
+  collapsed flamegraph file);
+* ``top`` — watch a live server's windowed request rates, latency
+  percentiles and SLO burn rates (``--once`` for scripts);
 * ``routes`` — the route-risk subsystem: ``build`` a risk graph,
   ``query`` safest-vs-shortest routes between towns, ``precompute``
   popular pairs into the route store, ``top-risk`` report;
@@ -232,6 +239,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="spatial hotspot clusters for route risk (only with "
         "--routes; 0 disables hotspot geometry)",
     )
+    serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the continuous sampling profiler and expose "
+        "GET /debug/profile (collapsed flamegraph stacks)",
+    )
+    serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=19.0,
+        help="profiler sampling rate in Hz (only with --profile)",
+    )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        type=Path,
+        default=[],
+        metavar="SPEC",
+        help="SLO spec file (JSON; repeatable): track live burn rates "
+        "and error budgets, exposed in both /metrics formats",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="capture a sampling profile (collapsed flamegraph) of a run",
+    )
+    profile_sub = profile.add_subparsers(
+        dest="profile_command", required=True
+    )
+
+    def _profile_common(p):
+        p.add_argument("--hz", type=float, default=19.0,
+                       help="sampling rate in Hz")
+        p.add_argument("--top", type=int, default=15,
+                       help="hottest stacks to print")
+        p.add_argument("--out", type=Path, default=None,
+                       help="write the full collapsed profile to this "
+                       "file (flamegraph.pl / speedscope input)")
+        p.add_argument("--span", default=None,
+                       help="only keep samples taken under this span "
+                       "name (e.g. engine.score_rows)")
+
+    pstudy = profile_sub.add_parser(
+        "study", help="profile the three-phase study"
+    )
+    pstudy.add_argument("--seed", type=int, default=0)
+    pstudy.add_argument("--paper-scale", action="store_true")
+    pstudy.add_argument("--segments", type=int, default=6000)
+    pstudy.add_argument("--clusters", type=int, default=32)
+    pstudy.add_argument("--repeats", type=int, default=1)
+    pstudy.add_argument("--jobs", type=int, default=1)
+    _profile_common(pstudy)
+
+    pscore = profile_sub.add_parser(
+        "score", help="profile a scoring pass over a segment CSV"
+    )
+    pscore.add_argument("model_path", type=Path)
+    pscore.add_argument("segments_csv", type=Path)
+    pscore.add_argument("--bulk", action="store_true",
+                        help="profile the process-sharded bulk path")
+    pscore.add_argument("--jobs", type=int, default=0,
+                        help="bulk workers (only with --bulk)")
+    _profile_common(pscore)
+
+    top = sub.add_parser(
+        "top",
+        help="live windowed rates of a running server (like top(1))",
+    )
+    top.add_argument("url", help="server base URL (e.g. http://127.0.0.1:8080)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh interval in seconds (watch mode)")
+    top.add_argument("--window", default="1m",
+                     choices=("1m", "5m", "1h"),
+                     help="which rolling window to show")
 
     routes = sub.add_parser(
         "routes",
@@ -611,7 +694,23 @@ def _cmd_serve(args) -> int:
         route_planner = _route_planner(
             args.route_segments, args.route_seed, args.route_clusters
         )
+    burn_engine = None
+    if args.slo:
+        from repro.obs import SLOBurnEngine
+
+        burn_engine = SLOBurnEngine.from_paths(args.slo)
     with _cli_tracer(args.trace_out) as tracer:
+        profiler = None
+        if args.profile:
+            from repro.obs import SamplingProfiler, Tracer
+
+            # The profiler attributes samples to the tracer the service
+            # runs under; without --trace-out, attach to an enabled
+            # tracer anyway so span attribution works.
+            if tracer is None:
+                tracer = Tracer(enabled=True)
+            profiler = SamplingProfiler(hz=args.profile_hz, tracer=tracer)
+            profiler.start()
         service = ScoringService(
             args.model_dir,
             host=args.host,
@@ -625,6 +724,8 @@ def _cmd_serve(args) -> int:
             tracer=tracer,
             access_log=args.access_log,
             route_planner=route_planner,
+            burn_engine=burn_engine,
+            profiler=profiler,
         )
         names = ", ".join(service.registry.names()) or "none"
         print(f"serving {len(service.registry)} scorer(s) [{names}]")
@@ -634,6 +735,17 @@ def _cmd_serve(args) -> int:
             "GET /metrics[?format=prometheus] | "
             "POST /v1/score | POST /v1/score/batch"
         )
+        if profiler is not None:
+            endpoints += " | GET /debug/profile[?format=json]"
+            print(
+                f"profiling: sampling every thread at "
+                f"{args.profile_hz:g} Hz"
+            )
+        if burn_engine is not None:
+            print(
+                "slo tracking: "
+                + ", ".join(burn_engine.spec_names)
+            )
         if route_planner is not None:
             endpoints += (
                 " | GET /v1/route/towns | POST /v1/route/score | "
@@ -652,7 +764,154 @@ def _cmd_serve(args) -> int:
             print("\nshutting down")
             print(service.metrics.render())
         finally:
+            if profiler is not None:
+                profiler.stop()
             service.close()
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Run a study/score workload under the sampling profiler."""
+    from repro.obs import SamplingProfiler, Tracer, set_default_tracer
+
+    tracer = Tracer(enabled=True)
+    profiler = SamplingProfiler(hz=args.hz, tracer=tracer)
+    previous = set_default_tracer(tracer)
+    try:
+        with profiler:
+            if args.profile_command == "study":
+                dataset = _make_dataset(args)
+                study = CrashPronenessStudy(
+                    dataset, seed=args.seed, repeats=args.repeats
+                )
+                study.run_full_study(
+                    n_clusters=args.clusters, n_jobs=args.jobs
+                )
+            else:  # score
+                scorer = CrashPronenessScorer.load(args.model_path)
+                table = cached_read_csv(args.segments_csv)
+                if args.bulk:
+                    from repro.serving.bulk import score_table_sharded
+
+                    score_table_sharded(scorer, table, n_jobs=args.jobs)
+                else:
+                    scorer.score(table)
+    finally:
+        set_default_tracer(previous)
+    stats = profiler.stats()
+    collapsed = profiler.render_collapsed(args.span)
+    if args.out is not None:
+        args.out.write_text(
+            collapsed + ("\n" if collapsed else ""), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(collapsed.splitlines())} folded stacks -> "
+            f"{args.out}",
+            file=sys.stderr,
+        )
+    print(
+        f"profiled {stats['elapsed_seconds']:.2f}s at {stats['hz']:g} Hz: "
+        f"{stats['samples']} samples, {stats['distinct_stacks']} distinct "
+        f"stacks, {stats['dropped_stacks']} dropped"
+    )
+    span_note = f" under span {args.span!r}" if args.span else ""
+    lines = collapsed.splitlines()
+    if not lines:
+        print(f"no samples captured{span_note}")
+        return 0
+    print(f"\nhottest stacks{span_note} (self samples, leaf frame):")
+    for line in lines[: args.top]:
+        stack, _, count = line.rpartition(" ")
+        leaf = stack.rsplit(";", 1)[-1]
+        print(f"  {int(count):6d}  {leaf}  [{stack.count(';') + 1} frames]")
+    span_self = {
+        name: n
+        for name, n in profiler.self_time_by_span().items()
+        if name
+    }
+    if span_self:
+        total = stats["samples"] or 1
+        print()
+        print(render_table(
+            ["span", "self samples", "self seconds", "share"],
+            [
+                [
+                    name,
+                    n,
+                    f"{n / stats['hz']:.2f}",
+                    f"{100.0 * n / total:.1f}%",
+                ]
+                for name, n in sorted(
+                    span_self.items(), key=lambda kv: -kv[1]
+                )
+            ],
+            title="Self time by active span",
+        ))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """One-shot or watch view of a live server's windowed rates."""
+    import time as time_mod
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def snapshot() -> str:
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+            payload = json.loads(resp.read())
+        windows = payload.get("windows", {})
+        rows = []
+        for endpoint in sorted(windows):
+            w = windows[endpoint].get(args.window)
+            if w is None:
+                continue
+            def _ms(v):
+                return f"{1000.0 * v:.1f}" if v is not None else "-"
+            rows.append(
+                [
+                    endpoint,
+                    w["count"],
+                    f"{w['rate']:.1f}",
+                    f"{100.0 * w['error_rate']:.1f}%",
+                    _ms(w["p50"]),
+                    _ms(w["p95"]),
+                    _ms(w["p99"]),
+                    _ms(w["max"]),
+                    w["slowest_trace_id"] or "-",
+                ]
+            )
+        if not rows:
+            return f"no traffic inside the last {args.window} yet"
+        text = render_table(
+            ["endpoint", "reqs", "req/s", "err", "p50 ms", "p95 ms",
+             "p99 ms", "max ms", "slowest trace"],
+            rows,
+            title=f"{base} — last {args.window}",
+        )
+        slo = payload.get("slo")
+        if slo and slo.get("rules"):
+            burn_lines = ["slo burn rates:"]
+            for rule in slo["rules"]:
+                burn_lines.append(
+                    f"  {rule['slo']}/{rule['rule']} {rule['endpoint']}: "
+                    f"fast={rule['fast_burn_rate']:.2f} "
+                    f"slow={rule['slow_burn_rate']:.2f} "
+                    f"budget_remaining={rule['budget_remaining']:.1%}"
+                )
+            text += "\n" + "\n".join(burn_lines)
+        return text
+
+    if args.once:
+        print(snapshot())
+        return 0
+    try:
+        while True:
+            print(snapshot())
+            print()
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -843,11 +1102,19 @@ def _cmd_loadtest(args) -> int:
                 else None
             )
             tracer = Tracer(enabled=True, sink=sink)
+            burn_engine = None
+            if specs:
+                from repro.obs import SLOBurnEngine
+
+                # Self-hosted targets track the same SLOs server-side,
+                # so the report's burn-rate block mirrors --slo gating.
+                burn_engine = SLOBurnEngine(specs)
             service = ScoringService(
                 args.model_dir,
                 port=0,
                 tracer=tracer,
                 route_planner=route_planner,
+                burn_engine=burn_engine,
             ).start()
             url = service.url
             names = service.registry.names()
@@ -1013,6 +1280,8 @@ _COMMANDS = {
     "train": _cmd_train,
     "score": _cmd_score,
     "serve": _cmd_serve,
+    "profile": _cmd_profile,
+    "top": _cmd_top,
     "routes": _cmd_routes,
     "loadtest": _cmd_loadtest,
     "wetdry": _cmd_wetdry,

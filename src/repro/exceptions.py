@@ -100,6 +100,15 @@ class ObservabilityError(ReproError):
     requests."""
 
 
+class ProfilerStateError(ObservabilityError, RuntimeError):
+    """The sampling profiler was driven through an invalid lifecycle
+    transition (e.g. started twice).
+
+    Also a :class:`RuntimeError` so lifecycle-misuse call sites that
+    predate the hierarchy keep catching it.
+    """
+
+
 class NotFittedError(ReproError):
     """``predict``/``transform`` was called before ``fit``."""
 

@@ -173,6 +173,10 @@ class LoadTestReport:
     rate: float = 0.0
     lateness_p95_ms: float = 0.0
     waterfall: str | None = None
+    #: The server's SLO burn-rate snapshot at the end of the run
+    #: (``/metrics`` JSON ``slo`` block), when the target runs an
+    #: :class:`~repro.obs.burnrate.SLOBurnEngine`.
+    burnrate: dict | None = None
     notes: list[str] = field(default_factory=list)
 
     # -- derived -----------------------------------------------------------
@@ -227,6 +231,7 @@ class LoadTestReport:
                 }
                 for r in self.slowest
             ],
+            "burnrate": self.burnrate,
             "notes": list(self.notes),
         }
 
@@ -290,6 +295,15 @@ class LoadTestReport:
                 lines.append(
                     f"  {1000.0 * r.latency:9.2f} ms  {r.endpoint}  "
                     f"trace={trace}"
+                )
+        if self.burnrate and self.burnrate.get("rules"):
+            lines.append("slo burn rates (server-side):")
+            for rule in self.burnrate["rules"]:
+                lines.append(
+                    f"  {rule['slo']}/{rule['rule']} {rule['endpoint']}: "
+                    f"fast={rule['fast_burn_rate']:.2f} "
+                    f"slow={rule['slow_burn_rate']:.2f} "
+                    f"budget_remaining={rule['budget_remaining']:.1%}"
                 )
         if self.waterfall:
             lines.append("")

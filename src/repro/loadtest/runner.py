@@ -411,7 +411,15 @@ class LoadTest:
         # the interval never fired mid-run.
         scrape_tally["samples"] = self._scrape_prometheus()
         scrape_tally["count"] += 1
-        after = self._server_counts()
+        final_metrics = self._get_json("/metrics")
+        after = {
+            endpoint: record["count"]
+            for endpoint, record in final_metrics["endpoints"].items()
+        }
+        # Servers running an SLO burn engine publish their burn state
+        # in the metrics JSON; fold it into the report so a load test
+        # records how hard it pushed each error budget.
+        burnrate = final_metrics.get("slo")
 
         parity = [
             ParityCheck(
@@ -456,6 +464,7 @@ class LoadTest:
                 1000.0 * percentile(lateness, 95) if lateness else 0.0
             ),
             waterfall=self._waterfall(slowest),
+            burnrate=burnrate,
             notes=notes,
         )
         return report

@@ -16,12 +16,15 @@ enabling it never changes model outputs.
 """
 
 from repro.obs.accesslog import AccessLog
+from repro.obs.burnrate import SLOBurnEngine
+from repro.obs.profile import ActiveSpanRegistry, SamplingProfiler
 from repro.obs.prometheus import (
     CONTENT_TYPE,
     render_prometheus,
     validate_exposition,
 )
 from repro.obs.sinks import JsonlSpanSink, read_spans
+from repro.obs.window import BucketRing, CountRing, WindowedMetrics
 from repro.obs.span import Span, SpanContext, new_span_id, new_trace_id
 from repro.obs.trace import (
     Tracer,
@@ -36,11 +39,17 @@ from repro.obs.waterfall import group_traces, render_waterfall
 
 __all__ = [
     "AccessLog",
+    "ActiveSpanRegistry",
+    "BucketRing",
     "CONTENT_TYPE",
+    "CountRing",
     "JsonlSpanSink",
+    "SLOBurnEngine",
+    "SamplingProfiler",
     "Span",
     "SpanContext",
     "Tracer",
+    "WindowedMetrics",
     "current_context",
     "current_tracer",
     "get_default_tracer",

@@ -2,11 +2,12 @@
 
 One JSON object per completed HTTP request (``serve --access-log``):
 timestamp, method, path, status, response bytes, wall duration in
-milliseconds, the request's trace id (joins a log line to its span
-tree in the ``--trace-out`` file), and the error type when the
-request failed.  Lines are newline-delimited JSON flushed per write,
-so ``tail -f | jq`` works on a live server and a killed process loses
-at most one line.
+milliseconds, milliseconds spent in the engine's micro-batch queue
+(null for requests that never queued), the request's trace id (joins
+a log line to its span tree in the ``--trace-out`` file), and the
+error type when the request failed.  Lines are newline-delimited JSON
+flushed per write, so ``tail -f | jq`` works on a live server and a
+killed process loses at most one line.
 """
 
 from __future__ import annotations
@@ -51,14 +52,18 @@ class AccessLog:
         duration_ms: float,
         trace_id: str | None = None,
         error_type: str | None = None,
+        queue_wait_ms: float | None = None,
     ) -> None:
         record = {
             "ts": datetime.now(timezone.utc).isoformat(),
             "method": method,
             "path": path,
             "status": status,
-            "bytes": n_bytes,
+            "response_bytes": n_bytes,
             "duration_ms": round(duration_ms, 3),
+            "queue_wait_ms": (
+                round(queue_wait_ms, 3) if queue_wait_ms is not None else None
+            ),
             "trace_id": trace_id,
             "error_type": error_type,
         }

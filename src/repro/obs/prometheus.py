@@ -109,6 +109,10 @@ def render_prometheus(
     n_models: int | None = None,
     registry: dict | None = None,
     routing: dict | None = None,
+    windows: dict[str, dict] | None = None,
+    slo: dict | None = None,
+    build: dict | None = None,
+    profile: dict | None = None,
 ) -> str:
     """Exposition text from a metrics snapshot.
 
@@ -118,11 +122,25 @@ def render_prometheus(
     ``registry`` is :meth:`ScorerRegistry.stats()` (load/refresh
     counters plus typed reload-failure counters); ``routing`` is
     :meth:`RoutePlanner.stats()` (graph builds, plan counters, route
-    store hit/miss/invalidation).  Output ordering is fully
-    deterministic (sorted label values), which the golden-format test
-    relies on.
+    store hit/miss/invalidation); ``windows`` is
+    :meth:`RequestMetrics.windowed_summary` (endpoint → window →
+    rolling summary); ``slo`` is
+    :meth:`~repro.obs.burnrate.SLOBurnEngine.snapshot`; ``build`` is
+    the build-identity label set (version / python / numpy /
+    native_kernel); ``profile`` is
+    :meth:`~repro.obs.profile.SamplingProfiler.stats`.  Output
+    ordering is fully deterministic (sorted label values), which the
+    golden-format test relies on.
     """
     w = _Writer()
+    if build is not None:
+        w.family("repro_build_info", "gauge",
+                 "Build identity; always 1, labels carry the facts.")
+        w.sample(
+            "repro_build_info",
+            {key: str(build[key]) for key in sorted(build)},
+            1,
+        )
     if uptime_seconds is not None:
         w.family("repro_uptime_seconds", "gauge",
                  "Seconds since the service started.")
@@ -251,7 +269,112 @@ def render_prometheus(
         w.family("repro_route_hotspot_clusters", "gauge",
                  "Spatial k-means hotspot clusters on the network.")
         w.sample("repro_route_hotspot_clusters", {}, routing["clusters"])
+
+    if windows:
+        _render_windows(w, windows)
+    if slo is not None:
+        _render_slo(w, slo)
+    if profile is not None:
+        _render_profile(w, profile)
     return w.text()
+
+
+def _render_windows(w: _Writer, windows: dict[str, dict]) -> None:
+    """Rolling-window gauges: one sample per (endpoint, window)."""
+    w.family("repro_window_requests", "gauge",
+             "Requests observed inside the rolling window.")
+    for endpoint in sorted(windows):
+        for window in sorted(windows[endpoint]):
+            w.sample(
+                "repro_window_requests",
+                {"endpoint": endpoint, "window": window},
+                windows[endpoint][window]["count"],
+            )
+    w.family("repro_window_request_rate", "gauge",
+             "Requests per second averaged over the rolling window.")
+    for endpoint in sorted(windows):
+        for window in sorted(windows[endpoint]):
+            w.sample(
+                "repro_window_request_rate",
+                {"endpoint": endpoint, "window": window},
+                windows[endpoint][window]["rate"],
+            )
+    w.family("repro_window_error_rate", "gauge",
+             "Error fraction inside the rolling window (0 when idle).")
+    for endpoint in sorted(windows):
+        for window in sorted(windows[endpoint]):
+            w.sample(
+                "repro_window_error_rate",
+                {"endpoint": endpoint, "window": window},
+                windows[endpoint][window]["error_rate"],
+            )
+    w.family("repro_window_p95_seconds", "gauge",
+             "p95 latency estimate over the rolling window "
+             "(absent while the window is empty).")
+    for endpoint in sorted(windows):
+        for window in sorted(windows[endpoint]):
+            p95 = windows[endpoint][window]["p95"]
+            if p95 is not None:
+                w.sample(
+                    "repro_window_p95_seconds",
+                    {"endpoint": endpoint, "window": window},
+                    p95,
+                )
+
+
+def _render_slo(w: _Writer, slo: dict) -> None:
+    """Burn-rate gauges from an ``SLOBurnEngine.snapshot()``."""
+    rules = slo.get("rules", [])
+    w.family("repro_slo_burn_rate", "gauge",
+             "Error-budget burn rate (1.0 = spending exactly the "
+             "budget) per SLO rule, endpoint and window.")
+    for record in rules:
+        base = {
+            "slo": record["slo"],
+            "rule": record["rule"],
+            "endpoint": record["endpoint"],
+        }
+        w.sample(
+            "repro_slo_burn_rate",
+            {**base, "window": "fast"},
+            record["fast_burn_rate"],
+        )
+        w.sample(
+            "repro_slo_burn_rate",
+            {**base, "window": "slow"},
+            record["slow_burn_rate"],
+        )
+    w.family("repro_slo_budget_remaining", "gauge",
+             "Fraction of the slow-window error budget still unspent.")
+    for record in rules:
+        w.sample(
+            "repro_slo_budget_remaining",
+            {
+                "slo": record["slo"],
+                "rule": record["rule"],
+                "endpoint": record["endpoint"],
+            },
+            record["budget_remaining"],
+        )
+
+
+def _render_profile(w: _Writer, profile: dict) -> None:
+    """Sampler health from ``SamplingProfiler.stats()``."""
+    w.family("repro_profile_samples_total", "counter",
+             "Stack samples taken by the continuous profiler.")
+    w.sample("repro_profile_samples_total", {}, profile["samples"])
+    w.family("repro_profile_dropped_stacks_total", "counter",
+             "Samples dropped because the distinct-stack cap was hit.")
+    w.sample(
+        "repro_profile_dropped_stacks_total",
+        {},
+        profile["dropped_stacks"],
+    )
+    w.family("repro_profile_distinct_stacks", "gauge",
+             "Distinct folded stacks currently held by the profiler.")
+    w.sample(
+        "repro_profile_distinct_stacks", {}, profile["distinct_stacks"]
+    )
 
 
 # -- validation (golden tests + CI smoke) ------------------------------------

@@ -87,7 +87,7 @@ _NULL_SPAN = _NullSpanHandle()
 class _SpanHandle:
     """Context manager recording one span into its tracer."""
 
-    __slots__ = ("_tracer", "_span", "_token", "_t0")
+    __slots__ = ("_tracer", "_span", "_token", "_t0", "_pushed")
 
     def __init__(self, tracer: "Tracer", span: Span):
         self._tracer = tracer
@@ -96,11 +96,21 @@ class _SpanHandle:
     def __enter__(self) -> Span:
         self._span.start_time = time.time()
         self._token = _current_span.set(self._span.context())
+        # Announce the span to an attached profiler registry (None
+        # unless a sampling profiler is running — one attribute check).
+        registry = self._tracer.active_registry
+        self._pushed = registry is not None
+        if registry is not None:
+            registry.push(self._span.name)
         self._t0 = time.perf_counter()
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self._span.duration = time.perf_counter() - self._t0
+        if self._pushed:
+            registry = self._tracer.active_registry
+            if registry is not None:
+                registry.pop()
         _current_span.reset(self._token)
         if exc_type is not None:
             self._span.status = "error"
@@ -138,6 +148,10 @@ class Tracer:
         self.sink = sink
         self.max_spans = max_spans
         self.dropped = 0
+        #: Set by :class:`repro.obs.profile.SamplingProfiler` while it
+        #: runs; span enter/exit push/pop names into it so samples can
+        #: be attributed to the active span.  None (free) otherwise.
+        self.active_registry = None
         self._lock = threading.Lock()
         self._spans: deque[Span] = deque(maxlen=max_spans)
 

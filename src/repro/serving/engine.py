@@ -27,6 +27,7 @@ import queue
 import threading
 import time
 from collections import OrderedDict
+from contextvars import ContextVar
 from typing import Any
 
 from repro.core.deployment import CrashPronenessScorer
@@ -35,7 +36,17 @@ from repro.exceptions import ServingError
 from repro.obs import trace as obs_trace
 from repro.serving.bulk import build_request_table, score_rows_sharded
 
-__all__ = ["LRUResultCache", "ScoringEngine"]
+__all__ = ["LRUResultCache", "ScoringEngine", "last_queue_wait_ms"]
+
+#: Milliseconds the calling request's rows spent in the micro-batch
+#: queue, published per-context by :meth:`ScoringEngine.score_one` /
+#: :meth:`ScoringEngine.score_many` after their waits resolve.  The
+#: HTTP layer resets it per request and copies it into the access log
+#: (``queue_wait_ms``); the sharded bulk path never queues, so it
+#: leaves the value at None.
+last_queue_wait_ms: ContextVar[float | None] = ContextVar(
+    "repro_engine_last_queue_wait_ms", default=None
+)
 
 _SHUTDOWN = object()
 
@@ -98,11 +109,14 @@ class _Pending:
     when nobody is tracing): the micro-batch worker thread runs in no
     request's context, so the link from a request to the batch that
     scored its row must travel with the row.  ``enqueued_at`` feeds the
-    batch span's queue-wait attribute.
+    batch span's queue-wait attribute; ``dequeued_at`` is stamped by
+    the worker when the batch starts scoring, so the waiting caller can
+    report its own queue wait after :meth:`wait` returns (the event set
+    orders the write before the read).
     """
 
     __slots__ = (
-        "row", "probability", "error", "enqueued_at",
+        "row", "probability", "error", "enqueued_at", "dequeued_at",
         "trace_context", "_event",
     )
 
@@ -111,6 +125,7 @@ class _Pending:
         self.probability: float | None = None
         self.error: Exception | None = None
         self.enqueued_at = time.monotonic()
+        self.dequeued_at: float | None = None
         self.trace_context = trace_context
         self._event = threading.Event()
 
@@ -329,9 +344,23 @@ class ScoringEngine:
         self._queue.put(pending)
         return pending
 
+    @staticmethod
+    def _publish_queue_wait(pendings: list[_Pending]) -> None:
+        """Set :data:`last_queue_wait_ms` to the slowest queue wait."""
+        waits = [
+            p.dequeued_at - p.enqueued_at
+            for p in pendings
+            if p.dequeued_at is not None
+        ]
+        if waits:
+            last_queue_wait_ms.set(round(1000.0 * max(waits), 3))
+
     def score_one(self, row: dict, timeout: float | None = 30.0) -> float:
         """Score a single row through the micro-batcher (blocking)."""
-        return self.submit(row).wait(timeout)
+        pending = self.submit(row)
+        probability = pending.wait(timeout)
+        self._publish_queue_wait([pending])
+        return probability
 
     def score_many(
         self, rows: list[dict], timeout: float | None = 30.0
@@ -346,7 +375,9 @@ class ScoringEngine:
             raise ServingError("rows must be a non-empty list of objects")
         with obs_trace.span("engine.score_many", rows=len(rows)):
             pending = [self.submit(row, i) for i, row in enumerate(rows)]
-            return [p.wait(timeout) for p in pending]
+            results = [p.wait(timeout) for p in pending]
+            self._publish_queue_wait(pending)
+            return results
 
     # -- process-sharded bulk scoring ---------------------------------------
     def _bulk_eligible(self, rows: list) -> bool:
@@ -436,7 +467,10 @@ class ScoringEngine:
             if self._tracer is not None
             else obs_trace.get_default_tracer()
         )
-        queue_wait = time.monotonic() - batch[0].enqueued_at
+        dequeued_at = time.monotonic()
+        for p in batch:
+            p.dequeued_at = dequeued_at
+        queue_wait = dequeued_at - batch[0].enqueued_at
         with obs_trace.use_tracer(tracer), tracer.span(
             "engine.batch",
             parent=batch[0].trace_context,

@@ -7,8 +7,12 @@ behind a :class:`http.server.ThreadingHTTPServer`:
 * ``GET  /healthz``          — liveness + registry size + uptime;
 * ``GET  /models``           — refresh the registry and list artefacts;
 * ``GET  /metrics``          — per-endpoint request counters / latency
-  percentiles plus per-engine batch and cache stats (JSON), or the
+  percentiles, rolling 1m/5m/1h windows, build info, optional SLO
+  burn rates, plus per-engine batch and cache stats (JSON), or the
   Prometheus text exposition with ``?format=prometheus``;
+* ``GET  /debug/profile``    — the continuous profiler's folded stacks
+  (``?format=collapsed|json``, ``?span=<name>`` filter) when the
+  service was started with a profiler;
 * ``POST /v1/score``         — ``{"model": ..., "row": {...}}`` → one
   probability (concurrent calls micro-batch inside the engine);
 * ``POST /v1/score/batch``   — ``{"model": ..., "rows": [...]}`` → a
@@ -40,13 +44,15 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import ReproError, ServingError
 from repro.obs.accesslog import AccessLog
+from repro.obs.burnrate import SLOBurnEngine
+from repro.obs.profile import SamplingProfiler
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
 from repro.obs.trace import Tracer, use_tracer
-from repro.serving.engine import ScoringEngine
+from repro.serving.engine import ScoringEngine, last_queue_wait_ms
 from repro.serving.metrics import RequestMetrics
 from repro.serving.registry import ScorerRegistry
 
-__all__ = ["ScoringService", "TextResponse"]
+__all__ = ["ScoringService", "TextResponse", "build_info"]
 
 logger = logging.getLogger("repro.serving.http")
 
@@ -54,7 +60,10 @@ logger = logging.getLogger("repro.serving.http")
 #: set — any other path is labelled ``"<METHOD> [unknown]"`` so a
 #: scanner hitting a million distinct 404 paths produces one metric
 #: series, not a million.
-_GET_ROUTES = ("/healthz", "/models", "/metrics", "/v1/route/towns")
+_GET_ROUTES = (
+    "/healthz", "/models", "/metrics", "/debug/profile",
+    "/v1/route/towns",
+)
 _POST_ROUTES = (
     "/v1/score",
     "/v1/score/batch",
@@ -65,6 +74,29 @@ _POST_ROUTES = (
 #: error_type fallbacks for statuses whose handler returns an error
 #: payload without raising (so no exception class is available).
 _STATUS_ERROR_TYPES = {404: "NotFound", 413: "BodyTooLarge"}
+
+
+def build_info() -> dict[str, str]:
+    """The build-identity label set behind ``repro_build_info``.
+
+    Everything a scrape needs to attribute numbers to a build: package
+    version, Python and numpy versions, and whether the native tree
+    kernel is active (its absence alone explains a large latency
+    shift).
+    """
+    import platform
+
+    import numpy
+
+    from repro import __version__
+    from repro.mining.tree.kernel import native_kernel_status
+
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "native_kernel": native_kernel_status(),
+    }
 
 
 def _jsonable(value):
@@ -131,6 +163,16 @@ class ScoringService:
         ``/v1/route/*`` endpoints (``GET /v1/route/towns``,
         ``POST /v1/route/score``, ``POST /v1/route/safest``).  ``None``
         (default) serves 404 with an enablement hint on those routes.
+    burn_engine:
+        An :class:`~repro.obs.burnrate.SLOBurnEngine` fed every
+        completed request; its burn-rate/budget gauges join both
+        ``/metrics`` formats.  ``None`` (default) disables SLO
+        tracking.
+    profiler:
+        A :class:`~repro.obs.profile.SamplingProfiler` (not started
+        here — the CLI owns its lifecycle) backing ``GET
+        /debug/profile`` and the ``repro_profile_*`` series.  ``None``
+        (default) serves 404 on the debug route.
     """
 
     def __init__(
@@ -148,6 +190,8 @@ class ScoringService:
         tracer: Tracer | None = None,
         access_log: AccessLog | str | Path | None = None,
         route_planner=None,
+        burn_engine: SLOBurnEngine | None = None,
+        profiler: SamplingProfiler | None = None,
     ):
         if max_body_bytes < 0:
             raise ServingError(
@@ -177,6 +221,9 @@ class ScoringService:
             else (access_log if isinstance(access_log, AccessLog) else None)
         )
         self.route_planner = route_planner
+        self.burn_engine = burn_engine
+        self.profiler = profiler
+        self.build_info = build_info()
         self.metrics = RequestMetrics()
         self._engines: dict[str, ScoringEngine] = {}
         self._engines_lock = threading.Lock()
@@ -294,6 +341,14 @@ class ScoringService:
                 if self.route_planner is not None
                 else None
             )
+            slo = (
+                self.burn_engine.snapshot()
+                if self.burn_engine is not None
+                else None
+            )
+            profile_stats = (
+                self.profiler.stats() if self.profiler is not None else None
+            )
             fmt = query.get("format", "json")
             if fmt == "prometheus":
                 text = render_prometheus(
@@ -303,6 +358,10 @@ class ScoringService:
                     n_models=len(self.registry.names()),
                     registry=self.registry.stats(),
                     routing=routing,
+                    windows=self.metrics.windowed_summary(),
+                    slo=slo,
+                    build=self.build_info,
+                    profile=profile_stats,
                 )
                 return 200, TextResponse(text, content_type=CONTENT_TYPE)
             if fmt != "json":
@@ -314,10 +373,34 @@ class ScoringService:
                 "endpoints": self.metrics.summary(),
                 "engines": stats,
                 "registry": self.registry.stats(),
+                "windows": self.metrics.windowed_summary(),
+                "build": self.build_info,
             }
             if routing is not None:
                 payload["routing"] = routing
+            if slo is not None:
+                payload["slo"] = slo
+            if profile_stats is not None:
+                payload["profile"] = profile_stats
             return 200, payload
+        if path == "/debug/profile":
+            if self.profiler is None:
+                return 404, {
+                    "error": "profiling is not enabled on this service "
+                    "(start it with `repro-study serve --profile`)"
+                }
+            span_filter = query.get("span") or None
+            fmt = query.get("format", "collapsed")
+            if fmt == "collapsed":
+                return 200, TextResponse(
+                    self.profiler.render_collapsed(span_filter) + "\n"
+                )
+            if fmt != "json":
+                raise ServingError(
+                    f"unknown profile format {fmt!r} "
+                    f"(expected 'collapsed' or 'json')"
+                )
+            return 200, self.profiler.to_dict(span_filter)
         if path == "/v1/route/towns":
             if self.route_planner is None:
                 return 404, {
@@ -528,6 +611,10 @@ class ScoringService:
                 endpoint = service.endpoint_label(method, path)
                 tracer = service.tracer
                 trace_id = None
+                # Cleared per request so a handler that never queues
+                # (GET routes, bulk path) cannot inherit the previous
+                # request's queue wait from this thread's context.
+                queue_wait_token = last_queue_wait_ms.set(None)
                 start = time.perf_counter()
                 with use_tracer(tracer), tracer.span(
                     "http.request", method=method, path=path
@@ -541,12 +628,19 @@ class ScoringService:
                         request_span.status = "error"
                         request_span.error_type = error_type
                 elapsed = time.perf_counter() - start
+                queue_wait = last_queue_wait_ms.get()
+                last_queue_wait_ms.reset(queue_wait_token)
                 service.metrics.observe(
                     endpoint,
                     elapsed,
                     error=status >= 400,
                     error_type=error_type,
+                    trace_id=trace_id,
                 )
+                if service.burn_engine is not None:
+                    service.burn_engine.observe(
+                        endpoint, elapsed, error=status >= 400
+                    )
                 n_bytes = 0
                 if payload is not None:
                     try:
@@ -601,6 +695,7 @@ class ScoringService:
                         duration_ms=1000.0 * elapsed,
                         trace_id=trace_id,
                         error_type=error_type,
+                        queue_wait_ms=queue_wait,
                     )
 
             def do_GET(self) -> None:

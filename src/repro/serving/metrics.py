@@ -24,6 +24,14 @@ per reservoir slot while ``wall_seconds`` remains the exact sum.
 ``errors`` can exceed ``count``: :meth:`RequestMetrics.record_error`
 counts failures that happen *after* the request was timed (response
 serialisation, socket writes) without a second latency observation.
+
+Alongside the cumulative record, every endpoint carries a
+:class:`~repro.obs.window.WindowedMetrics` bundle (1m/5m/1h ring
+buffers) answering "rate / error-rate / p95 over the last minute" with
+bounded memory — see :meth:`RequestMetrics.windowed_summary`.  Window
+rings own their locks and are updated *after* the cumulative lock is
+released, so cumulative counts always lead windowed counts and no two
+locks are ever held together.
 """
 
 from __future__ import annotations
@@ -31,11 +39,14 @@ from __future__ import annotations
 import logging
 import math
 import threading
+import time
 from collections import Counter
 from contextlib import contextmanager
 from time import perf_counter
+from typing import Callable
 
 from repro.exceptions import ReproError
+from repro.obs.window import WindowedMetrics
 from repro.parallel.timing import StageTiming, StageTimings, TaskTiming
 
 __all__ = ["RequestMetrics", "BUCKET_BOUNDS", "RESERVOIR_SIZE"]
@@ -145,9 +156,13 @@ class RequestMetrics:
     docstring for the percentile-sampling semantics.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> None:
         self._lock = threading.Lock()
+        self._clock = clock
         self._endpoints: dict[str, _EndpointRecord] = {}
+        self._windows: dict[str, WindowedMetrics] = {}
 
     def _record(self, endpoint: str) -> _EndpointRecord:
         record = self._endpoints.get(endpoint)
@@ -155,20 +170,37 @@ class RequestMetrics:
             record = self._endpoints[endpoint] = _EndpointRecord()
         return record
 
+    def _window(self, endpoint: str) -> WindowedMetrics:
+        windows = self._windows.get(endpoint)
+        if windows is None:
+            windows = self._windows[endpoint] = WindowedMetrics(
+                BUCKET_BOUNDS, clock=self._clock
+            )
+        return windows
+
     def observe(
         self,
         endpoint: str,
         seconds: float,
         error: bool = False,
         error_type: str | None = None,
+        trace_id: str | None = None,
     ) -> None:
-        """Record one request against ``endpoint`` (e.g. ``POST /v1/score``)."""
+        """Record one request against ``endpoint`` (e.g. ``POST /v1/score``).
+
+        ``trace_id`` tags the observation in the rolling windows so the
+        slowest request of any window joins back to its span waterfall.
+        """
         with self._lock:
             record = self._record(endpoint)
             record.observe(seconds)
             if error:
                 record.errors += 1
                 record.error_types[error_type or "unknown"] += 1
+            windows = self._window(endpoint)
+        # Outside the cumulative lock: the rings serialise themselves,
+        # and cumulative counts stay >= windowed counts for readers.
+        windows.observe(seconds, error=error, trace_id=trace_id)
 
     def record_error(self, endpoint: str, error_type: str) -> None:
         """Count an error with no latency observation.
@@ -239,6 +271,18 @@ class RequestMetrics:
                 endpoint: self._endpoints[endpoint].summary()
                 for endpoint in sorted(self._endpoints)
             }
+
+    def windowed_summary(self) -> dict[str, dict[str, dict]]:
+        """endpoint → window name → rolling summary (NaN-free).
+
+        Each window summary carries ``count`` / ``errors`` / ``rate`` /
+        ``error_rate`` / ``p50`` / ``p95`` / ``p99`` / ``max`` /
+        ``slowest_trace_id`` over the last 1m/5m/1h; see
+        :mod:`repro.obs.window` for estimation semantics.
+        """
+        with self._lock:
+            windows = sorted(self._windows.items())
+        return {endpoint: bundle.summary() for endpoint, bundle in windows}
 
     def prometheus_snapshot(self) -> dict[str, dict]:
         """endpoint → exact counters + *cumulative* histogram buckets.

@@ -1,0 +1,221 @@
+"""The SLO burn-rate engine: budgets, windows, skips and binding.
+
+Clocks are injected throughout, so fast/slow window divergence — the
+whole point of multi-window burn alerting — is tested deterministically
+rather than with sleeps.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadtest import SLOSpec
+from repro.obs import SLOBurnEngine
+from repro.obs.burnrate import BUDGET_FLOOR
+
+
+class FakeClock:
+    def __init__(self, now: float = 5000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_spec(rules: list[dict], name: str = "test") -> SLOSpec:
+    from repro.loadtest.slo import SLORule
+
+    return SLOSpec(
+        name,
+        [SLORule.from_dict(rule, i) for i, rule in enumerate(rules)],
+    )
+
+
+def rule_by(snapshot: dict, rule: str, endpoint: str) -> dict:
+    matches = [
+        r
+        for r in snapshot["rules"]
+        if r["rule"] == rule and r["endpoint"] == endpoint
+    ]
+    assert len(matches) == 1, snapshot["rules"]
+    return matches[0]
+
+
+class TestBudgets:
+    def test_zero_error_rate_gets_the_floor(self):
+        engine = SLOBurnEngine(
+            [make_spec([{"endpoint": "*", "max_error_rate": 0.0}])],
+            clock=FakeClock(),
+        )
+        engine.observe("POST /v1/score", 0.001, error=False)
+        snap = rule_by(
+            engine.snapshot(), "max_error_rate", "POST /v1/score"
+        )
+        assert snap["budget"] == BUDGET_FLOOR
+        # One clean request: zero burn, full budget.
+        assert snap["fast_burn_rate"] == 0.0
+        assert snap["budget_remaining"] == 1.0
+
+    def test_latency_budgets_by_percentile(self):
+        spec = make_spec(
+            [
+                {
+                    "endpoint": "*",
+                    "max_p50_ms": 10,
+                    "max_p95_ms": 10,
+                    "max_p99_ms": 10,
+                }
+            ]
+        )
+        engine = SLOBurnEngine([spec], clock=FakeClock())
+        engine.observe("GET /models", 0.001)
+        snapshot = engine.snapshot()
+        budgets = {
+            r["rule"]: r["budget"] for r in snapshot["rules"]
+        }
+        assert budgets == {
+            "max_p50_ms": 0.50,
+            "max_p95_ms": 0.05,
+            "max_p99_ms": 0.01,
+        }
+
+    def test_burn_rate_formula(self):
+        # budget 1% + exactly 1 bad out of 100 → burn rate 1.0.
+        engine = SLOBurnEngine(
+            [make_spec([{"endpoint": "*", "max_p99_ms": 50}])],
+            clock=FakeClock(),
+        )
+        for i in range(100):
+            engine.observe("POST /v1/score", 0.200 if i == 0 else 0.001)
+        snap = rule_by(
+            engine.snapshot(), "max_p99_ms", "POST /v1/score"
+        )
+        assert snap["fast_burn_rate"] == pytest.approx(1.0)
+        assert snap["fast"] == {"total": 100, "bad": 1}
+
+    def test_errors_count_against_latency_rules_too(self):
+        engine = SLOBurnEngine(
+            [make_spec([{"endpoint": "*", "max_p99_ms": 50}])],
+            clock=FakeClock(),
+        )
+        engine.observe("POST /v1/score", 0.001, error=True)
+        snap = rule_by(
+            engine.snapshot(), "max_p99_ms", "POST /v1/score"
+        )
+        assert snap["fast"]["bad"] == 1
+
+
+class TestWindows:
+    def test_fast_window_forgets_while_slow_remembers(self):
+        clock = FakeClock()
+        engine = SLOBurnEngine(
+            [make_spec([{"endpoint": "*", "max_error_rate": 0.5}])],
+            clock=clock,
+        )
+        engine.observe("GET /models", 0.001, error=True)
+        clock.advance(120.0)  # past the 1m fast window, inside 1h
+        snap = rule_by(engine.snapshot(), "max_error_rate", "GET /models")
+        assert snap["fast"] == {"total": 0, "bad": 0}
+        assert snap["slow"] == {"total": 1, "bad": 1}
+        assert snap["fast_burn_rate"] == 0.0
+        assert snap["slow_burn_rate"] == pytest.approx(2.0)  # 1.0 / 0.5
+
+    def test_budget_remaining_clamped_to_zero(self):
+        engine = SLOBurnEngine(
+            [make_spec([{"endpoint": "*", "max_error_rate": 0.01}])],
+            clock=FakeClock(),
+        )
+        for _ in range(10):
+            engine.observe("GET /models", 0.001, error=True)
+        snap = rule_by(engine.snapshot(), "max_error_rate", "GET /models")
+        assert snap["slow_burn_rate"] == pytest.approx(100.0)
+        assert snap["budget_remaining"] == 0.0
+
+    def test_idle_engine_reports_zero_burn(self):
+        engine = SLOBurnEngine(
+            [make_spec([{"endpoint": "*", "max_error_rate": 0.01}])],
+            clock=FakeClock(),
+        )
+        snapshot = engine.snapshot()
+        assert snapshot["rules"] == []  # nothing bound yet
+        json.dumps(snapshot, allow_nan=False)  # JSON-safe when empty
+
+
+class TestBindingAndSkips:
+    def test_mean_and_throughput_rules_are_skipped(self):
+        spec = make_spec(
+            [
+                {
+                    "endpoint": "POST /v1/score",
+                    "max_mean_ms": 5,
+                    "min_throughput_rps": 100,
+                    "max_error_rate": 0.01,
+                }
+            ]
+        )
+        engine = SLOBurnEngine([spec], clock=FakeClock())
+        engine.observe("POST /v1/score", 0.001)
+        snapshot = engine.snapshot()
+        skipped = {s["rule"] for s in snapshot["skipped_rules"]}
+        assert skipped == {"max_mean_ms", "min_throughput_rps"}
+        assert {r["rule"] for r in snapshot["rules"]} == {
+            "max_error_rate"
+        }
+
+    def test_pattern_binds_only_matching_endpoints(self):
+        spec = make_spec(
+            [{"endpoint": "POST /v1/*", "max_error_rate": 0.01}]
+        )
+        engine = SLOBurnEngine([spec], clock=FakeClock())
+        engine.observe("POST /v1/score", 0.001)
+        engine.observe("GET /models", 0.001, error=True)  # no match
+        snapshot = engine.snapshot()
+        assert [r["endpoint"] for r in snapshot["rules"]] == [
+            "POST /v1/score"
+        ]
+
+    def test_one_pattern_tracks_endpoints_separately(self):
+        spec = make_spec([{"endpoint": "*", "max_error_rate": 0.5}])
+        engine = SLOBurnEngine([spec], clock=FakeClock())
+        engine.observe("POST /v1/score", 0.001, error=True)
+        engine.observe("GET /models", 0.001, error=False)
+        score = rule_by(
+            engine.snapshot(), "max_error_rate", "POST /v1/score"
+        )
+        models = rule_by(
+            engine.snapshot(), "max_error_rate", "GET /models"
+        )
+        assert score["fast"]["bad"] == 1
+        assert models["fast"]["bad"] == 0
+
+    def test_from_paths_reads_the_shipped_smoke_spec(self, tmp_path):
+        from pathlib import Path
+
+        smoke = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "slo"
+            / "smoke.json"
+        )
+        engine = SLOBurnEngine.from_paths([smoke], clock=FakeClock())
+        assert engine.spec_names == ["smoke"]
+        engine.observe("POST /v1/score", 0.001)
+        assert engine.snapshot()["rules"]
+
+    def test_snapshot_ordering_is_stable(self):
+        spec = make_spec(
+            [{"endpoint": "*", "max_error_rate": 0.01, "max_p99_ms": 50}]
+        )
+        engine = SLOBurnEngine([spec], clock=FakeClock())
+        for endpoint in ("GET /models", "POST /v1/score", "GET /healthz"):
+            engine.observe(endpoint, 0.001)
+        keys = [
+            (r["rule"], r["endpoint"])
+            for r in engine.snapshot()["rules"]
+        ]
+        assert keys == sorted(keys)

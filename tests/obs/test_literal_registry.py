@@ -23,7 +23,11 @@ from repro.analysis.engine import build_project
 SRC = Path(__file__).resolve().parents[2] / "src"
 
 EXPECTED_METRICS = frozenset({
+    "repro_build_info",
     "repro_models",
+    "repro_profile_distinct_stacks",
+    "repro_profile_dropped_stacks_total",
+    "repro_profile_samples_total",
     "repro_registry_degraded_models",
     "repro_registry_loads_total",
     "repro_registry_refreshes_total",
@@ -42,7 +46,13 @@ EXPECTED_METRICS = frozenset({
     "repro_route_store_hits_total",
     "repro_route_store_invalidations_total",
     "repro_route_store_misses_total",
+    "repro_slo_budget_remaining",
+    "repro_slo_burn_rate",
     "repro_uptime_seconds",
+    "repro_window_error_rate",
+    "repro_window_p95_seconds",
+    "repro_window_request_rate",
+    "repro_window_requests",
 })
 
 EXPECTED_SPANS = frozenset({

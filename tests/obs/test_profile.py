@@ -1,0 +1,229 @@
+"""The sampling profiler: capture, bounds, attribution, determinism.
+
+Live-sampling tests use a busy worker thread and generous rates so
+they pass on slow CI; everything about *shape* (bounded stacks,
+dropped counters, span attribution, render ordering) goes through
+``sample_once()`` and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import ActiveSpanRegistry, SamplingProfiler, Tracer
+
+
+def burn_cpu(stop: threading.Event) -> None:
+    x = 0
+    while not stop.is_set():
+        x += 1  # visible frame: tests assert on burn_cpu appearing
+
+
+@pytest.fixture
+def busy_thread():
+    stop = threading.Event()
+    thread = threading.Thread(target=burn_cpu, args=(stop,), daemon=True)
+    thread.start()
+    yield thread
+    stop.set()
+    thread.join(timeout=5.0)
+
+
+class TestLifecycle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_stacks=0)
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_without_start_is_noop(self):
+        SamplingProfiler().stop()
+
+    def test_registry_installed_and_removed(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.active_registry is None
+        with SamplingProfiler(hz=100, tracer=tracer) as profiler:
+            assert tracer.active_registry is profiler.registry
+        assert tracer.active_registry is None
+
+    def test_elapsed_freezes_after_stop(self):
+        with SamplingProfiler(hz=100) as profiler:
+            time.sleep(0.05)
+        frozen = profiler.stats()["elapsed_seconds"]
+        time.sleep(0.05)
+        assert profiler.stats()["elapsed_seconds"] == frozen
+
+
+class TestCapture:
+    def test_busy_thread_is_sampled(self, busy_thread):
+        with SamplingProfiler(hz=200) as profiler:
+            time.sleep(0.3)
+        stats = profiler.stats()
+        assert stats["samples"] > 0
+        collapsed = profiler.render_collapsed()
+        assert "burn_cpu" in collapsed
+
+    def test_sampler_never_samples_itself(self, busy_thread):
+        with SamplingProfiler(hz=200) as profiler:
+            time.sleep(0.2)
+        # The sampler excludes its own thread, so its sampling loop
+        # never appears as a sampled frame.
+        assert "repro.obs.profile._run" not in profiler.render_collapsed()
+
+    def test_sample_once_is_synchronous(self, busy_thread):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        assert profiler.stats()["samples"] >= 1
+        assert "burn_cpu" in profiler.render_collapsed()
+
+    def test_stack_is_root_first(self, busy_thread):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        line = next(
+            line
+            for line in profiler.render_collapsed().splitlines()
+            if "burn_cpu" in line
+        )
+        frames = line.rsplit(" ", 1)[0].split(";")
+        # Root-first: threading's bootstrap plumbing precedes the
+        # target function it launched.
+        bootstrap = next(
+            i for i, f in enumerate(frames) if "_bootstrap" in f
+        )
+        target = next(
+            i for i, f in enumerate(frames) if f.endswith("burn_cpu")
+        )
+        assert bootstrap < target
+
+
+class TestBounds:
+    def test_distinct_stacks_capped_and_drops_counted(self, busy_thread):
+        profiler = SamplingProfiler(max_stacks=1)
+        # Occupy the only slot with a synthetic key no real thread can
+        # produce, then sample: the busy thread's genuinely new stack
+        # must be dropped and counted, never stored.
+        profiler._counts[((), "synthetic;occupier")] = 1
+        profiler.sample_once()
+        stats = profiler.stats()
+        assert stats["distinct_stacks"] == 1
+        assert stats["dropped_stacks"] >= 1
+        assert "burn_cpu" not in profiler.render_collapsed()
+
+    def test_existing_stack_still_counts_at_cap(self, busy_thread):
+        profiler = SamplingProfiler(max_stacks=1)
+        # Fill the single slot with whatever the thread shows first,
+        # then sample repeatedly: known stacks keep counting.
+        profiler.sample_once()
+        profiler.sample_once()
+        stats = profiler.stats()
+        assert stats["samples"] >= 2
+        assert stats["distinct_stacks"] <= 1
+
+
+class TestSpanAttribution:
+    def test_registry_push_pop(self):
+        registry = ActiveSpanRegistry()
+        registry.push("outer")
+        registry.push("inner")
+        tid = threading.get_ident()
+        assert registry.snapshot()[tid] == ("outer", "inner")
+        registry.pop()
+        assert registry.snapshot()[tid] == ("outer",)
+        registry.pop()
+        assert registry.snapshot() == {}
+        registry.pop()  # popping empty is a no-op
+
+    def test_samples_carry_active_spans(self, busy_thread):
+        tracer = Tracer(enabled=True)
+        profiler = SamplingProfiler(hz=200, tracer=tracer)
+        profiler.start()
+        try:
+
+            def worker():
+                with tracer.span("work.busy"):
+                    deadline = time.monotonic() + 0.3
+                    while time.monotonic() < deadline:
+                        pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        finally:
+            profiler.stop()
+        self_time = profiler.self_time_by_span()
+        assert self_time.get("work.busy", 0) > 0
+        assert "work.busy" in profiler.to_dict()["span_self_samples"]
+
+    def test_span_filter_selects_matching_samples(self, busy_thread):
+        tracer = Tracer(enabled=True)
+        profiler = SamplingProfiler(hz=200, tracer=tracer)
+        profiler.start()
+        try:
+
+            def worker():
+                with tracer.span("filtered.span"):
+                    deadline = time.monotonic() + 0.3
+                    while time.monotonic() < deadline:
+                        pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        finally:
+            profiler.stop()
+        inside = profiler.render_collapsed("filtered.span")
+        assert inside  # the worker was sampled under the span
+        assert "worker" in inside
+        # The busy thread ran outside any span: filtered out.
+        assert "burn_cpu" not in inside
+        assert "burn_cpu" in profiler.render_collapsed()
+
+    def test_no_tracer_means_no_span_noise(self, busy_thread):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        assert set(profiler.self_time_by_span()) == {""}
+
+
+class TestRendering:
+    def test_render_is_deterministic(self, busy_thread):
+        profiler = SamplingProfiler()
+        for _ in range(5):
+            profiler.sample_once()
+        assert profiler.render_collapsed() == profiler.render_collapsed()
+
+    def test_render_sorted_by_count_then_stack(self):
+        profiler = SamplingProfiler()
+        profiler._counts[((), "b;b")] = 3
+        profiler._counts[((), "a;a")] = 3
+        profiler._counts[((), "z;z")] = 9
+        assert profiler.render_collapsed().splitlines() == [
+            "z;z 9",
+            "a;a 3",
+            "b;b 3",
+        ]
+
+    def test_to_dict_shape(self, busy_thread):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        payload = profiler.to_dict()
+        assert set(payload) == {"stats", "span_self_samples", "stacks"}
+        record = payload["stacks"][0]
+        assert set(record) == {"spans", "stack", "count"}
+        assert record["count"] >= 1
+
+    def test_empty_profile_renders_empty(self):
+        profiler = SamplingProfiler()
+        assert profiler.render_collapsed() == ""
+        assert profiler.to_dict()["stacks"] == []

@@ -9,6 +9,12 @@ so a refactor cannot silently drift the reproduction.
 This is the most expensive test module in tier 1 (~15 s: one
 paper-scale generation plus the three sweeps); everything downstream
 shares the module-scoped fixtures.
+
+The whole module runs under a live :class:`SamplingProfiler` (autouse
+fixture below): the profiler reads frames and touches no RNG, so a
+profiled study must stay bit-identical to an unprofiled one — any
+drift in these pinned cells while sampling is live is a profiler
+isolation bug, not a numerics change.
 """
 
 import math
@@ -18,6 +24,7 @@ import pytest
 
 from repro.core import CrashPronenessStudy
 from repro.core.reporting import format_cell
+from repro.obs import SamplingProfiler
 from repro.parallel import SweepExecutor, ThresholdDatasetCache
 from repro.roads import QDTMRSyntheticGenerator, paper_scale_config
 
@@ -50,6 +57,21 @@ def assert_cell(label: str, token: str, value: float) -> None:
         want = float(token)
     assert abs(got - want) < TOLERANCE, (
         f"{label}: golden {want} != recomputed {got}"
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def live_profiler():
+    """Sample continuously while the golden sweeps run.
+
+    The teardown assertion guards the guarantee itself: a profiler
+    that silently captured nothing would make this determinism check
+    vacuous.
+    """
+    with SamplingProfiler(hz=50) as profiler:
+        yield profiler
+    assert profiler.stats()["samples"] > 0, (
+        "profiler captured no samples during the golden sweeps"
     )
 
 

@@ -1,0 +1,146 @@
+"""The full telemetry loop against one live server.
+
+The tentpole's acceptance path, end to end: real traffic through a
+served model → the windowed p95 appears in ``/metrics`` → an SLO with
+an impossible latency bound starts burning budget → and the window's
+slowest trace id joins back to that request's span waterfall.  One
+server, no mocks, every layer (engine, HTTP, windows, burn engine,
+profiler, tracer) running together the way ``serve --profile --slo``
+wires them.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+from repro.loadtest import SLOSpec
+from repro.loadtest.slo import SLORule
+from repro.obs import (
+    SamplingProfiler,
+    Tracer,
+    group_traces,
+    render_waterfall,
+    validate_exposition,
+)
+from repro.serving import ScoringService
+
+
+def _get(service, path):
+    with urllib.request.urlopen(service.url + path, timeout=10) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def _post(service, path, payload):
+    request = urllib.request.Request(
+        service.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def make_burn_engine():
+    from repro.obs import SLOBurnEngine
+
+    # max_p99_ms of 0.0001 ms is physically unmeetable: every request
+    # is "bad", so the burn gauge must move with the very first one.
+    # The generous error-rate rule stays quiet alongside it.
+    spec = SLOSpec(
+        "live-test",
+        [
+            SLORule.from_dict(
+                {"endpoint": "POST /v1/score", "max_p99_ms": 0.0001}, 0
+            ),
+            SLORule.from_dict({"endpoint": "*", "max_error_rate": 0.9}, 1),
+        ],
+    )
+    return SLOBurnEngine([spec])
+
+
+class TestFullTelemetryLoop:
+    def test_traffic_to_windows_to_burn_to_waterfall(
+        self, model_dir, segment_rows
+    ):
+        tracer = Tracer(max_spans=None)
+        profiler = SamplingProfiler(hz=97, tracer=tracer)
+        profiler.start()
+        try:
+            with ScoringService(
+                model_dir,
+                port=0,
+                tracer=tracer,
+                burn_engine=make_burn_engine(),
+                profiler=profiler,
+            ).start() as service:
+                for row in segment_rows[:20]:
+                    _post(service, "/v1/score", {"row": row})
+                _get(service, "/models")
+
+                status, body = _get(service, "/metrics")
+                assert status == 200
+                payload = json.loads(body)
+
+                # 1. Traffic shows up in the rolling windows.
+                window = payload["windows"]["POST /v1/score"]["1m"]
+                assert window["count"] == 20
+                assert window["p95"] is not None and window["p95"] > 0
+                assert window["p95"] <= window["max"]
+
+                # 2. The unmeetable SLO is burning; the sane one is not.
+                rules = {
+                    (r["rule"], r["endpoint"]): r
+                    for r in payload["slo"]["rules"]
+                }
+                burning = rules[("max_p99_ms", "POST /v1/score")]
+                assert burning["fast"] == {"total": 20, "bad": 20}
+                # 100% bad on a 1% budget: burn rate 100x.
+                assert burning["fast_burn_rate"] == 100.0
+                assert burning["budget_remaining"] == 0.0
+                quiet = rules[("max_error_rate", "POST /v1/score")]
+                assert quiet["fast_burn_rate"] == 0.0
+                assert quiet["budget_remaining"] == 1.0
+
+                # 3. Both formats agree; the exposition validates.
+                _, text = _get(service, "/metrics?format=prometheus")
+                assert validate_exposition(text) > 0
+                (burn_line,) = [
+                    l for l in text.splitlines()
+                    if l.startswith(
+                        'repro_slo_burn_rate{slo="live-test",'
+                        'rule="max_p99_ms",endpoint="POST /v1/score",'
+                        'window="fast"}'
+                    )
+                ]
+                assert float(burn_line.rsplit(" ", 1)[1]) == 100.0
+                assert (
+                    'repro_window_requests{endpoint="POST /v1/score"'
+                    in text
+                )
+                assert "repro_profile_samples_total" in text
+
+                # 4. The live profiler served a real profile.
+                status, collapsed = _get(service, "/debug/profile")
+                assert status == 200
+
+                slowest = window["slowest_trace_id"]
+                assert slowest is not None
+
+        finally:
+            profiler.stop()
+
+        # 5. The slowest trace id joins its span waterfall: the trace
+        # exists, is rooted at http.request for the scored endpoint,
+        # and renders.
+        spans = tracer.finished()
+        trace = [s for s in spans if s.trace_id == slowest]
+        assert trace, "slowest_trace_id not found among finished spans"
+        roots = [s for s in trace if s.parent_id is None]
+        assert [r.name for r in roots] == ["http.request"]
+        assert roots[0].attrs["path"] == "/v1/score"
+        (grouped,) = [
+            g for g in group_traces(spans) if g[0].trace_id == slowest
+        ]
+        waterfall = render_waterfall(grouped)
+        assert "http.request" in waterfall

@@ -10,8 +10,11 @@ streams and checks the invariants the load-test harness leans on:
 * the exact counters (count / mean / max) never degrade, whatever the
   reservoir does.
 
-Plus the open-loop arrival properties: interarrival gaps are
-non-negative, schedules deterministic in the seed, offsets monotone.
+Plus the open-loop arrival properties (interarrival gaps are
+non-negative, schedules deterministic in the seed, offsets monotone)
+and the windowed-telemetry containment property: whatever the clock
+does, a rolling window never reports more than the cumulative
+counters.
 """
 
 import math
@@ -88,6 +91,44 @@ class TestReservoirPercentiles:
             rel_tol=1e-9,
             abs_tol=1e-12,
         )
+
+
+class TestWindowedContainment:
+    @given(
+        events=st.lists(
+            st.tuples(
+                latencies,
+                st.booleans(),  # error flag
+                st.floats(  # clock advance after the observation
+                    min_value=0.0,
+                    max_value=7200.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            min_size=0,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_counts_never_exceed_cumulative(self, events):
+        now = [100_000.0]
+        metrics = RequestMetrics(clock=lambda: now[0])
+        for seconds, error, advance in events:
+            metrics.observe("e", seconds, error=error)
+            now[0] += advance
+        cumulative = metrics.summary().get(
+            "e", {"count": 0, "errors": 0, "max": 0.0}
+        )
+        for window in metrics.windowed_summary().get("e", {}).values():
+            # A rolling window can only ever see a subset of history.
+            assert window["count"] <= cumulative["count"]
+            assert window["errors"] <= cumulative["errors"]
+            if window["max"] is not None:
+                assert window["max"] <= cumulative["max"]
+            if window["count"]:
+                assert window["p50"] <= window["p95"] <= window["p99"]
+                assert window["p99"] <= window["max"]
 
 
 class TestArrivalProperties:

@@ -165,7 +165,26 @@ class TestPrometheusEndpoint:
             status, headers, body = _get(service, "/metrics")
         assert status == 200
         assert headers["Content-Type"] == "application/json"
-        assert set(json.loads(body)) == {"endpoints", "engines", "registry"}
+        payload = json.loads(body)
+        assert set(payload) == {
+            "endpoints", "engines", "registry", "windows", "build",
+        }
+        assert payload["build"]["version"]
+        assert set(payload["build"]) == {
+            "version", "python", "numpy", "native_kernel",
+        }
+
+    def test_build_info_in_prometheus_exposition(self, model_dir):
+        with ScoringService(model_dir, port=0).start() as service:
+            _, _, text = _get(service, "/metrics?format=prometheus")
+        assert validate_exposition(text) > 0
+        (line,) = [
+            l for l in text.splitlines()
+            if l.startswith("repro_build_info{")
+        ]
+        assert line.endswith(" 1")
+        for label in ("version=", "python=", "numpy=", "native_kernel="):
+            assert label in line
 
     def test_unknown_format_is_a_request_error(self, model_dir):
         with ScoringService(model_dir, port=0).start() as service:
@@ -210,12 +229,24 @@ class TestAccessLog:
             ("POST", "/v1/score", 200),
             ("GET", "/nope", 404),
         ]
+        # The line schema is pinned: downstream log pipelines key on
+        # these exact field names.
+        expected_fields = {
+            "ts", "method", "path", "status", "response_bytes",
+            "duration_ms", "queue_wait_ms", "trace_id", "error_type",
+        }
         for line in lines:
-            assert line["bytes"] > 0
+            assert set(line) == expected_fields
+            assert line["response_bytes"] > 0
             assert line["duration_ms"] >= 0.0
             assert line["ts"].startswith("20")
         assert lines[0]["error_type"] is None
         assert lines[2]["error_type"] == "NotFound"
+        # Only the scoring request passed through the micro-batch
+        # queue; plain GETs never queue, so their wait is null.
+        assert lines[0]["queue_wait_ms"] is None
+        assert lines[1]["queue_wait_ms"] >= 0.0
+        assert lines[2]["queue_wait_ms"] is None
         # Each line's trace id joins to that request's span tree.
         request_spans = {
             s.attrs["path"]: s.trace_id
